@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the simulator's hot paths:
+ * vring serialization, virtqueue submit/pop/complete cycles, the
+ * event queue, the DMA engine, the pool allocator, and one full
+ * guest-to-guest packet round trip. These measure *simulator*
+ * performance (host wall time), not simulated time — they bound
+ * how large an experiment the harness can run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "mem/pool_allocator.hh"
+#include "virtio/virtqueue.hh"
+#include "workloads/guest_iface.hh"
+
+using namespace bmhive;
+
+namespace {
+
+void
+BM_VringDescReadWrite(benchmark::State &state)
+{
+    GuestMemory mem("m", 64 * KiB);
+    auto layout = virtio::VringLayout::contiguous(256, 0);
+    virtio::VringDesc d{0x1000, 512, virtio::VRING_DESC_F_NEXT, 1};
+    std::uint16_t i = 0;
+    for (auto _ : state) {
+        layout.writeDesc(mem, i % 256, d);
+        auto r = layout.readDesc(mem, i % 256);
+        benchmark::DoNotOptimize(r);
+        ++i;
+    }
+}
+BENCHMARK(BM_VringDescReadWrite);
+
+void
+BM_VirtqueueCycle(benchmark::State &state)
+{
+    GuestMemory mem("m", 1 * MiB);
+    auto layout = virtio::VringLayout::contiguous(256, 0x1000);
+    virtio::VirtQueueDriver drv(mem, layout);
+    virtio::VirtQueueDevice dev(mem, layout);
+    for (auto _ : state) {
+        auto head = drv.submit({{0x20000, 64, false}}, {}, 1);
+        auto chain = dev.pop();
+        dev.pushUsed(chain->head, 0);
+        auto done = drv.collectUsed();
+        benchmark::DoNotOptimize(head);
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtqueueCycle);
+
+void
+BM_VirtqueueIndirectCycle(benchmark::State &state)
+{
+    GuestMemory mem("m", 1 * MiB);
+    auto layout = virtio::VringLayout::contiguous(256, 0x1000);
+    virtio::VirtQueueDriver drv(mem, layout, true, 0x80000);
+    virtio::VirtQueueDevice dev(mem, layout);
+    for (auto _ : state) {
+        auto head = drv.submit(
+            {{0x20000, 16, false}, {0x21000, 4096, false}},
+            {{0x22000, 1, true}}, 1);
+        benchmark::DoNotOptimize(head);
+        auto chain = dev.pop();
+        dev.pushUsed(chain->head, 1);
+        auto done = drv.collectUsed();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtqueueIndirectCycle);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue q;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+        Rng rng(1);
+        for (int i = 0; i < 1000; ++i)
+            evs.push_back(std::make_unique<EventFunctionWrapper>(
+                [] {}, "e"));
+        state.ResumeTiming();
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(evs[i].get(),
+                       Tick(rng.uniformInt(0, 1000000)));
+        q.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_DmaEngineCopy4K(benchmark::State &state)
+{
+    Simulation sim;
+    GuestMemory src("s", 1 * MiB), dst("d", 1 * MiB);
+    DmaEngine dma(sim, "dma", Bandwidth::gbps(50));
+    for (auto _ : state) {
+        dma.copy(src, 0, dst, 0, 4096, {});
+        sim.run();
+    }
+    state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DmaEngineCopy4K);
+
+void
+BM_PoolAllocatorChurn(benchmark::State &state)
+{
+    PoolAllocator pool(0, 16 * MiB);
+    std::vector<Addr> live;
+    Rng rng(2);
+    for (auto _ : state) {
+        if (live.size() < 64 && rng.chance(0.6)) {
+            Addr a = pool.alloc(rng.uniformInt(64, 8192), 16);
+            if (a != PoolAllocator::nullAddr)
+                live.push_back(a);
+        } else if (!live.empty()) {
+            std::size_t i =
+                std::size_t(rng.uniformInt(0, live.size() - 1));
+            pool.free(live[i]);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    for (Addr a : live)
+        pool.free(a);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocatorChurn);
+
+void
+BM_FullPacketRoundTrip(benchmark::State &state)
+{
+    // One guest-to-guest packet through the complete stack:
+    // driver -> IO-Bond -> bm-hypervisor -> vSwitch -> ... -> MSI.
+    bench::Testbed bed(1);
+    auto a = bed.bmGuest(0xA, 0, false);
+    auto b = bed.bmGuest(0xB, 0, false);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    std::uint64_t got = 0;
+    b.net->setRxHandler([&](const cloud::Packet &) { ++got; });
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        cloud::Packet p;
+        p.src = 0xA;
+        p.dst = 0xB;
+        p.len = 64;
+        p.seq = seq++;
+        a.net->sendPacket(p, true, a.cpu(1));
+        bed.sim.run(bed.sim.now() + msToTicks(1));
+    }
+    state.SetItemsProcessed(state.iterations());
+    if (got != seq)
+        state.SkipWithError("packet loss in round trip");
+}
+BENCHMARK(BM_FullPacketRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SimulatedPpsThroughput(benchmark::State &state)
+{
+    // How fast the simulator chews through a PPS experiment:
+    // items/sec here ~= simulated packets per host second.
+    bench::Testbed bed(2);
+    auto a = bed.bmGuest(0xA, 0);
+    auto b = bed.bmGuest(0xB, 0);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    std::uint64_t delivered = 0;
+    b.net->setRxHandler([&](const cloud::Packet &) { ++delivered; });
+    for (auto _ : state) {
+        std::uint64_t before = delivered;
+        for (int i = 0; i < 32; ++i) {
+            cloud::Packet p;
+            p.src = 0xA;
+            p.dst = 0xB;
+            p.len = 64;
+            a.net->sendPacket(p, false, a.cpu(1));
+        }
+        a.net->kickTx(a.cpu(1));
+        bed.sim.run(bed.sim.now() + usToTicks(100));
+        benchmark::DoNotOptimize(delivered - before);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SimulatedPpsThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

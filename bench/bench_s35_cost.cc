@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Section 3.5: cost efficiency. Sellable vCPU density per rack
+ * slot (88 HT conventional vs 256 HT for an 8-board BM-Hive
+ * server) and TDP watts per sellable vCPU for the
+ * nearest-equivalent configurations (96HT single-board BM-Hive vs
+ * the 88HT vm server).
+ *
+ * Paper result: 3.17 W/vCPU (BM-Hive) vs 3.06 W/vCPU (vm server);
+ * bm-guests sell 10% below similarly configured vm-guests.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/cost_model.hh"
+
+using namespace bmhive;
+using namespace bmhive::bench;
+
+int
+main()
+{
+    banner("Sec. 3.5", "cost efficiency: vCPU density and TDP per "
+                       "vCPU");
+
+    auto d = core::CostModel::density(paper::bmHiveBoards,
+                                      paper::bmHiveHtPerBoard);
+    std::printf("  sellable HT per rack slot: vm server %u, "
+                "BM-Hive %u (%.2fx)\n",
+                d.vmSellableHt, d.bmSellableHt, d.densityRatio);
+
+    auto t = core::CostModel::tdpPerVcpu();
+    std::printf("\n  %-22s %10s %10s %10s %8s %12s\n", "config",
+                "base W", "cpu W", "fpga W", "vCPU",
+                "W per vCPU");
+    std::printf("  %-22s %10.0f %10.0f %10.0f %8u %12.2f\n",
+                "BM-Hive (96HT board)", t.bm.baseCpuWatts,
+                t.bm.boardCpuWatts, t.bm.fpgaWatts,
+                t.bm.sellableThreads, t.bm.wattsPerVcpu());
+    std::printf("  %-22s %10.0f %10.0f %10.0f %8u %12.2f\n",
+                "vm server (88HT)", t.vm.baseCpuWatts,
+                t.vm.boardCpuWatts, t.vm.fpgaWatts,
+                t.vm.sellableThreads, t.vm.wattsPerVcpu());
+    std::printf("\n  paper: %.2f (BM-Hive) vs %.2f (vm) W/vCPU\n",
+                paper::bmHiveWattsPerVcpu,
+                paper::vmServerWattsPerVcpu);
+    std::printf("  bm-guest sell price: %.0f%% of an equivalent "
+                "vm-guest (paper: 10%% lower)\n",
+                core::CostModel::bmRelativePrice() * 100.0);
+    return 0;
+}

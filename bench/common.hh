@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared testbed for the experiment binaries: one cloud segment
+ * (vSwitch + block storage), a BM-Hive server for bm-guests, and
+ * factory helpers for vm-guests — the two platforms every figure
+ * compares. Also small table-printing helpers so every bench
+ * prints rows in the same style as the paper's tables/figures.
+ */
+
+#ifndef BMHIVE_BENCH_COMMON_HH
+#define BMHIVE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/block_service.hh"
+#include "cloud/vswitch.hh"
+#include "core/bmhive_server.hh"
+#include "vmsim/vm_guest.hh"
+#include "workloads/guest_iface.hh"
+
+namespace bmhive {
+namespace bench {
+
+/**
+ * One experiment environment. Everything shares a Simulation, so
+ * results are deterministic in the seed.
+ */
+class Testbed
+{
+  public:
+    explicit Testbed(std::uint64_t seed = 20200316,
+                     unsigned max_boards = 4,
+                     cloud::BlockServiceParams storage_params = {})
+        : sim(seed), vswitch(sim, "vswitch"),
+          storage(sim, "storage", storage_params),
+          server(sim, "server", vswitch, &storage,
+                 smallServer(max_boards))
+    {
+    }
+
+    static core::BmServerParams
+    smallServer(unsigned max_boards)
+    {
+        core::BmServerParams p;
+        p.maxBoards = max_boards;
+        return p;
+    }
+
+    /** Provision a bm-guest (with a volume unless @p vol_mib==0). */
+    workloads::GuestContext
+    bmGuest(cloud::MacAddr mac, Bytes vol_mib = 64,
+            bool rate_limited = true)
+    {
+        cloud::Volume *vol = nullptr;
+        if (vol_mib > 0) {
+            vol = &storage.createVolume(
+                "bmvol" + std::to_string(mac), vol_mib * MiB);
+        }
+        auto &g = server.provision(
+            core::InstanceCatalog::evaluated(), mac, vol,
+            rate_limited);
+        return workloads::GuestContext::of(g);
+    }
+
+    /** Create and bring up a vm-guest. */
+    workloads::GuestContext
+    vmGuest(cloud::MacAddr mac, Bytes vol_mib = 64,
+            bool rate_limited = true, bool exclusive = true,
+            bool io_contention = true)
+    {
+        vmsim::VmGuestParams p;
+        p.mac = mac;
+        p.exclusive = exclusive;
+        p.rateLimited = rate_limited;
+        p.ioThreadContention = io_contention;
+        cloud::Volume *vol = nullptr;
+        if (vol_mib > 0) {
+            vol = &storage.createVolume(
+                "vmvol" + std::to_string(mac), vol_mib * MiB);
+            p.volumeSectors = vol_mib * MiB / 512;
+        }
+        vms.push_back(std::make_unique<vmsim::VmGuest>(
+            sim, "vm" + std::to_string(vms.size()), p, vswitch,
+            vol ? &storage : nullptr, vol));
+        vms.back()->bringUp();
+        return workloads::GuestContext::of(*vms.back());
+    }
+
+    Simulation sim;
+    cloud::VSwitch vswitch;
+    cloud::BlockService storage;
+    core::BmHiveServer server;
+    std::vector<std::unique_ptr<vmsim::VmGuest>> vms;
+};
+
+/** Print a bench header in a uniform style. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("==============================================="
+                "=================\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace bmhive
+
+#endif // BMHIVE_BENCH_COMMON_HH

@@ -1,0 +1,65 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace bmhive {
+
+Logger &
+Logger::global()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::print(LogLevel lvl, const std::string &msg)
+{
+    if (static_cast<int>(lvl) > static_cast<int>(verbosity_))
+        return;
+    const char *prefix = "";
+    switch (lvl) {
+      case LogLevel::Panic:
+        prefix = "panic: ";
+        break;
+      case LogLevel::Fatal:
+        prefix = "fatal: ";
+        break;
+      case LogLevel::Warn:
+        prefix = "warn: ";
+        break;
+      case LogLevel::Inform:
+        prefix = "info: ";
+        break;
+      case LogLevel::Debug:
+        prefix = "debug: ";
+        break;
+    }
+    std::cerr << prefix << msg << "\n";
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " (" << file << ":" << line << ")";
+    if (Logger::global().throwOnDeath())
+        throw PanicError(os.str());
+    Logger::global().print(LogLevel::Panic, os.str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " (" << file << ":" << line << ")";
+    if (Logger::global().throwOnDeath())
+        throw FatalError(os.str());
+    Logger::global().print(LogLevel::Fatal, os.str());
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace bmhive

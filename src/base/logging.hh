@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, modelled after gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated: a bug in this
+ *            library. Aborts.
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments). Exits(1).
+ * warn()   - something is imprecise but the run can continue.
+ * inform() - status information with no negative connotation.
+ */
+
+#ifndef BMHIVE_BASE_LOGGING_HH
+#define BMHIVE_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bmhive {
+
+/** Severity of a log message. */
+enum class LogLevel { Panic, Fatal, Warn, Inform, Debug };
+
+/**
+ * Global log configuration. Tests can redirect or silence output;
+ * panic/fatal behaviour can be turned into exceptions so that death
+ * paths are unit-testable.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger. */
+    static Logger &global();
+
+    /** Minimum level that is printed (Inform by default). */
+    void setVerbosity(LogLevel lvl) { verbosity_ = lvl; }
+    LogLevel verbosity() const { return verbosity_; }
+
+    /**
+     * When true, panic()/fatal() throw PanicError/FatalError instead
+     * of terminating the process. Used by the test suite.
+     */
+    void setThrowOnDeath(bool t) { throwOnDeath_ = t; }
+    bool throwOnDeath() const { return throwOnDeath_; }
+
+    /** Emit one formatted message. */
+    void print(LogLevel lvl, const std::string &msg);
+
+  private:
+    LogLevel verbosity_ = LogLevel::Inform;
+    bool throwOnDeath_ = false;
+};
+
+/** Exception thrown by panic() when throw-on-death is enabled. */
+struct PanicError : std::runtime_error
+{
+    explicit PanicError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Exception thrown by fatal() when throw-on-death is enabled. */
+struct FatalError : std::runtime_error
+{
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Stream-concatenate a variadic pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Report an internal bug and abort (or throw PanicError in tests). */
+#define panic(...)                                                     \
+    ::bmhive::detail::panicImpl(__FILE__, __LINE__,                    \
+                                ::bmhive::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user error and exit (or throw in tests). */
+#define fatal(...)                                                     \
+    ::bmhive::detail::fatalImpl(__FILE__, __LINE__,                    \
+                                ::bmhive::detail::concat(__VA_ARGS__))
+
+/** panic() if the condition does not hold. */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+/** fatal() if the condition does not hold. */
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            fatal(__VA_ARGS__);                                        \
+    } while (0)
+
+/** Non-fatal diagnostics. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    Logger::global().print(LogLevel::Warn,
+                           detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    Logger::global().print(LogLevel::Inform,
+                           detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_LOGGING_HH

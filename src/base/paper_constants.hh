@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Every number the paper publishes, as a named constant, with the
+ * section it comes from. Models must use these constants rather
+ * than re-stating magic numbers.
+ *
+ * Constants marked CALIBRATED are *not* in the paper: they are
+ * model parameters chosen so the reproduced tables/figures land in
+ * the paper's reported bands (see EXPERIMENTS.md).
+ */
+
+#ifndef BMHIVE_BASE_PAPER_CONSTANTS_HH
+#define BMHIVE_BASE_PAPER_CONSTANTS_HH
+
+#include "base/units.hh"
+
+namespace bmhive {
+namespace paper {
+
+// --- Section 3.4.3: IO-Bond implementation ---
+
+/** One PCI read/write from bm-guest to the IO-Bond front-end. */
+constexpr Tick ioBondPciAccess = usToTicks(0.8);
+/** The second hop, IO-Bond to its mailbox registers. */
+constexpr Tick ioBondMailboxAccess = usToTicks(0.8);
+/** "A typical PCI access emulating from bm-hypervisor takes
+ *  1.6 us constantly." */
+constexpr Tick ioBondEmulatedAccess =
+    ioBondPciAccess + ioBondMailboxAccess;
+/** Section 6: ASIC implementation would cut 0.8 us to 0.2 us. */
+constexpr Tick ioBondAsicPciAccess = usToTicks(0.2);
+
+/** IO-Bond internal DMA throughput (~50 Gbps). */
+constexpr double ioBondDmaGbps = 50.0;
+/** PCIe x4 per emulated virtio device (32 Gbps). */
+constexpr double ioBondDeviceLinkGbps = 32.0;
+/** PCIe x8 backing interface to the bm-hypervisor. */
+constexpr double ioBondBackendLinkGbps = 64.0;
+/** The server's shared NIC toward the cloud (100 Gbit/s). */
+constexpr double serverNicGbps = 100.0;
+
+// --- Section 2.1: virtualization overhead ---
+
+/** "It takes about 10 us for the KVM hypervisor to handle an
+ *  event" (one VM exit). */
+constexpr Tick vmExitCost = usToTicks(10);
+/** Exits/s/vCPU where overhead becomes observable. */
+constexpr double observableExitRate = 5000.0;
+
+// --- Section 4.1: instance rate limits ---
+
+constexpr double netLimitPps = 4.0e6;
+constexpr double netLimitGbps = 10.0;
+constexpr double storageLimitIops = 25.0e3;
+constexpr double storageLimitBytesPerSec = 300.0e6;
+
+// --- Section 4.3: measured I/O results (targets, not inputs) ---
+
+/** Achieved PPS for both guests (Fig. 9 plateau). */
+constexpr double achievedPps = 3.2e6;
+/** Uncapped BM-Hive PPS. */
+constexpr double uncappedBmPps = 16.0e6;
+/** TCP throughput achieved (Gbit/s), bm vs vm. */
+constexpr double tcpGbpsBm = 9.60;
+constexpr double tcpGbpsVm = 9.59;
+/** Local-SSD average latency for BM-Hive. */
+constexpr Tick localSsdAvgLatency = usToTicks(60);
+
+// --- Section 3.3 / Table 3: configuration ---
+
+/** Max compute boards (= bm-guests) per BM-Hive server. */
+constexpr unsigned maxComputeBoards = 16;
+/** Base board CPU cores (16-core E5). */
+constexpr unsigned baseBoardCores = 16;
+
+// --- Section 3.5: cost efficiency ---
+
+/** Conventional vm server: 2x 24-core (48HT) E5, 8HT reserved. */
+constexpr unsigned vmServerTotalHt = 96;
+constexpr unsigned vmServerReservedHt = 8;
+constexpr unsigned vmServerSellableHt = 88;
+/** BM-Hive same rack space: 8 boards x 32HT = 256HT sellable. */
+constexpr unsigned bmHiveBoards = 8;
+constexpr unsigned bmHiveHtPerBoard = 32;
+/** Paper's TDP results (Watts per vCPU). */
+constexpr double bmHiveWattsPerVcpu = 3.17;
+constexpr double vmServerWattsPerVcpu = 3.06;
+/** bm-guest sells 10% below a similarly configured vm-guest. */
+constexpr double bmPriceDiscount = 0.10;
+
+// --- Section 2.3: nested virtualization ---
+
+/** Nested guest reaches ~80% of native CPU performance. */
+constexpr double nestedCpuFraction = 0.80;
+/** Nested I/O-intensive programs reach ~25% of native. */
+constexpr double nestedIoFraction = 0.25;
+
+// --- CALIBRATED model parameters (not from the paper) ---
+
+/** vhost/virtio backend poll period (PMD spin loop granularity). */
+constexpr Tick backendPollPeriod = usToTicks(2); // CALIBRATED
+/** bm-hypervisor poll of IO-Bond mailbox/head registers. */
+constexpr Tick bmPollPeriod = usToTicks(2); // CALIBRATED
+/** Guest kernel-stack cost to send/receive one UDP packet. */
+constexpr Tick kernelUdpPathCost = usToTicks(4.0); // CALIBRATED
+/** DPDK userspace path cost per packet (kernel bypass). */
+constexpr Tick dpdkPathCost = nsToTicks(120); // CALIBRATED
+/** Backend per-packet processing cost (vhost-user PMD). */
+constexpr Tick backendPerPacketCost = nsToTicks(150); // CALIBRATED
+/** Guest interrupt service cost (MSI -> driver handler). */
+constexpr Tick guestIrqCost = usToTicks(1.0); // CALIBRATED
+/** VM virtual-interrupt injection cost (vm-guest only). */
+constexpr Tick vmIrqInjectCost = usToTicks(2.0); // CALIBRATED
+/** Extra CPU copy the vm-guest storage path performs per 4 KiB. */
+constexpr Tick vmStorageCopyCost = usToTicks(30.0); // CALIBRATED
+/** EPT-stretch factor for memory-intensive work in a VM. */
+constexpr double eptMemoryStretch = 1.02; // CALIBRATED
+
+} // namespace paper
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_PAPER_CONSTANTS_HH

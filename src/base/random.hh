@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic, seedable random source used by every stochastic
+ * model in the simulator. All randomness must flow through Rng so
+ * that a run is reproducible from its seed.
+ */
+
+#ifndef BMHIVE_BASE_RANDOM_HH
+#define BMHIVE_BASE_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace bmhive {
+
+/**
+ * Thin wrapper around std::mt19937_64 with the distributions the
+ * models need. Header-only for inlining in hot simulation loops.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    /** Re-seed; resets the stream deterministically. */
+    void seed(std::uint64_t s) { engine_.seed(s); }
+
+    /** Uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(
+            engine_);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Exponential with the given mean (= 1/lambda). */
+    double
+    exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /**
+     * Log-normal parameterized by the mean and sigma of the
+     * underlying normal. Used for heavy-tailed service times.
+     */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::lognormal_distribution<double>(mu, sigma)(engine_);
+    }
+
+    /**
+     * Pareto (Type I) with scale @p xm and shape @p alpha; heavy
+     * tailed for alpha close to 1. Used for fleet exit-rate and
+     * preemption distributions whose paper data is tail-reported.
+     */
+    double
+    pareto(double xm, double alpha)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-18;
+        return xm / std::pow(u, 1.0 / alpha);
+    }
+
+    /** Bernoulli trial. */
+    bool chance(double p) { return uniform() < p; }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_RANDOM_HH

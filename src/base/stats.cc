@@ -1,0 +1,160 @@
+#include "base/stats.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bmhive {
+
+void
+SummaryStats::record(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+SummaryStats::reset()
+{
+    n_ = 0;
+    mean_ = m2_ = min_ = max_ = sum_ = 0.0;
+}
+
+double
+SummaryStats::variance() const
+{
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleSet::record(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+SampleSet::reset()
+{
+    samples_.clear();
+    sorted_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / double(samples_.size());
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double q) const
+{
+    panic_if(q < 0.0 || q > 1.0, "quantile out of range: ", q);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    // Nearest-rank: the smallest sample such that at least q of the
+    // distribution is at or below it.
+    std::size_t n = samples_.size();
+    std::size_t rank = std::size_t(std::ceil(q * double(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples_[rank - 1];
+}
+
+double
+SampleSet::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / double(buckets ? buckets : 1)),
+      counts_(buckets, 0)
+{
+    panic_if(hi <= lo, "histogram range is empty: [", lo, ", ", hi, ")");
+    panic_if(buckets == 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::record(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = std::size_t((x - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * double(i);
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return lo_ + width_ * double(i + 1);
+}
+
+} // namespace bmhive

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Statistics collection: running summary statistics, exact
+ * percentile estimation over recorded samples, fixed-bucket
+ * histograms, and a latency recorder keyed on Ticks.
+ */
+
+#ifndef BMHIVE_BASE_STATS_HH
+#define BMHIVE_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace bmhive {
+
+/**
+ * Running mean / variance / min / max without storing samples.
+ * Welford's online algorithm; numerically stable.
+ */
+class SummaryStats
+{
+  public:
+    void record(double x);
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Stores every sample and computes exact quantiles on demand.
+ * Used for the paper's p99 / p99.9 reports (Figs 1 and 11) where
+ * tail fidelity matters more than memory.
+ */
+class SampleSet
+{
+  public:
+    void record(double x);
+    void reset();
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+
+    /**
+     * Exact quantile by the nearest-rank method.
+     * @param q in [0, 1], e.g. 0.999 for the 99.9th percentile.
+     */
+    double percentile(double q) const;
+
+    double min() const;
+    double max() const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sorts lazily; const because sorting preserves the multiset. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/**
+ * Fixed-width bucket histogram over [lo, hi) with overflow and
+ * underflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void record(double x);
+    void reset();
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Convenience recorder for request latencies measured in Ticks,
+ * reporting microseconds (the unit used throughout the paper).
+ */
+class LatencyRecorder
+{
+  public:
+    void
+    record(Tick latency)
+    {
+        set_.record(ticksToUs(latency));
+    }
+
+    std::size_t count() const { return set_.count(); }
+    double meanUs() const { return set_.mean(); }
+    double p50Us() const { return set_.percentile(0.50); }
+    double p99Us() const { return set_.percentile(0.99); }
+    double p999Us() const { return set_.percentile(0.999); }
+    double maxUs() const { return set_.max(); }
+    const SampleSet &samples() const { return set_; }
+    void reset() { set_.reset(); }
+
+  private:
+    SampleSet set_;
+};
+
+/**
+ * Monotonic named counter, e.g. packets forwarded or VM exits.
+ */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_STATS_HH

@@ -1,0 +1,81 @@
+#include "base/token_bucket.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bmhive {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst)
+{
+    panic_if(rate < 0.0, "negative token rate: ", rate);
+    panic_if(burst < 0.0, "negative burst: ", burst);
+}
+
+void
+TokenBucket::refill(Tick now)
+{
+    if (now <= lastRefill_)
+        return;
+    double elapsed_sec = ticksToSec(now - lastRefill_);
+    tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_sec);
+    lastRefill_ = now;
+}
+
+bool
+TokenBucket::tryConsume(Tick now, double n)
+{
+    if (!limited())
+        return true;
+    refill(now);
+    if (tokens_ >= n) {
+        tokens_ -= n;
+        return true;
+    }
+    return false;
+}
+
+Tick
+TokenBucket::nextAvailable(Tick now, double n) const
+{
+    if (!limited())
+        return now;
+    // The token level is only meaningful at lastRefill_; when a
+    // pacing consumer has already reserved tokens into the future
+    // (lastRefill_ > now), new work queues behind that reservation.
+    Tick base = now > lastRefill_ ? now : lastRefill_;
+    double tokens = tokens_;
+    if (base > lastRefill_) {
+        double elapsed_sec = ticksToSec(base - lastRefill_);
+        tokens = std::min(burst_, tokens + rate_ * elapsed_sec);
+    }
+    if (tokens >= n)
+        return base;
+    double deficit = n - tokens;
+    double wait_sec = deficit / rate_;
+    return base + secToTicks(wait_sec) + 1;
+}
+
+void
+TokenBucket::forceConsume(Tick now, double n)
+{
+    if (!limited())
+        return;
+    refill(now);
+    tokens_ -= n;
+}
+
+double
+TokenBucket::level(Tick now) const
+{
+    double tokens = tokens_;
+    if (limited() && now > lastRefill_) {
+        double elapsed_sec = ticksToSec(now - lastRefill_);
+        tokens = std::min(burst_, tokens + rate_ * elapsed_sec);
+    }
+    return tokens;
+}
+
+} // namespace bmhive

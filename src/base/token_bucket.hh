@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Token-bucket rate limiter. The cloud limits every guest's network
+ * (packets per second and bits per second) and storage (IOPS and
+ * bytes per second); see paper section 4.1. Each limit is one
+ * TokenBucket; composite limits pair two buckets.
+ */
+
+#ifndef BMHIVE_BASE_TOKEN_BUCKET_HH
+#define BMHIVE_BASE_TOKEN_BUCKET_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace bmhive {
+
+/**
+ * Classic token bucket in simulated time. Tokens accrue at @c rate
+ * tokens per second of simulated time up to @c burst tokens.
+ * A consumer asks for @c n tokens at tick @c now; if available they
+ * are consumed, otherwise the call reports the earliest tick at
+ * which the request could succeed.
+ */
+class TokenBucket
+{
+  public:
+    /**
+     * @param rate   tokens per simulated second (0 = unlimited)
+     * @param burst  bucket depth in tokens
+     */
+    TokenBucket(double rate, double burst);
+
+    /** An unlimited bucket (every tryConsume succeeds). */
+    static TokenBucket unlimited() { return TokenBucket(0.0, 0.0); }
+
+    /**
+     * Attempt to take @p n tokens at time @p now.
+     * @return true if the tokens were consumed.
+     */
+    bool tryConsume(Tick now, double n);
+
+    /**
+     * Earliest tick at which @p n tokens will be available, assuming
+     * no other consumption. Returns @p now if available already.
+     */
+    Tick nextAvailable(Tick now, double n) const;
+
+    /**
+     * Consume @p n tokens unconditionally, driving the level
+     * negative if needed; the debt delays future consumers. Useful
+     * for modelling pacing of oversized requests.
+     */
+    void forceConsume(Tick now, double n);
+
+    double rate() const { return rate_; }
+    double burst() const { return burst_; }
+    bool limited() const { return rate_ > 0.0; }
+
+    /** Current token level (after refill to @p now). */
+    double level(Tick now) const;
+
+  private:
+    /** Refill tokens for the elapsed time. */
+    void refill(Tick now);
+
+    double rate_;      ///< tokens per simulated second
+    double burst_;     ///< max tokens
+    double tokens_;    ///< current level (may go negative)
+    Tick lastRefill_ = 0;
+};
+
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_TOKEN_BUCKET_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulation units: time (Tick, picosecond resolution), data sizes,
+ * and bandwidth. All arithmetic is integer where possible to keep
+ * the simulation deterministic across platforms.
+ */
+
+#ifndef BMHIVE_BASE_UNITS_HH
+#define BMHIVE_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace bmhive {
+
+/**
+ * Simulated time. One Tick is one picosecond, following gem5. At
+ * picosecond resolution a 64-bit Tick covers ~107 days of simulated
+ * time, comfortably beyond the paper's longest window (24 h, Fig 1).
+ */
+using Tick = std::uint64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick tickPs = 1;
+constexpr Tick tickNs = 1000 * tickPs;
+constexpr Tick tickUs = 1000 * tickNs;
+constexpr Tick tickMs = 1000 * tickUs;
+constexpr Tick tickSec = 1000 * tickMs;
+
+/** Convenience constructors, e.g. usToTicks(0.8) for an IO-Bond hop. */
+constexpr Tick nsToTicks(double ns) { return Tick(ns * tickNs); }
+constexpr Tick usToTicks(double us) { return Tick(us * tickUs); }
+constexpr Tick msToTicks(double ms) { return Tick(ms * tickMs); }
+constexpr Tick secToTicks(double s) { return Tick(s * tickSec); }
+
+constexpr double ticksToNs(Tick t) { return double(t) / tickNs; }
+constexpr double ticksToUs(Tick t) { return double(t) / tickUs; }
+constexpr double ticksToMs(Tick t) { return double(t) / tickMs; }
+constexpr double ticksToSec(Tick t) { return double(t) / tickSec; }
+
+/** Data sizes in bytes. */
+using Bytes = std::uint64_t;
+
+/** Guest-physical (or bus) address. */
+using Addr = std::uint64_t;
+
+constexpr Bytes KiB = 1024;
+constexpr Bytes MiB = 1024 * KiB;
+constexpr Bytes GiB = 1024 * MiB;
+
+/**
+ * Bandwidth expressed in bits per second of simulated time.
+ * Stored as a double because cloud link rates (e.g. 9.6 Gbit/s
+ * after rate limiting) are not integral in bits per picosecond.
+ */
+class Bandwidth
+{
+  public:
+    constexpr Bandwidth() : bitsPerSec_(0) {}
+    explicit constexpr Bandwidth(double bits_per_sec)
+        : bitsPerSec_(bits_per_sec) {}
+
+    static constexpr Bandwidth
+    gbps(double v)
+    {
+        return Bandwidth(v * 1e9);
+    }
+
+    static constexpr Bandwidth
+    mbps(double v)
+    {
+        return Bandwidth(v * 1e6);
+    }
+
+    static constexpr Bandwidth
+    bytesPerSec(double v)
+    {
+        return Bandwidth(v * 8.0);
+    }
+
+    constexpr double bitsPerSec() const { return bitsPerSec_; }
+    constexpr double bytesPerSec() const { return bitsPerSec_ / 8.0; }
+    constexpr double gbitsPerSec() const { return bitsPerSec_ / 1e9; }
+
+    /** Time to move @p bytes at this rate. */
+    constexpr Tick
+    transferTime(Bytes bytes) const
+    {
+        if (bitsPerSec_ <= 0.0)
+            return maxTick;
+        double secs = double(bytes) * 8.0 / bitsPerSec_;
+        return Tick(secs * double(tickSec));
+    }
+
+    constexpr bool valid() const { return bitsPerSec_ > 0.0; }
+
+    constexpr bool
+    operator<(const Bandwidth &o) const
+    {
+        return bitsPerSec_ < o.bitsPerSec_;
+    }
+
+  private:
+    double bitsPerSec_;
+};
+
+/** Smaller of two bandwidths (bottleneck of a path). */
+constexpr Bandwidth
+minBandwidth(Bandwidth a, Bandwidth b)
+{
+    return a < b ? a : b;
+}
+
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_UNITS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Umbrella header: everything a downstream user of the BM-Hive
+ * library needs. Include this and link against the `bmhive`
+ * CMake target.
+ *
+ *   #include "bmhive.hh"
+ *
+ *   bmhive::Simulation sim(42);
+ *   bmhive::cloud::VSwitch vswitch(sim, "vswitch");
+ *   bmhive::cloud::BlockService storage(sim, "storage");
+ *   bmhive::core::BmHiveServer server(sim, "srv", vswitch,
+ *                                     &storage);
+ *   auto &guest = server.provision(
+ *       bmhive::core::InstanceCatalog::evaluated(), 0xA11CE);
+ *
+ * Individual module headers remain available for finer-grained
+ * includes; see README.md for the module map.
+ */
+
+#ifndef BMHIVE_BMHIVE_HH
+#define BMHIVE_BMHIVE_HH
+
+// Foundations.
+#include "base/logging.hh"
+#include "base/paper_constants.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/token_bucket.hh"
+#include "base/units.hh"
+#include "sim/eventq.hh"
+#include "sim/sim_object.hh"
+
+// Memory and interconnect substrates.
+#include "mem/dma_engine.hh"
+#include "mem/guest_memory.hh"
+#include "mem/pool_allocator.hh"
+#include "pci/config_space.hh"
+#include "pci/pci_device.hh"
+
+// Virtio.
+#include "virtio/virtio_blk.hh"
+#include "virtio/virtio_net.hh"
+#include "virtio/virtio_pci.hh"
+#include "virtio/virtqueue.hh"
+#include "virtio/vring.hh"
+
+// Cloud services.
+#include "cloud/block_service.hh"
+#include "cloud/packet.hh"
+#include "cloud/rate_limiter.hh"
+#include "cloud/vswitch.hh"
+
+// Guest software stack.
+#include "guest/blk_driver.hh"
+#include "guest/console_driver.hh"
+#include "guest/firmware.hh"
+#include "guest/guest_os.hh"
+#include "guest/net_driver.hh"
+
+// The BM-Hive platform and the KVM baseline.
+#include "core/bmhive_server.hh"
+#include "core/cost_model.hh"
+#include "core/instance_catalog.hh"
+#include "hv/bm_hypervisor.hh"
+#include "hw/compute_board.hh"
+#include "hw/cpu_model.hh"
+#include "hw/power.hh"
+#include "iobond/iobond.hh"
+#include "vmsim/nested.hh"
+#include "vmsim/vm_guest.hh"
+
+// Fleet and workload tooling.
+#include "fleet/fleet_sim.hh"
+#include "workloads/app_server.hh"
+#include "workloads/fio.hh"
+#include "workloads/guest_iface.hh"
+#include "workloads/net_perf.hh"
+#include "workloads/spec.hh"
+
+#endif // BMHIVE_BMHIVE_HH

@@ -1,0 +1,111 @@
+#include "cloud/block_service.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace cloud {
+
+void
+Volume::writeData(std::uint64_t lba,
+                  const std::vector<std::uint8_t> &data)
+{
+    panic_if((lba + (data.size() + 511) / 512) * 512 > capacity_,
+             name_, ": write beyond capacity");
+    std::size_t off = 0;
+    while (off < data.size()) {
+        auto &block = blocks_[lba + off / 512];
+        std::size_t n = std::min<std::size_t>(512, data.size() - off);
+        std::copy_n(data.begin() + long(off), n, block.begin());
+        if (n < 512)
+            std::fill(block.begin() + long(n), block.end(), 0);
+        off += n;
+    }
+}
+
+std::vector<std::uint8_t>
+Volume::readData(std::uint64_t lba, Bytes len) const
+{
+    panic_if(lba * 512 + len > capacity_,
+             name_, ": read beyond capacity");
+    std::vector<std::uint8_t> out(len, 0);
+    Bytes off = 0;
+    while (off < len) {
+        auto it = blocks_.find(lba + off / 512);
+        Bytes n = std::min<Bytes>(512, len - off);
+        if (it != blocks_.end())
+            std::copy_n(it->second.begin(), n,
+                        out.begin() + long(off));
+        off += n;
+    }
+    return out;
+}
+
+BlockService::BlockService(Simulation &sim, std::string name,
+                           Params params)
+    : SimObject(sim, std::move(name)), params_(params),
+      channelFree_(params.channels, 0)
+{
+    panic_if(params.channels == 0, "storage needs >= 1 channel");
+}
+
+Volume &
+BlockService::createVolume(const std::string &name, Bytes capacity)
+{
+    volumes_.push_back(std::make_unique<Volume>(name, capacity));
+    return *volumes_.back();
+}
+
+Tick
+BlockService::occupyChannel(Tick start, Tick service)
+{
+    auto it = std::min_element(channelFree_.begin(),
+                               channelFree_.end());
+    Tick begin = std::max(start, *it);
+    Tick end = begin + service;
+    *it = end;
+    return end;
+}
+
+void
+BlockService::submit(Volume &vol, BlockIo io)
+{
+    (void)vol;
+    // Request travels to the storage cluster: latency + wire time
+    // of the command (reads) or command+data (writes).
+    Bytes to_storage = io.write ? io.len + 64 : 64;
+    Bytes from_storage = io.write ? 64 : io.len + 64;
+    Tick t = curTick() + params_.networkLatency +
+             params_.networkBandwidth.transferTime(to_storage);
+
+    // SSD service time: lognormal around the median, plus the
+    // occasional housekeeping pause that produces the p99.9 tail.
+    Tick median = io.write ? params_.writeServiceMedian
+                           : params_.readServiceMedian;
+    double mu = std::log(double(median));
+    Tick service = Tick(rng().lognormal(mu, params_.serviceSigma));
+    if (rng().chance(params_.gcChance))
+        service += params_.gcPause;
+
+    // Larger I/Os stream at the flash channel bandwidth.
+    if (io.len > 4 * KiB) {
+        service +=
+            params_.streamBandwidth.transferTime(io.len - 4 * KiB);
+    }
+
+    Tick done_at_storage = occupyChannel(t, service);
+    Tick completion = done_at_storage + params_.networkLatency +
+                      params_.networkBandwidth.transferTime(
+                          from_storage);
+
+    completed_.inc();
+    auto *ev = new OneShotEvent(std::move(io.done),
+                                name() + ".complete");
+    eventq().schedule(ev, completion);
+}
+
+} // namespace cloud
+} // namespace bmhive

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cloud block storage: the SPDK-based, SSD-backed service that
+ * guests reach over the datacenter network (paper sections 3.4.2
+ * and 4.3). Each guest volume has a per-volume queue; requests
+ * traverse the network fabric, queue at the storage cluster, and
+ * receive an SSD service time drawn from a heavy-tailed
+ * distribution (flash read/program plus occasional internal GC).
+ *
+ * The service is platform-neutral: both bm-guests and vm-guests
+ * talk to the same BlockService. The latency differences the paper
+ * reports (Fig. 11) arise on the host-side path, not here.
+ */
+
+#ifndef BMHIVE_CLOUD_BLOCK_SERVICE_HH
+#define BMHIVE_CLOUD_BLOCK_SERVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "sim/sim_object.hh"
+
+namespace bmhive {
+namespace cloud {
+
+/** One block I/O as seen by the storage cluster. */
+struct BlockIo
+{
+    bool write = false;
+    std::uint64_t lba = 0; ///< 512-byte sector
+    Bytes len = 0;
+    std::function<void()> done;
+};
+
+/**
+ * A provisioned volume: capacity plus an optional content store.
+ * Content is kept sparsely (only written sectors) so multi-GB
+ * volumes cost nothing until used; the boot-over-virtio test uses
+ * this to store a kernel image.
+ */
+class Volume
+{
+  public:
+    Volume(std::string name, Bytes capacity)
+        : name_(std::move(name)), capacity_(capacity) {}
+
+    const std::string &name() const { return name_; }
+    Bytes capacity() const { return capacity_; }
+
+    /** Sparse content access, sector-addressed. */
+    void writeData(std::uint64_t lba,
+                   const std::vector<std::uint8_t> &data);
+    std::vector<std::uint8_t> readData(std::uint64_t lba,
+                                       Bytes len) const;
+
+  private:
+    std::string name_;
+    Bytes capacity_;
+    /** sector -> 512-byte block, sparse. */
+    std::map<std::uint64_t, std::array<std::uint8_t, 512>> blocks_;
+};
+
+/** Configuration of the storage cluster model. */
+struct BlockServiceParams
+{
+    /** One-way network latency guest-server <-> storage. */
+    Tick networkLatency = usToTicks(140);
+    /** Link bandwidth to the storage cluster. */
+    Bandwidth networkBandwidth = Bandwidth::gbps(100);
+    /** Median 4 KiB random-read service time on the SSD. */
+    Tick readServiceMedian = usToTicks(55);
+    /** Median 4 KiB random-write service time (buffered). */
+    Tick writeServiceMedian = usToTicks(35);
+    /** Lognormal sigma of service times (tail heaviness). */
+    double serviceSigma = 0.25;
+    /** Probability a request lands behind an internal flash
+     *  housekeeping pause (GC / wear-leveling). */
+    double gcChance = 1.5e-3;
+    /** Duration of such a pause. */
+    Tick gcPause = msToTicks(1.2);
+    /** Parallel SSD channels per volume's storage node. */
+    unsigned channels = 8;
+    /** Flash streaming bandwidth for large I/O (per channel). */
+    Bandwidth streamBandwidth = Bandwidth::gbps(16);
+};
+
+class BlockService : public SimObject
+{
+  public:
+    using Params = BlockServiceParams;
+
+    BlockService(Simulation &sim, std::string name, Params params = {});
+
+    /** Create a volume of @p capacity bytes. */
+    Volume &createVolume(const std::string &name, Bytes capacity);
+
+    /**
+     * Submit @p io against @p vol. The completion callback fires
+     * when the data is durable (write) or available at the guest
+     * server's NIC (read). Host-side costs are the caller's.
+     */
+    void submit(Volume &vol, BlockIo io);
+
+    std::uint64_t completedIos() const { return completed_.value(); }
+
+  private:
+    /** Pick the earliest-free channel and occupy it. */
+    Tick occupyChannel(Tick start, Tick service);
+
+    Params params_;
+    std::vector<std::unique_ptr<Volume>> volumes_;
+    std::vector<Tick> channelFree_;
+    Counter completed_;
+};
+
+} // namespace cloud
+} // namespace bmhive
+
+#endif // BMHIVE_CLOUD_BLOCK_SERVICE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Network packet representation used across the cloud substrate.
+ *
+ * Payload bytes are not carried — only sizes and timestamps — but
+ * the I/O path that moves a packet (vrings, IO-Bond DMA, vSwitch)
+ * is fully modelled, so a Packet's latency reflects every hop the
+ * paper describes.
+ */
+
+#ifndef BMHIVE_CLOUD_PACKET_HH
+#define BMHIVE_CLOUD_PACKET_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace bmhive {
+namespace cloud {
+
+/** Flat L2 address; the vSwitch forwards on these. */
+using MacAddr = std::uint64_t;
+
+/** Minimal UDP-over-Ethernet frame sizes used by the workloads. */
+constexpr Bytes ethHeaderBytes = 14;
+constexpr Bytes ipUdpHeaderBytes = 28;
+constexpr Bytes minFrameBytes = 64;
+
+/** Frame length of a UDP datagram with @p payload bytes of data. */
+constexpr Bytes
+udpFrameBytes(Bytes payload)
+{
+    Bytes b = ethHeaderBytes + ipUdpHeaderBytes + payload;
+    return b < minFrameBytes ? minFrameBytes : b;
+}
+
+struct Packet
+{
+    MacAddr src = 0;
+    MacAddr dst = 0;
+    Bytes len = 0;       ///< frame length on the wire
+    Tick created = 0;    ///< when the sender formed the packet
+    std::uint64_t seq = 0; ///< sender-assigned sequence number
+};
+
+} // namespace cloud
+} // namespace bmhive
+
+#endif // BMHIVE_CLOUD_PACKET_HH

@@ -1,0 +1,127 @@
+#include "cloud/vswitch.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace cloud {
+
+VSwitch::VSwitch(Simulation &sim, std::string name, Params params)
+    : SimObject(sim, std::move(name)), params_(params)
+{
+}
+
+PortId
+VSwitch::addPort(MacAddr mac, PacketHandler rx)
+{
+    panic_if(macTable_.count(mac),
+             name(), ": duplicate MAC ", mac);
+    auto id = PortId(ports_.size());
+    ports_.push_back(Port{mac, std::move(rx), 0});
+    macTable_[mac] = id;
+    return id;
+}
+
+void
+VSwitch::removePort(PortId id)
+{
+    panic_if(id >= ports_.size(), name(), ": bad port ", id);
+    macTable_.erase(ports_[id].mac);
+    ports_[id].rx = nullptr;
+}
+
+void
+VSwitch::send(PortId from, const Packet &pkt)
+{
+    panic_if(from >= ports_.size(), name(), ": bad port ", from);
+    forward(pkt);
+}
+
+void
+VSwitch::receiveFromUplink(const Packet &pkt)
+{
+    forward(pkt);
+}
+
+void
+VSwitch::forward(const Packet &pkt)
+{
+    // Serialize on the switching core: poll-mode processing.
+    Tick start = std::max(curTick(), coreFree_);
+    Tick done = start + params_.perPacketCost;
+    coreFree_ = done;
+
+    auto it = macTable_.find(pkt.dst);
+    if (it != macTable_.end()) {
+        PortId pid = it->second;
+        Port &port = ports_[pid];
+        // Serialize on the destination port link.
+        Tick xfer = params_.portBandwidth.transferTime(pkt.len);
+        Tick depart = std::max(done, port.linkFree);
+        Tick arrive = depart + xfer;
+        port.linkFree = arrive;
+        forwarded_.inc();
+        Packet copy = pkt;
+        auto *ev = new OneShotEvent(
+            [this, pid, copy] {
+                Port &p = ports_[pid];
+                if (p.rx)
+                    p.rx(copy);
+            },
+            name() + ".deliver");
+        eventq().schedule(ev, arrive);
+        return;
+    }
+
+    if (uplink_) {
+        Tick xfer = params_.uplinkBandwidth.transferTime(pkt.len);
+        Tick depart = std::max(done, uplinkFree_);
+        Tick arrive = depart + xfer;
+        uplinkFree_ = arrive;
+        forwarded_.inc();
+        Packet copy = pkt;
+        auto *ev = new OneShotEvent(
+            [this, copy] { uplink_(copy); }, name() + ".uplink");
+        eventq().schedule(ev, arrive);
+        return;
+    }
+
+    dropped_.inc();
+}
+
+NetFabric::NetFabric(Simulation &sim, std::string name,
+                     Tick propagation)
+    : SimObject(sim, std::move(name)), propagation_(propagation)
+{
+}
+
+void
+NetFabric::attach(VSwitch &sw)
+{
+    switches_.push_back(&sw);
+    sw.setUplink([this](const Packet &pkt) { route(pkt); });
+}
+
+void
+NetFabric::learn(MacAddr mac, VSwitch &sw)
+{
+    where_[mac] = &sw;
+}
+
+void
+NetFabric::route(const Packet &pkt)
+{
+    auto it = where_.find(pkt.dst);
+    if (it == where_.end())
+        return; // no such host: silently dropped by the fabric
+    VSwitch *sw = it->second;
+    Packet copy = pkt;
+    auto *ev = new OneShotEvent(
+        [sw, copy] { sw->receiveFromUplink(copy); },
+        name() + ".route");
+    eventq().schedule(ev, curTick() + propagation_);
+}
+
+} // namespace cloud
+} // namespace bmhive

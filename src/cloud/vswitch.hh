@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Poll-mode virtual switch, modelling the customized DPDK vSwitch
+ * the bm-hypervisor back-end forwards packets to (paper section
+ * 3.4.2). Each guest's backend attaches as a port; the switch
+ * forwards frames by MAC with a per-packet processing cost
+ * (poll-mode driver, no interrupts) and serializes on its core
+ * budget. Unknown MACs go to the uplink (the server's shared
+ * 100 Gbit/s NIC toward the fabric).
+ */
+
+#ifndef BMHIVE_CLOUD_VSWITCH_HH
+#define BMHIVE_CLOUD_VSWITCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "cloud/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace bmhive {
+namespace cloud {
+
+using PortId = std::uint32_t;
+
+/** Receives a packet delivered to a port. */
+using PacketHandler = std::function<void(const Packet &)>;
+
+/** Configuration of a VSwitch. */
+struct VSwitchParams
+{
+    /** CPU cost to switch one packet (DPDK PMD, ~50 ns). */
+    Tick perPacketCost = nsToTicks(50);
+    /** Port link bandwidth toward a local backend. */
+    Bandwidth portBandwidth = Bandwidth::gbps(50);
+    /** Uplink NIC bandwidth (shared 100 Gbit/s interface). */
+    Bandwidth uplinkBandwidth = Bandwidth::gbps(100);
+};
+
+class VSwitch : public SimObject
+{
+  public:
+    using Params = VSwitchParams;
+
+    VSwitch(Simulation &sim, std::string name, Params params = {});
+
+    /**
+     * Attach a port for @p mac; @p rx is invoked for every frame
+     * delivered to it.
+     */
+    PortId addPort(MacAddr mac, PacketHandler rx);
+
+    /**
+     * Detach a port: its MAC is forgotten (and may be re-learned
+     * by a new port) and frames already queued to it are dropped.
+     */
+    void removePort(PortId id);
+
+    /**
+     * Inject a frame from a local port. Forwards to the owning
+     * port of @p pkt.dst, or to the uplink if the MAC is remote.
+     */
+    void send(PortId from, const Packet &pkt);
+
+    /** Deliver a frame arriving from the fabric uplink. */
+    void receiveFromUplink(const Packet &pkt);
+
+    /** Connect the uplink (frames with non-local dst go here). */
+    void setUplink(std::function<void(const Packet &)> uplink)
+    {
+        uplink_ = std::move(uplink);
+    }
+
+    std::uint64_t forwarded() const { return forwarded_.value(); }
+    std::uint64_t dropped() const { return dropped_.value(); }
+
+  private:
+    struct Port
+    {
+        MacAddr mac;
+        PacketHandler rx;
+        Tick linkFree = 0; ///< when the port link is next idle
+    };
+
+    /** Serialize on the switch core, then deliver. */
+    void forward(const Packet &pkt);
+
+    Params params_;
+    std::vector<Port> ports_;
+    std::map<MacAddr, PortId> macTable_;
+    std::function<void(const Packet &)> uplink_;
+    Tick coreFree_ = 0;   ///< when the switching core is next idle
+    Tick uplinkFree_ = 0; ///< when the uplink NIC is next idle
+    Counter forwarded_;
+    Counter dropped_;
+};
+
+/**
+ * The datacenter network between servers: connects VSwitch uplinks
+ * with a propagation delay and routes by MAC.
+ */
+class NetFabric : public SimObject
+{
+  public:
+    explicit NetFabric(Simulation &sim, std::string name,
+                       Tick propagation = usToTicks(5));
+
+    /** Register @p sw and the MACs living behind it. */
+    void attach(VSwitch &sw);
+
+    /** Called by a switch's uplink for non-local frames. */
+    void route(const Packet &pkt);
+
+    /** Record that @p mac lives behind @p sw (called by addPort). */
+    void learn(MacAddr mac, VSwitch &sw);
+
+  private:
+    Tick propagation_;
+    std::map<MacAddr, VSwitch *> where_;
+    std::vector<VSwitch *> switches_;
+};
+
+} // namespace cloud
+} // namespace bmhive
+
+#endif // BMHIVE_CLOUD_VSWITCH_HH

@@ -1,0 +1,155 @@
+#include "core/bmhive_server.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/paper_constants.hh"
+
+namespace bmhive {
+namespace core {
+
+std::string
+BmGuest::statsReport() const
+{
+    std::ostringstream os;
+    os << instance_.name << " mac=0x" << std::hex << mac_
+       << std::dec << "\n";
+    os << "  net: tx=" << net_->txCompleted()
+       << " rx=" << net_->rxDelivered()
+       << " backend_tx=" << hv_->service().txPackets()
+       << " backend_rx=" << hv_->service().rxPackets()
+       << " rx_dropped=" << hv_->service().rxDropped() << "\n";
+    if (blk_) {
+        os << "  blk: completed=" << blk_->completed()
+           << " errors=" << blk_->errors()
+           << " backend_ios=" << hv_->service().blkIos() << "\n";
+    }
+    os << "  iobond: doorbells=" << bond_->notifications()
+       << " chains=" << bond_->chainsForwarded()
+       << " completions=" << bond_->completionsReturned()
+       << " malformed=" << bond_->malformedChains()
+       << " dma_bytes=" << bond_->dma().bytesMoved() << "\n";
+    os << "  irqs=" << os_->irqsTaken()
+       << " hv_upgrades=" << hv_->upgrades();
+    return os.str();
+}
+
+BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
+                           cloud::VSwitch &vswitch,
+                           cloud::BlockService *storage,
+                           BmServerParams params)
+    : SimObject(sim, std::move(name)), params_(params),
+      vswitch_(vswitch), storage_(storage)
+{
+    fatal_if(params_.maxBoards == 0 ||
+                 params_.maxBoards > paper::maxComputeBoards,
+             "a BM-Hive server carries 1..",
+             paper::maxComputeBoards, " boards, got ",
+             params_.maxBoards);
+    Bytes base_mem =
+        Bytes(params_.maxBoards) * params_.shadowRegionPerGuest +
+        16 * MiB;
+    base_ = std::make_unique<hw::BaseBoard>(
+        sim, this->name() + ".base", hw::CpuCatalog::baseBoardE5(),
+        base_mem, paper::ioBondMailboxAccess);
+}
+
+unsigned
+BmHiveServer::freeSlots() const
+{
+    return params_.maxBoards - usedSlots_;
+}
+
+BmGuest &
+BmHiveServer::provision(const InstanceType &type, cloud::MacAddr mac,
+                        cloud::Volume *vol, bool rate_limited)
+{
+    fatal_if(usedSlots_ >= params_.maxBoards,
+             name(), ": no free board slots");
+    fatal_if(usedSlots_ >= type.maxBoardsPerServer,
+             name(), ": instance type '", type.name,
+             "' allows at most ", type.maxBoardsPerServer,
+             " boards per server");
+
+    auto g = std::make_unique<BmGuest>();
+    g->instance_ = type;
+    g->mac_ = mac;
+    unsigned idx = unsigned(guests_.size());
+    std::string base_name =
+        name() + ".guest" + std::to_string(idx);
+
+    // The compute board: dedicated CPU and memory, own PCIe bus.
+    g->board_ = std::make_unique<hw::ComputeBoard>(
+        sim_, base_name + ".board", type.cpu, type.simMemBytes,
+        params_.bondParams.pciAccess);
+
+    // IO-Bond bridges the board to a region of base memory.
+    fatal_if(params_.shadowRegionPerGuest <
+                 4 * MiB + params_.bondParams.shadowArenaBytes,
+             name(), ": shadow region smaller than ring+arena");
+    g->bond_ = std::make_unique<iobond::IoBond>(
+        sim_, base_name + ".iobond", *g->board_, base_->memory(),
+        nextShadowRegion_, params_.bondParams);
+    nextShadowRegion_ += params_.shadowRegionPerGuest;
+
+    // Emulated virtio functions on the board's bus. Every guest
+    // gets a console (the paper's VGA-equivalent access path).
+    g->bond_->addNetFunction(3, mac);
+    if (vol != nullptr)
+        g->bond_->addBlkFunction(4, vol->capacity() / 512);
+    g->bond_->addConsoleFunction(5);
+
+    // One bm-hypervisor process on a dedicated base core.
+    hw::CpuExecutor &core =
+        base_->core(nextCore_ % base_->coreCount());
+    ++nextCore_;
+    g->hv_ = std::make_unique<hv::BmHypervisor>(
+        sim_, base_name + ".hv", *g->board_, *g->bond_, core,
+        vswitch_, mac, vol != nullptr ? storage_ : nullptr, vol,
+        rate_limited);
+
+    // Power on; firmware enumerates PCI; drivers come up.
+    g->hv_->powerOnGuest();
+    std::vector<hw::CpuExecutor *> cpus;
+    for (unsigned t = 0; t < g->board_->threadCount(); ++t)
+        cpus.push_back(&g->board_->thread(t));
+    g->os_ = std::make_unique<guest::GuestOs>(
+        sim_, base_name + ".os", g->board_->memory(),
+        g->board_->pciBus(), std::move(cpus));
+    g->os_->enumeratePci();
+
+    g->net_ = std::make_unique<guest::NetDriver>(*g->os_, 3, mac);
+    g->net_->start();
+    if (vol != nullptr) {
+        g->blk_ = std::make_unique<guest::BlkDriver>(*g->os_, 4);
+        g->blk_->start();
+    }
+    g->console_ = std::make_unique<guest::ConsoleDriver>(*g->os_, 5);
+    g->console_->start();
+
+    bool ok = g->hv_->connectBackends();
+    panic_if(!ok, name(), ": backend connection failed");
+
+    ++usedSlots_;
+    guests_.push_back(std::move(g));
+    return *guests_.back();
+}
+
+void
+BmHiveServer::release(BmGuest &g)
+{
+    panic_if(usedSlots_ == 0, name(), ": release with no guests");
+    g.hypervisor().powerOffGuest();
+    --usedSlots_;
+}
+
+BmGuest &
+BmHiveServer::guest(unsigned i)
+{
+    panic_if(i >= guests_.size(), name(), ": bad guest ", i);
+    return *guests_[i];
+}
+
+} // namespace core
+} // namespace bmhive

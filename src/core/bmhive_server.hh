@@ -1,0 +1,124 @@
+/**
+ * @file
+ * BmHiveServer: the top-level public API — one bare-metal server
+ * assembling the base board, up to 16 compute boards with their
+ * IO-Bond bridges, and one bm-hypervisor process per guest,
+ * integrated with the cloud vSwitch and block storage (paper
+ * Fig. 3).
+ *
+ * provision() performs the full "use scenario" of section 3.2:
+ * pick an idle board, power it on via PCIe, let the (virtio-aware)
+ * firmware find its devices, start the guest drivers, and connect
+ * the backend — after which the guest does cloud network and
+ * storage I/O exactly as a VM would.
+ */
+
+#ifndef BMHIVE_CORE_BMHIVE_SERVER_HH
+#define BMHIVE_CORE_BMHIVE_SERVER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/block_service.hh"
+#include "cloud/vswitch.hh"
+#include "core/instance_catalog.hh"
+#include "guest/blk_driver.hh"
+#include "guest/console_driver.hh"
+#include "guest/firmware.hh"
+#include "guest/guest_os.hh"
+#include "guest/net_driver.hh"
+#include "hv/bm_hypervisor.hh"
+#include "hw/compute_board.hh"
+#include "iobond/iobond.hh"
+
+namespace bmhive {
+namespace core {
+
+struct BmServerParams
+{
+    /** Physical board slots (paper: at most 16). */
+    unsigned maxBoards = 16;
+    /** Base-memory region reserved per IO-Bond (rings + arena). */
+    Bytes shadowRegionPerGuest = 24 * MiB;
+    /** IO-Bond timing (FPGA by default; asic() for section 6). */
+    iobond::IoBondParams bondParams = {};
+};
+
+/** Everything belonging to one provisioned bm-guest. */
+class BmGuest
+{
+  public:
+    hw::ComputeBoard &board() { return *board_; }
+    iobond::IoBond &bond() { return *bond_; }
+    hv::BmHypervisor &hypervisor() { return *hv_; }
+    guest::GuestOs &os() { return *os_; }
+    guest::NetDriver &net() { return *net_; }
+    guest::BlkDriver *blk() { return blk_.get(); }
+    guest::ConsoleDriver &console() { return *console_; }
+    const InstanceType &instance() const { return instance_; }
+    cloud::MacAddr mac() const { return mac_; }
+
+    /** One-paragraph operational report (counters snapshot). */
+    std::string statsReport() const;
+
+  private:
+    friend class BmHiveServer;
+
+    InstanceType instance_;
+    cloud::MacAddr mac_ = 0;
+    std::unique_ptr<hw::ComputeBoard> board_;
+    std::unique_ptr<iobond::IoBond> bond_;
+    std::unique_ptr<hv::BmHypervisor> hv_;
+    std::unique_ptr<guest::GuestOs> os_;
+    std::unique_ptr<guest::NetDriver> net_;
+    std::unique_ptr<guest::BlkDriver> blk_;
+    std::unique_ptr<guest::ConsoleDriver> console_;
+};
+
+class BmHiveServer : public SimObject
+{
+  public:
+    BmHiveServer(Simulation &sim, std::string name,
+                 cloud::VSwitch &vswitch,
+                 cloud::BlockService *storage = nullptr,
+                 BmServerParams params = {});
+
+    /**
+     * Provision a bm-guest of @p type with NIC address @p mac and
+     * (optionally) cloud volume @p vol. The guest comes back with
+     * drivers initialized and the backend connected.
+     * @param rate_limited  apply the section 4.1 instance limits
+     */
+    BmGuest &provision(const InstanceType &type, cloud::MacAddr mac,
+                       cloud::Volume *vol = nullptr,
+                       bool rate_limited = true);
+
+    /** Power a guest off and release its board slot. */
+    void release(BmGuest &g);
+
+    unsigned guestCount() const { return unsigned(guests_.size()); }
+    BmGuest &guest(unsigned i);
+
+    hw::BaseBoard &base() { return *base_; }
+    cloud::VSwitch &vswitch() { return vswitch_; }
+    unsigned freeSlots() const;
+
+    /** Compute boards the PSU/space/I/O budget allows (Table 3). */
+    unsigned maxBoards() const { return params_.maxBoards; }
+
+  private:
+    BmServerParams params_;
+    cloud::VSwitch &vswitch_;
+    cloud::BlockService *storage_;
+    std::unique_ptr<hw::BaseBoard> base_;
+    std::vector<std::unique_ptr<BmGuest>> guests_;
+    unsigned usedSlots_ = 0;
+    Addr nextShadowRegion_ = 0;
+    unsigned nextCore_ = 0;
+};
+
+} // namespace core
+} // namespace bmhive
+
+#endif // BMHIVE_CORE_BMHIVE_SERVER_HH

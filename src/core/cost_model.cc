@@ -1,0 +1,36 @@
+#include "core/cost_model.hh"
+
+#include "base/paper_constants.hh"
+
+namespace bmhive {
+namespace core {
+
+DensityComparison
+CostModel::density(unsigned boards, unsigned ht_per_board)
+{
+    DensityComparison d;
+    d.vmSellableHt = paper::vmServerSellableHt;
+    d.bmSellableHt = boards * ht_per_board;
+    d.densityRatio =
+        double(d.bmSellableHt) / double(d.vmSellableHt);
+    return d;
+}
+
+TdpComparison
+CostModel::tdpPerVcpu()
+{
+    TdpComparison t;
+    // BM-Hive: base CPU + one dual-socket 96HT compute board +
+    // one IO-Bond FPGA.
+    hw::CpuModel big_board = {"2x Xeon E5 (dual-socket board)", 2.5,
+                              48, 96, 1.0, 240};
+    t.bm = hw::bmHivePower(hw::CpuCatalog::baseBoardE5(),
+                           {big_board});
+    // Conventional: two 24-core sockets, 8 HT reserved.
+    hw::CpuModel vm_cpu = {"Xeon E5 24c", 2.5, 24, 48, 1.0, 135};
+    t.vm = hw::vmServerPower(vm_cpu, paper::vmServerReservedHt);
+    return t;
+}
+
+} // namespace core
+} // namespace bmhive

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Section 3.5 cost-efficiency model: sellable vCPU density per
+ * rack slot, TDP watts per vCPU, and the sell-price relation
+ * between bm-guests and vm-guests.
+ */
+
+#ifndef BMHIVE_CORE_COST_MODEL_HH
+#define BMHIVE_CORE_COST_MODEL_HH
+
+#include <vector>
+
+#include "hw/cpu_model.hh"
+#include "hw/power.hh"
+
+namespace bmhive {
+namespace core {
+
+struct DensityComparison
+{
+    unsigned vmSellableHt = 0;
+    unsigned bmSellableHt = 0;
+    double densityRatio = 0.0; ///< bm / vm
+};
+
+struct TdpComparison
+{
+    hw::PowerBreakdown bm;
+    hw::PowerBreakdown vm;
+};
+
+class CostModel
+{
+  public:
+    /**
+     * Density per rack slot: a conventional server sells 88 HT
+     * (2x48 minus 8 reserved); the same space fits a BM-Hive
+     * server with @p boards boards of @p ht_per_board threads.
+     */
+    static DensityComparison density(unsigned boards,
+                                     unsigned ht_per_board);
+
+    /**
+     * TDP watts per sellable vCPU for the nearest-equivalent
+     * configurations (the paper uses one 96HT compute board vs the
+     * 88HT vm server).
+     */
+    static TdpComparison tdpPerVcpu();
+
+    /**
+     * Relative sell price of a bm-guest for a vm-guest priced at
+     * 1.0 (paper: 10% lower).
+     */
+    static double bmRelativePrice() { return 0.90; }
+};
+
+} // namespace core
+} // namespace bmhive
+
+#endif // BMHIVE_CORE_COST_MODEL_HH

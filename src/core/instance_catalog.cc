@@ -1,0 +1,43 @@
+#include "core/instance_catalog.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace core {
+
+const std::vector<InstanceType> &
+InstanceCatalog::table3()
+{
+    static const std::vector<InstanceType> rows = {
+        {"ebm.xeon-e5.32", hw::CpuCatalog::xeonE5_2682v4(), 32, 64,
+         8, 32 * MiB},
+        {"ebm.xeon-e3.8", hw::CpuCatalog::xeonE3_1240v6(), 8, 32,
+         16, 32 * MiB},
+        {"ebm.i7.8", hw::CpuCatalog::corei7_7700k(), 8, 32, 16,
+         32 * MiB},
+        {"ebm.atom.12", hw::CpuCatalog::atomC3850(), 12, 32, 16,
+         32 * MiB},
+        {"ebm.xeon-e5x2.96",
+         {"2x Xeon E5 (dual-socket board)", 2.5, 48, 96, 1.0, 240},
+         96, 384, 1, 48 * MiB},
+    };
+    return rows;
+}
+
+const InstanceType &
+InstanceCatalog::byName(const std::string &name)
+{
+    for (const auto &row : table3())
+        if (row.name == name)
+            return row;
+    fatal("unknown instance type: ", name);
+}
+
+const InstanceType &
+InstanceCatalog::evaluated()
+{
+    return byName("ebm.xeon-e5.32");
+}
+
+} // namespace core
+} // namespace bmhive

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The bare-metal instance catalog (paper Table 3). The paper's
+ * table lists the instances publicly available in the cloud with
+ * their CPU, size, and the maximum number of compute boards a
+ * single BM-Hive server carries (bounded by power supply, internal
+ * space, and I/O capacity). The exact cell values are
+ * reconstructed from the prose (sections 3.3, 3.5, 4.1/4.2):
+ * E5-2682 v4 and E3-1240 v6 instances are evaluated, i7 boards
+ * exist, one large dual-socket board sells 96HT, and a server
+ * hosts at most 16 boards.
+ */
+
+#ifndef BMHIVE_CORE_INSTANCE_CATALOG_HH
+#define BMHIVE_CORE_INSTANCE_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "hw/cpu_model.hh"
+
+namespace bmhive {
+namespace core {
+
+struct InstanceType
+{
+    std::string name;
+    hw::CpuModel cpu;
+    unsigned vcpus = 0;        ///< HT threads sold
+    unsigned nominalRamGiB = 0;
+    unsigned maxBoardsPerServer = 0;
+    /** Simulation backing store for the guest's memory (the
+     *  nominal size is for display; rings and buffers fit here). */
+    Bytes simMemBytes = 32 * MiB;
+};
+
+class InstanceCatalog
+{
+  public:
+    /** All rows of Table 3. */
+    static const std::vector<InstanceType> &table3();
+
+    /** Lookup by name; fatal if absent. */
+    static const InstanceType &byName(const std::string &name);
+
+    /** The instance evaluated throughout section 4. */
+    static const InstanceType &evaluated();
+};
+
+} // namespace core
+} // namespace bmhive
+
+#endif // BMHIVE_CORE_INSTANCE_CATALOG_HH

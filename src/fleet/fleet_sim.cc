@@ -1,0 +1,124 @@
+#include "fleet/fleet_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/stats.hh"
+
+namespace bmhive {
+namespace fleet {
+
+ExitRateSummary
+measureExitRates(Rng &rng, const ExitRateFleetParams &p)
+{
+    std::uint64_t above10k = 0, above50k = 0, above100k = 0;
+    std::vector<double> rates;
+    rates.reserve(p.numVms);
+    double mu = std::log(p.bodyMedian);
+    for (unsigned i = 0; i < p.numVms; ++i) {
+        double rate;
+        if (rng.chance(p.pathologicalFraction)) {
+            // Log-uniform across the pathological band.
+            double lo = std::log(p.pathologicalLo);
+            double hi = std::log(p.pathologicalHi);
+            rate = std::exp(rng.uniform(lo, hi));
+        } else {
+            rate = rng.lognormal(mu, p.bodySigma);
+        }
+        // A 5-minute Poisson count around the VM's mean rate; the
+        // observed per-second rate is count / window.
+        double expected = rate * p.windowSeconds;
+        double count = expected <= 1e6
+                           ? rng.normal(expected,
+                                        std::sqrt(expected))
+                           : expected;
+        if (count < 0)
+            count = 0;
+        double observed = count / p.windowSeconds;
+        rates.push_back(observed);
+        if (observed > 1e4)
+            ++above10k;
+        if (observed > 5e4)
+            ++above50k;
+        if (observed > 1e5)
+            ++above100k;
+    }
+    std::nth_element(rates.begin(), rates.begin() + rates.size() / 2,
+                     rates.end());
+    ExitRateSummary s;
+    s.pctAbove10k = 100.0 * double(above10k) / double(p.numVms);
+    s.pctAbove50k = 100.0 * double(above50k) / double(p.numVms);
+    s.pctAbove100k = 100.0 * double(above100k) / double(p.numVms);
+    s.medianRate = rates[rates.size() / 2];
+    return s;
+}
+
+double
+diurnalLoad(unsigned hour)
+{
+    // Datacenter host load swings over the day: quiet overnight,
+    // busy through business+evening hours.
+    double phase = 2.0 * M_PI * (double(hour) - 14.0) / 24.0;
+    return 1.0 + 0.30 * std::cos(phase);
+}
+
+PreemptionSeries
+measurePreemption(Rng &rng, const PreemptionFleetParams &p)
+{
+    PreemptionSeries out;
+    out.p99Pct.resize(p.hours);
+    out.p999Pct.resize(p.hours);
+
+    // Per-VM character is stable across the day; host load is not.
+    std::vector<double> vm_rate(p.numVms), vm_dur_us(p.numVms);
+    for (unsigned v = 0; v < p.numVms; ++v) {
+        vm_rate[v] =
+            rng.lognormal(std::log(p.rateMedian), p.rateSigma);
+        vm_dur_us[v] =
+            rng.lognormal(std::log(p.durMedianUs), p.durSigma);
+    }
+
+    const double window_sec = 3600.0;
+    std::vector<double> fractions(p.numVms);
+    for (unsigned h = 0; h < p.hours; ++h) {
+        double load = diurnalLoad(h);
+        for (unsigned v = 0; v < p.numVms; ++v) {
+            double lambda = vm_rate[v] * load * window_sec;
+            double mean_d = vm_dur_us[v] * 1e-6;
+            // Compound Poisson of exponential steals. Exact for
+            // small event counts, Normal approximation above.
+            double stolen;
+            if (lambda < 64.0) {
+                unsigned n = 0;
+                // Knuth Poisson sampler.
+                double l = std::exp(-lambda);
+                double q = 1.0;
+                do {
+                    ++n;
+                    q *= rng.uniform();
+                } while (q > l);
+                --n;
+                stolen = 0.0;
+                for (unsigned i = 0; i < n; ++i)
+                    stolen += rng.exponential(mean_d);
+            } else {
+                double mean = lambda * mean_d;
+                double var = lambda * 2.0 * mean_d * mean_d;
+                stolen = rng.normal(mean, std::sqrt(var));
+                if (stolen < 0)
+                    stolen = 0;
+            }
+            fractions[v] =
+                std::min(100.0, 100.0 * stolen / window_sec);
+        }
+        SampleSet set;
+        for (double f : fractions)
+            set.record(f);
+        out.p99Pct[h] = set.percentile(0.99);
+        out.p999Pct[h] = set.percentile(0.999);
+    }
+    return out;
+}
+
+} // namespace fleet
+} // namespace bmhive

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FleetSim: statistical simulation of a virtualization fleet, used
+ * to reproduce the paper's production telemetry:
+ *
+ *  - Table 2: fraction of VMs exceeding 10K/50K/100K VM exits per
+ *    second per vCPU, measured over a 5-minute window across
+ *    300,000 VMs.
+ *  - Fig. 1: the 99th / 99.9th percentile VM preemption rate
+ *    (percent of CPU time taken by the hypervisor/host OS) across
+ *    20,000 VMs over 24 hours, for shared vs. exclusive VMs.
+ *
+ * Per-VM behaviour is drawn from heavy-tailed distributions (a
+ * lognormal body plus a pathological tail); within a VM,
+ * preemption is a compound-Poisson process of host-task
+ * interruptions, the same mechanism vmsim::VmExecutionModel
+ * applies to individual work items.
+ */
+
+#ifndef BMHIVE_FLEET_FLEET_SIM_HH
+#define BMHIVE_FLEET_FLEET_SIM_HH
+
+#include <vector>
+
+#include "base/random.hh"
+#include "base/units.hh"
+
+namespace bmhive {
+namespace fleet {
+
+struct ExitRateFleetParams
+{
+    unsigned numVms = 300000;
+    double windowSeconds = 300.0; ///< the paper's 5-minute count
+    /** Lognormal body of the per-VM exit rate (exits/s/vCPU). */
+    double bodyMedian = 600.0;
+    double bodySigma = 1.56;
+    /** Pathological VMs: device-storming / timer-heavy guests. */
+    double pathologicalFraction = 0.0016;
+    double pathologicalLo = 2.0e4;
+    double pathologicalHi = 3.0e5;
+};
+
+struct ExitRateSummary
+{
+    double pctAbove10k = 0.0;
+    double pctAbove50k = 0.0;
+    double pctAbove100k = 0.0;
+    double medianRate = 0.0;
+};
+
+/** Reproduce Table 2. */
+ExitRateSummary measureExitRates(Rng &rng,
+                                 const ExitRateFleetParams &p);
+
+struct PreemptionFleetParams
+{
+    unsigned numVms = 20000;
+    unsigned hours = 24;
+    bool exclusive = false;
+    /** Per-VM preemption-rate distribution (events/s). */
+    double rateMedian = 8.0;
+    double rateSigma = 0.45;
+    /** Per-VM mean stolen time per event (us). */
+    double durMedianUs = 1100.0;
+    double durSigma = 0.30;
+
+    static PreemptionFleetParams
+    sharedFleet()
+    {
+        return {};
+    }
+
+    static PreemptionFleetParams
+    exclusiveFleet()
+    {
+        PreemptionFleetParams p;
+        p.exclusive = true;
+        p.rateMedian = 0.60;
+        p.rateSigma = 0.55;
+        p.durMedianUs = 800.0;
+        p.durSigma = 0.40;
+        return p;
+    }
+};
+
+struct PreemptionSeries
+{
+    /** One entry per hour. */
+    std::vector<double> p99Pct;
+    std::vector<double> p999Pct;
+};
+
+/** Reproduce one pair of Fig. 1 curves. */
+PreemptionSeries measurePreemption(Rng &rng,
+                                   const PreemptionFleetParams &p);
+
+/** Diurnal host-load factor for hour h (0..23). */
+double diurnalLoad(unsigned hour);
+
+} // namespace fleet
+} // namespace bmhive
+
+#endif // BMHIVE_FLEET_FLEET_SIM_HH

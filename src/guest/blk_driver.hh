@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Guest virtio-blk driver: read/write/flush requests built as
+ * [header (device-reads)] + [data segments] + [status byte
+ * (device-writes)] chains, completion callbacks on MSI. The
+ * firmware boot path (boot-over-virtio-blk, paper section 3.2) and
+ * the fio workload both drive this driver.
+ */
+
+#ifndef BMHIVE_GUEST_BLK_DRIVER_HH
+#define BMHIVE_GUEST_BLK_DRIVER_HH
+
+#include <functional>
+
+#include "base/stats.hh"
+#include "guest/virtio_driver.hh"
+#include "virtio/virtio_blk.hh"
+
+namespace bmhive {
+namespace guest {
+
+class BlkDriver : public VirtioDriver
+{
+  public:
+    /** status, guest-visible data address (reads), request tick. */
+    using IoCallback =
+        std::function<void(std::uint8_t status, Addr data)>;
+
+    BlkDriver(GuestOs &os, int slot);
+
+    /** Initialize and size the request arena. */
+    void start(std::uint16_t queue_size = 256,
+               Bytes max_io = 128 * KiB);
+
+    /** Device capacity in 512-byte sectors (from device config). */
+    std::uint64_t capacitySectors();
+
+    /**
+     * Issue a read of @p len bytes at @p sector. Data lands in a
+     * driver-owned bounce buffer whose address is passed to @p cb.
+     * @param cpu_ctx  vCPU issuing the request
+     * @return false if the ring or arena is exhausted.
+     */
+    bool read(std::uint64_t sector, Bytes len,
+              hw::CpuExecutor &cpu_ctx, IoCallback cb);
+
+    /**
+     * Issue a write of @p len bytes at @p sector. If @p data is
+     * non-null it is copied into the bounce buffer first.
+     */
+    bool write(std::uint64_t sector, Bytes len,
+               const std::vector<std::uint8_t> *data,
+               hw::CpuExecutor &cpu_ctx, IoCallback cb);
+
+    std::uint64_t completed() const { return done_.value(); }
+    std::uint64_t errors() const { return errors_.value(); }
+
+  private:
+    struct Slot
+    {
+        Addr hdr;    ///< 16-byte request header
+        Addr data;   ///< bounce buffer (max_io bytes)
+        Addr status; ///< 1-byte status
+        IoCallback cb;
+    };
+
+    bool submitIo(std::uint32_t type, std::uint64_t sector,
+                  Bytes len, const std::vector<std::uint8_t> *data,
+                  hw::CpuExecutor &cpu_ctx, IoCallback cb);
+    void completionInterrupt();
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint16_t> freeSlots_;
+    std::vector<std::uint16_t> slotOfHead_;
+    Bytes maxIo_ = 0;
+    Counter done_;
+    Counter errors_;
+};
+
+} // namespace guest
+} // namespace bmhive
+
+#endif // BMHIVE_GUEST_BLK_DRIVER_HH

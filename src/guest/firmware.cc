@@ -1,0 +1,125 @@
+#include "guest/firmware.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace guest {
+
+void
+installImage(cloud::Volume &vol, Bytes kernel_bytes,
+             const std::string &version)
+{
+    // Header: magic, version (fixed 16 bytes), kernel sectors.
+    std::vector<std::uint8_t> hdr(512, 0);
+    for (int i = 0; i < 8; ++i)
+        hdr[i] = std::uint8_t(ImageLayout::magic >> (8 * i));
+    for (std::size_t i = 0; i < 16 && i < version.size(); ++i)
+        hdr[8 + i] = std::uint8_t(version[i]);
+    std::uint64_t ksec = (kernel_bytes + 511) / 512;
+    for (int i = 0; i < 8; ++i)
+        hdr[24 + i] = std::uint8_t(ksec >> (8 * i));
+    vol.writeData(ImageLayout::headerSector, hdr);
+
+    // Bootloader: 8 sectors of a fixed pattern.
+    std::vector<std::uint8_t> bl(8 * 512, 0xb0);
+    vol.writeData(ImageLayout::bootloaderSector, bl);
+
+    // Kernel: deterministic pattern, verified by the firmware.
+    std::vector<std::uint8_t> kernel(ksec * 512, 0);
+    for (std::uint64_t i = 0; i < kernel_bytes; ++i)
+        kernel[i] = kernelByte(i);
+    vol.writeData(ImageLayout::kernelSector, kernel);
+}
+
+void
+VirtioBootFirmware::boot(BootCallback cb)
+{
+    cb_ = std::move(cb);
+    readHeader();
+}
+
+void
+VirtioBootFirmware::readHeader()
+{
+    bool ok = blk_.read(
+        ImageLayout::headerSector, 512, os_.cpu(0),
+        [this](std::uint8_t status, Addr data) {
+            if (status != virtio::VIRTIO_BLK_S_OK) {
+                finish(false);
+                return;
+            }
+            GuestMemory &m = os_.memory();
+            std::uint64_t magic = m.read64(data);
+            if (magic != ImageLayout::magic) {
+                warn("firmware: bad image magic");
+                finish(false);
+                return;
+            }
+            version_.clear();
+            for (int i = 0; i < 16; ++i) {
+                char c = char(m.read8(data + 8 + Addr(i)));
+                if (c)
+                    version_.push_back(c);
+            }
+            kernelSectors_ = m.read64(data + 24);
+            // Fetch the bootloader, then stream the kernel.
+            blk_.read(ImageLayout::bootloaderSector, 8 * 512,
+                      os_.cpu(0),
+                      [this](std::uint8_t st, Addr) {
+                          if (st != virtio::VIRTIO_BLK_S_OK) {
+                              finish(false);
+                              return;
+                          }
+                          fetched_ = 0;
+                          readKernelChunk();
+                      });
+        });
+    if (!ok)
+        finish(false);
+}
+
+void
+VirtioBootFirmware::readKernelChunk()
+{
+    if (fetched_ >= kernelSectors_) {
+        finish(contentOk_);
+        return;
+    }
+    std::uint64_t chunk =
+        std::min<std::uint64_t>(64, kernelSectors_ - fetched_);
+    std::uint64_t at = ImageLayout::kernelSector + fetched_;
+    std::uint64_t base_off = fetched_ * 512;
+    bool ok = blk_.read(
+        at, chunk * 512, os_.cpu(0),
+        [this, chunk, base_off](std::uint8_t status, Addr data) {
+            if (status != virtio::VIRTIO_BLK_S_OK) {
+                finish(false);
+                return;
+            }
+            // Verify a sample of the chunk's bytes.
+            GuestMemory &m = os_.memory();
+            for (std::uint64_t i = 0; i < chunk * 512; i += 509) {
+                if (m.read8(data + i) != kernelByte(base_off + i)) {
+                    contentOk_ = false;
+                    break;
+                }
+            }
+            fetched_ += chunk;
+            readKernelChunk();
+        });
+    if (!ok)
+        finish(false);
+}
+
+void
+VirtioBootFirmware::finish(bool ok)
+{
+    if (cb_) {
+        auto cb = std::move(cb_);
+        cb_ = nullptr;
+        cb(ok, version_);
+    }
+}
+
+} // namespace guest
+} // namespace bmhive

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Boot firmware model. The paper extends the compute board's
+ * EFI-based firmware to drive virtio during boot (section 3.2):
+ * the bootloader and kernel live in the remote cloud volume and
+ * are fetched through virtio-blk before the kernel starts. The
+ * same image boots a vm-guest — the cold-migration contract.
+ */
+
+#ifndef BMHIVE_GUEST_FIRMWARE_HH
+#define BMHIVE_GUEST_FIRMWARE_HH
+
+#include <functional>
+#include <string>
+
+#include "cloud/block_service.hh"
+#include "guest/blk_driver.hh"
+#include "guest/guest_os.hh"
+
+namespace bmhive {
+namespace guest {
+
+/** On-disk image layout constants. */
+struct ImageLayout
+{
+    static constexpr std::uint64_t magic = 0x424d484956454947ull;
+    static constexpr std::uint64_t headerSector = 0;
+    static constexpr std::uint64_t bootloaderSector = 1;
+    static constexpr std::uint64_t kernelSector = 9;
+};
+
+/**
+ * Write a bootable image onto @p vol: header with magic and
+ * kernel size, a bootloader, and @p kernel_bytes of "kernel" whose
+ * contents are a deterministic pattern the firmware verifies.
+ */
+void installImage(cloud::Volume &vol, Bytes kernel_bytes,
+                  const std::string &version);
+
+/**
+ * EFI-like boot flow over a started BlkDriver: read the header,
+ * verify the magic, fetch the bootloader, then stream the kernel,
+ * verifying contents. Asynchronous; completion via callback.
+ */
+class VirtioBootFirmware
+{
+  public:
+    using BootCallback =
+        std::function<void(bool ok, const std::string &version)>;
+
+    VirtioBootFirmware(GuestOs &os, BlkDriver &blk)
+        : os_(os), blk_(blk) {}
+
+    /** Begin the boot sequence. */
+    void boot(BootCallback cb);
+
+  private:
+    void readHeader();
+    void readKernelChunk();
+    void finish(bool ok);
+
+    GuestOs &os_;
+    BlkDriver &blk_;
+    BootCallback cb_;
+    std::string version_;
+    std::uint64_t kernelSectors_ = 0;
+    std::uint64_t fetched_ = 0;
+    bool contentOk_ = true;
+};
+
+/** Deterministic kernel byte at offset @p i. */
+constexpr std::uint8_t
+kernelByte(std::uint64_t i)
+{
+    return std::uint8_t((i * 131) ^ (i >> 8));
+}
+
+} // namespace guest
+} // namespace bmhive
+
+#endif // BMHIVE_GUEST_FIRMWARE_HH

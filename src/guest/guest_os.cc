@@ -1,0 +1,79 @@
+#include "guest/guest_os.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace guest {
+
+GuestOs::GuestOs(Simulation &sim, std::string name, GuestMemory &mem,
+                 pci::PciBus &bus,
+                 std::vector<hw::CpuExecutor *> cpus)
+    : SimObject(sim, std::move(name)), mem_(mem), bus_(bus),
+      alloc_(mem, 0x1000), cpus_(std::move(cpus))
+{
+    panic_if(cpus_.empty(), this->name(), ": needs >= 1 vCPU");
+    bus_.setMsiHandler(
+        [this](int slot, unsigned vec) { handleMsi(slot, vec); });
+}
+
+hw::CpuExecutor &
+GuestOs::cpu(unsigned i)
+{
+    panic_if(i >= cpus_.size(), name(), ": bad cpu ", i);
+    return *cpus_[i];
+}
+
+std::vector<int>
+GuestOs::enumeratePci(Addr mmio_base)
+{
+    std::vector<int> found;
+    Addr next = mmio_base;
+    for (int slot = 0; slot < 32; ++slot) {
+        std::uint32_t vendor =
+            bus_.configRead(slot, pci::REG_VENDOR_ID, 2);
+        if (vendor == 0xffffu)
+            continue;
+        found.push_back(slot);
+        for (int bar = 0; bar < 6; ++bar) {
+            auto reg = std::uint16_t(pci::REG_BAR0 + 4 * bar);
+            bus_.configWrite(slot, reg, 0xffffffffu, 4);
+            std::uint32_t mask = bus_.configRead(slot, reg, 4);
+            if (mask == 0)
+                continue; // unimplemented BAR
+            Bytes size = Bytes(~(mask & ~0xfu)) + 1;
+            next = (next + size - 1) & ~(size - 1); // align
+            bus_.configWrite(slot, reg, std::uint32_t(next), 4);
+            next += size;
+        }
+        std::uint32_t cmd =
+            bus_.configRead(slot, pci::REG_COMMAND, 2);
+        bus_.configWrite(slot, pci::REG_COMMAND,
+                         cmd | pci::CMD_MEM_SPACE |
+                             pci::CMD_BUS_MASTER,
+                         2);
+    }
+    return found;
+}
+
+void
+GuestOs::registerIrq(int slot, unsigned vec, std::function<void()> fn)
+{
+    irqTable_[{slot, vec}] = std::move(fn);
+}
+
+void
+GuestOs::handleMsi(int slot, unsigned vec)
+{
+    auto it = irqTable_.find({slot, vec});
+    if (it == irqTable_.end()) {
+        warn(name(), ": spurious MSI slot=", slot, " vec=", vec);
+        return;
+    }
+    irqs_.inc();
+    // Interrupt entry + handler dispatch is CPU work on vCPU 0.
+    auto fn = it->second;
+    cpu(0).run(irqCost_, std::move(fn));
+}
+
+} // namespace guest
+} // namespace bmhive

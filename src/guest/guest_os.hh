@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GuestOs: the guest-side software stack shared by bm-guests and
+ * vm-guests — exactly the paper's interoperability story (section
+ * 3.1): the same VM image, kernel, and virtio drivers run on either
+ * platform; only the transport underneath differs (IO-Bond vs. a
+ * virtual PCI bus).
+ *
+ * GuestOs owns the guest memory allocator, enumerates the PCI bus
+ * the platform provides, dispatches MSIs to driver handlers, and
+ * exposes the vCPU executors the workloads run on.
+ */
+
+#ifndef BMHIVE_GUEST_GUEST_OS_HH
+#define BMHIVE_GUEST_GUEST_OS_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/paper_constants.hh"
+#include "hw/cpu_executor.hh"
+#include "mem/guest_memory.hh"
+#include "pci/pci_device.hh"
+#include "sim/sim_object.hh"
+
+namespace bmhive {
+namespace guest {
+
+class GuestOs : public SimObject
+{
+  public:
+    GuestOs(Simulation &sim, std::string name, GuestMemory &mem,
+            pci::PciBus &bus, std::vector<hw::CpuExecutor *> cpus);
+
+    GuestMemory &memory() { return mem_; }
+    BumpAllocator &allocator() { return alloc_; }
+    pci::PciBus &bus() { return bus_; }
+
+    hw::CpuExecutor &cpu(unsigned i);
+    unsigned cpuCount() const { return unsigned(cpus_.size()); }
+
+    /**
+     * Enumerate the PCI bus: probe every slot, size the BARs, and
+     * assign MMIO addresses from @p mmio_base upward; enable
+     * memory decoding and bus mastering. Returns occupied slots.
+     */
+    std::vector<int> enumeratePci(Addr mmio_base = 0xe0000000);
+
+    /** Route MSIs of (slot, vector) to @p fn. */
+    void registerIrq(int slot, unsigned vec,
+                     std::function<void()> fn);
+
+    /**
+     * Cost charged to cpu(0) for taking one interrupt. Native MSI
+     * on a bm-guest; injection via the hypervisor on a vm-guest.
+     */
+    void setIrqCost(Tick cost) { irqCost_ = cost; }
+    Tick irqCost() const { return irqCost_; }
+
+    std::uint64_t irqsTaken() const { return irqs_.value(); }
+
+  private:
+    void handleMsi(int slot, unsigned vec);
+
+    GuestMemory &mem_;
+    pci::PciBus &bus_;
+    BumpAllocator alloc_;
+    std::vector<hw::CpuExecutor *> cpus_;
+    std::map<std::pair<int, unsigned>, std::function<void()>>
+        irqTable_;
+    Tick irqCost_ = paper::guestIrqCost;
+    Counter irqs_;
+};
+
+} // namespace guest
+} // namespace bmhive
+
+#endif // BMHIVE_GUEST_GUEST_OS_HH

@@ -1,0 +1,202 @@
+#include "guest/net_driver.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace guest {
+
+using namespace virtio;
+
+NetDriver::NetDriver(GuestOs &os, int slot, cloud::MacAddr mac)
+    : VirtioDriver(os, slot), mac_(mac)
+{
+}
+
+void
+NetDriver::start(std::uint16_t queue_size)
+{
+    initialize(VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
+                   VIRTIO_RING_F_INDIRECT_DESC,
+               queue_size);
+    panic_if(numQueues() < 2, "virtio-net needs rx+tx queues");
+
+    std::uint16_t rxn = queue(NET_RXQ).layout().size();
+    std::uint16_t txn = queue(NET_TXQ).layout().size();
+    rxArena_ = os_.allocator().alloc(Bytes(rxn) * bufBytes, 4096);
+    txArena_ = os_.allocator().alloc(Bytes(txn) * bufBytes, 4096);
+    txSlotOfHead_.assign(txn, 0);
+    rxSlotOfHead_.assign(rxn, 0);
+    txFreeSlots_.clear();
+    for (std::uint16_t i = 0; i < txn; ++i)
+        txFreeSlots_.push_back(i);
+
+    onQueueInterrupt(NET_RXQ, [this] { rxInterrupt(); });
+    onQueueInterrupt(NET_TXQ, [this] { txInterrupt(); });
+    // Like Linux virtio-net, run tx without completion interrupts:
+    // buffers are reaped opportunistically in the xmit path.
+    queue(NET_TXQ).setNoInterrupt(true);
+
+    fillRx();
+    kickNow(NET_RXQ);
+}
+
+Addr
+NetDriver::txBuf(std::uint16_t slot) const
+{
+    return txArena_ + Addr(slot) * bufBytes;
+}
+
+Addr
+NetDriver::rxBuf(std::uint16_t slot) const
+{
+    return rxArena_ + Addr(slot) * bufBytes;
+}
+
+void
+NetDriver::fillRx()
+{
+    auto &rxq = queue(NET_RXQ);
+    // Post one 2 KiB writable buffer per free descriptor; slot
+    // number mirrors the chosen head (single-desc chains).
+    while (rxq.freeDescs() > 0) {
+        // Peek which head will be used: submit and record after.
+        std::vector<Segment> in = {{0, std::uint32_t(bufBytes),
+                                    true}};
+        // Address depends on head; reserve a throwaway, then fix.
+        auto head = rxq.submit({}, in, /*cookie=*/0);
+        if (!head)
+            break;
+        // Rewrite the descriptor with the slot-specific address.
+        std::uint16_t slot = *head;
+        VringDesc d = rxq.layout().readDesc(os_.memory(), slot);
+        d.addr = rxBuf(slot);
+        rxq.layout().writeDesc(os_.memory(), slot, d);
+        rxSlotOfHead_[*head] = slot;
+    }
+}
+
+bool
+NetDriver::sendPacket(const cloud::Packet &pkt, bool kick_now,
+                      hw::CpuExecutor &cpu_ctx)
+{
+    auto &txq = queue(NET_TXQ);
+    // Opportunistic reap, as virtio-net does in its xmit path:
+    // completed tx buffers are recycled without an interrupt.
+    if (txFreeSlots_.empty())
+        txInterrupt();
+    if (txFreeSlots_.empty())
+        return false;
+    std::uint16_t slot = txFreeSlots_.back();
+
+    Addr buf = txBuf(slot);
+    VirtioNetHdr hdr;
+    hdr.writeTo(os_.memory(), buf);
+    packPacket(os_.memory(), buf + VirtioNetHdr::wireSize, pkt);
+
+    Bytes payload = VirtioNetHdr::wireSize + packetWireBytes;
+    Bytes claim = VirtioNetHdr::wireSize + pkt.len;
+    // The descriptor claims the full frame length so bandwidth
+    // models see real sizes; metadata occupies the head of it.
+    std::vector<Segment> out = {
+        {buf, std::uint32_t(std::max(payload, claim)), false}};
+    auto head = txq.submit(out, {}, slot);
+    if (!head)
+        return false;
+    txFreeSlots_.pop_back();
+    txSlotOfHead_[*head] = slot;
+
+    if (kick_now && txq.shouldKick())
+        kick(NET_TXQ, cpu_ctx);
+    return true;
+}
+
+void
+NetDriver::kickTx(hw::CpuExecutor &cpu_ctx)
+{
+    if (queue(NET_TXQ).shouldKick())
+        kick(NET_TXQ, cpu_ctx);
+}
+
+std::uint16_t
+NetDriver::txSpace() const
+{
+    return std::uint16_t(txFreeSlots_.size());
+}
+
+void
+NetDriver::txInterrupt()
+{
+    for (const auto &c : queue(NET_TXQ).collectUsed()) {
+        txFreeSlots_.push_back(std::uint16_t(c.cookie));
+        txDone_.inc();
+    }
+}
+
+void
+NetDriver::rxInterrupt()
+{
+    // NAPI: mask further rx interrupts and switch to polling until
+    // the ring runs dry; one interrupt can serve a long burst.
+    if (napiActive_)
+        return;
+    napiActive_ = true;
+    queue(NET_RXQ).setNoInterrupt(true);
+    napiPoll();
+}
+
+void
+NetDriver::napiPoll()
+{
+    auto &rxq = queue(NET_RXQ);
+    unsigned drained = 0;
+    for (const auto &c : rxq.collectUsed()) {
+        std::uint16_t slot = rxSlotOfHead_[c.head];
+        Addr buf = rxBuf(slot);
+        cloud::Packet pkt = unpackPacket(
+            os_.memory(), buf + VirtioNetHdr::wireSize);
+        rxDone_.inc();
+        if (rxHandler_) {
+            if (rxCost_ == 0) {
+                rxHandler_(pkt);
+            } else {
+                // Stack processing on a worker context; the
+                // handler observes the packet when it completes.
+                unsigned w = 1 + (rxNext_++ % rxWorkers_);
+                os_.cpu(w % os_.cpuCount())
+                    .run(rxCost_, [this, pkt] {
+                        if (rxHandler_)
+                            rxHandler_(pkt);
+                    });
+            }
+        }
+        ++drained;
+    }
+    if (drained > 0) {
+        fillRx();
+        kickNow(NET_RXQ);
+        // Stay in polling mode: softirq re-poll after a budgetary
+        // slice (charged to the interrupt CPU).
+        os_.cpu(0).charge(nsToTicks(300));
+        auto *ev = new OneShotEvent([this] { napiPoll(); },
+                                    "napi.repoll");
+        os_.eventq().schedule(ev, os_.curTick() + usToTicks(2));
+        return;
+    }
+    // Ring dry: unmask interrupts and close the race window.
+    napiActive_ = false;
+    queue(NET_RXQ).setNoInterrupt(false);
+    if (rxq.layout().usedIdx(os_.memory()) != rxUsedShadow()) {
+        rxInterrupt();
+    }
+}
+
+std::uint16_t
+NetDriver::rxUsedShadow()
+{
+    // The driver's consumed-used counter equals delivered packets
+    // modulo 2^16 (single-buffer completions only on this queue).
+    return std::uint16_t(rxDone_.value());
+}
+
+} // namespace guest
+} // namespace bmhive

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Guest virtio-net driver: tx with optional kick batching (the
+ * standard virtio optimization: publish several buffers, ring the
+ * doorbell once) and an rx path that keeps the receive ring
+ * replenished and delivers packets to the guest network stack.
+ */
+
+#ifndef BMHIVE_GUEST_NET_DRIVER_HH
+#define BMHIVE_GUEST_NET_DRIVER_HH
+
+#include <functional>
+
+#include "base/stats.hh"
+#include "cloud/packet.hh"
+#include "guest/packet_wire.hh"
+#include "guest/virtio_driver.hh"
+#include "virtio/virtio_net.hh"
+
+namespace bmhive {
+namespace guest {
+
+class NetDriver : public VirtioDriver
+{
+  public:
+    using RxHandler = std::function<void(const cloud::Packet &)>;
+
+    NetDriver(GuestOs &os, int slot, cloud::MacAddr mac);
+
+    /** Initialize the device and fill the rx ring. */
+    void start(std::uint16_t queue_size = 256);
+
+    cloud::MacAddr mac() const { return mac_; }
+
+    /**
+     * Queue one packet for transmission.
+     * @param kick_now  ring the doorbell immediately; otherwise the
+     *        caller batches and calls kickTx() later
+     * @param cpu_ctx   vCPU doing the send (charged the doorbell)
+     * @return false if the tx ring is full (caller retries after
+     *         completions).
+     */
+    bool sendPacket(const cloud::Packet &pkt, bool kick_now,
+                    hw::CpuExecutor &cpu_ctx);
+
+    /** Ring the tx doorbell (after a batch of sendPacket calls). */
+    void kickTx(hw::CpuExecutor &cpu_ctx);
+
+    /** Packets are delivered to @p fn as they arrive. */
+    void setRxHandler(RxHandler fn) { rxHandler_ = std::move(fn); }
+
+    /**
+     * Model the guest network stack's receive work: each packet
+     * costs @p per_packet on one of @p workers vCPU contexts
+     * (round-robin), and the handler runs after that work. With
+     * cost 0 (default) packets are delivered inline from the IRQ.
+     */
+    void
+    setRxProcessing(Tick per_packet, unsigned workers)
+    {
+        rxCost_ = per_packet;
+        rxWorkers_ = workers ? workers : 1;
+    }
+
+    /** Free tx slots right now. */
+    std::uint16_t txSpace() const;
+
+    std::uint64_t txCompleted() const { return txDone_.value(); }
+    std::uint64_t rxDelivered() const { return rxDone_.value(); }
+
+  private:
+    void fillRx();
+    void txInterrupt();
+    void rxInterrupt();
+    void napiPoll();
+    std::uint16_t rxUsedShadow();
+
+    /** Per-descriptor-slot buffer base (2 KiB each). */
+    Addr txBuf(std::uint16_t slot) const;
+    Addr rxBuf(std::uint16_t slot) const;
+
+    cloud::MacAddr mac_;
+    RxHandler rxHandler_;
+    Addr txArena_ = 0;
+    Addr rxArena_ = 0;
+    std::vector<std::uint16_t> txFreeSlots_;
+    std::vector<std::uint16_t> txSlotOfHead_;
+    std::vector<std::uint16_t> rxSlotOfHead_;
+    Counter txDone_;
+    Counter rxDone_;
+    Tick rxCost_ = 0;
+    unsigned rxWorkers_ = 1;
+    unsigned rxNext_ = 0;
+    bool napiActive_ = false;
+
+    static constexpr Bytes bufBytes = 2048;
+};
+
+} // namespace guest
+} // namespace bmhive
+
+#endif // BMHIVE_GUEST_NET_DRIVER_HH

@@ -1,0 +1,72 @@
+#include "guest/packet_wire.hh"
+
+#include "virtio/virtio_net.hh"
+
+namespace bmhive {
+namespace guest {
+
+void
+packPacket(GuestMemory &m, Addr a, const cloud::Packet &p)
+{
+    m.write64(a + 0, p.src);
+    m.write64(a + 8, p.dst);
+    m.write64(a + 16, p.len);
+    m.write64(a + 24, p.created);
+    m.write64(a + 32, p.seq);
+}
+
+cloud::Packet
+unpackPacket(const GuestMemory &m, Addr a)
+{
+    cloud::Packet p;
+    p.src = m.read64(a + 0);
+    p.dst = m.read64(a + 8);
+    p.len = m.read64(a + 16);
+    p.created = m.read64(a + 24);
+    p.seq = m.read64(a + 32);
+    return p;
+}
+
+std::uint32_t
+writePacketToRxChain(GuestMemory &m, const virtio::DescChain &chain,
+                     const cloud::Packet &p)
+{
+    // The device needs hdr + metadata contiguously in the first
+    // writable segment (our guests post single-segment rx buffers).
+    for (const auto &seg : chain.segs) {
+        if (!seg.deviceWrites)
+            continue;
+        Bytes need = virtio::VirtioNetHdr::wireSize + packetWireBytes;
+        if (seg.len < need)
+            return 0;
+        virtio::VirtioNetHdr hdr;
+        hdr.numBuffers = 1;
+        hdr.writeTo(m, seg.addr);
+        packPacket(m, seg.addr + virtio::VirtioNetHdr::wireSize, p);
+        return std::uint32_t(virtio::VirtioNetHdr::wireSize +
+                             p.len);
+    }
+    return 0;
+}
+
+TxExtract
+readPacketFromTxChain(const GuestMemory &m,
+                      const virtio::DescChain &chain)
+{
+    TxExtract out;
+    for (const auto &seg : chain.segs) {
+        if (seg.deviceWrites)
+            continue;
+        Bytes need = virtio::VirtioNetHdr::wireSize + packetWireBytes;
+        if (seg.len < need)
+            return out;
+        out.pkt = unpackPacket(
+            m, seg.addr + virtio::VirtioNetHdr::wireSize);
+        out.ok = true;
+        return out;
+    }
+    return out;
+}
+
+} // namespace guest
+} // namespace bmhive

@@ -1,0 +1,148 @@
+#include "guest/virtio_driver.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace guest {
+
+using namespace virtio;
+
+VirtioDriver::VirtioDriver(GuestOs &os, int slot)
+    : os_(os), slot_(slot)
+{
+    bar0_ = Addr(os_.bus().configRead(slot, pci::REG_BAR0, 4)) &
+            ~Addr(0xf);
+    fatal_if(bar0_ == 0,
+             "virtio driver on slot ", slot,
+             ": BAR0 not programmed (run enumeratePci first)");
+}
+
+std::uint32_t
+VirtioDriver::cfgRead(Addr off, unsigned size)
+{
+    ++regAccesses_;
+    return os_.bus().memRead(bar0_ + off, size);
+}
+
+void
+VirtioDriver::cfgWrite(Addr off, std::uint32_t v, unsigned size)
+{
+    ++regAccesses_;
+    os_.bus().memWrite(bar0_ + off, v, size);
+}
+
+void
+VirtioDriver::initialize(std::uint64_t wanted,
+                         std::uint16_t queue_size)
+{
+    panic_if(initialized(), "driver initialized twice");
+    regAccesses_ = 0;
+
+    // Reset, then acknowledge the device and announce a driver.
+    cfgWrite(COMMON_STATUS, 0, 1);
+    cfgWrite(COMMON_STATUS, STATUS_ACKNOWLEDGE, 1);
+    cfgWrite(COMMON_STATUS, STATUS_ACKNOWLEDGE | STATUS_DRIVER, 1);
+
+    // Read the 64-bit device feature space.
+    cfgWrite(COMMON_DFSELECT, 0, 4);
+    std::uint64_t offered = cfgRead(COMMON_DF, 4);
+    cfgWrite(COMMON_DFSELECT, 1, 4);
+    offered |= std::uint64_t(cfgRead(COMMON_DF, 4)) << 32;
+
+    fatal_if(!(offered & VIRTIO_F_VERSION_1),
+             "device does not offer VIRTIO_F_VERSION_1");
+    features_ = (wanted | VIRTIO_F_VERSION_1) & offered;
+
+    cfgWrite(COMMON_GFSELECT, 0, 4);
+    cfgWrite(COMMON_GF, std::uint32_t(features_), 4);
+    cfgWrite(COMMON_GFSELECT, 1, 4);
+    cfgWrite(COMMON_GF, std::uint32_t(features_ >> 32), 4);
+
+    cfgWrite(COMMON_STATUS,
+             STATUS_ACKNOWLEDGE | STATUS_DRIVER | STATUS_FEATURES_OK,
+             1);
+    fatal_if(!(cfgRead(COMMON_STATUS, 1) & STATUS_FEATURES_OK),
+             "device rejected the negotiated features");
+
+    bool indirect = features_ & VIRTIO_RING_F_INDIRECT_DESC;
+    bool event_idx = features_ & VIRTIO_RING_F_EVENT_IDX;
+
+    // Program every queue the device exposes.
+    unsigned nq = cfgRead(COMMON_NUMQ, 2);
+    for (unsigned q = 0; q < nq; ++q) {
+        cfgWrite(COMMON_Q_SELECT, q, 2);
+        auto max = std::uint16_t(cfgRead(COMMON_Q_SIZE, 2));
+        std::uint16_t size = std::min(queue_size, max);
+        cfgWrite(COMMON_Q_SIZE, size, 2);
+        cfgWrite(COMMON_Q_MSIX, q, 2);
+
+        // Allocate the ring (and an indirect-table arena) in guest
+        // memory and hand the addresses to the device.
+        Addr base = os_.allocator().alloc(
+            VringLayout::bytesNeeded(size), 4096);
+        VringLayout layout = VringLayout::contiguous(size, base);
+        Addr ind = 0;
+        if (indirect) {
+            ind = os_.allocator().alloc(
+                Bytes(size) * 16 * vringDescSize, 16);
+        }
+
+        cfgWrite(COMMON_Q_DESCLO, std::uint32_t(layout.descAddr()),
+                 4);
+        cfgWrite(COMMON_Q_DESCHI,
+                 std::uint32_t(layout.descAddr() >> 32), 4);
+        cfgWrite(COMMON_Q_AVAILLO,
+                 std::uint32_t(layout.availAddr()), 4);
+        cfgWrite(COMMON_Q_AVAILHI,
+                 std::uint32_t(layout.availAddr() >> 32), 4);
+        cfgWrite(COMMON_Q_USEDLO, std::uint32_t(layout.usedAddr()),
+                 4);
+        cfgWrite(COMMON_Q_USEDHI,
+                 std::uint32_t(layout.usedAddr() >> 32), 4);
+        cfgWrite(COMMON_Q_ENABLE, 1, 2);
+
+        queues_.push_back(std::make_unique<VirtQueueDriver>(
+            os_.memory(), layout, indirect, ind, event_idx));
+    }
+
+    cfgWrite(COMMON_STATUS,
+             STATUS_ACKNOWLEDGE | STATUS_DRIVER | STATUS_FEATURES_OK |
+                 STATUS_DRIVER_OK,
+             1);
+
+    // Charge the whole init conversation to vCPU 0 in one lump.
+    os_.cpu(0).charge(Tick(regAccesses_) *
+                      os_.bus().accessLatency());
+}
+
+VirtQueueDriver &
+VirtioDriver::queue(unsigned q)
+{
+    panic_if(q >= queues_.size(), "bad queue index ", q);
+    return *queues_[q];
+}
+
+void
+VirtioDriver::kick(unsigned q, hw::CpuExecutor &cpu_ctx)
+{
+    panic_if(q >= queues_.size(), "kick on bad queue ", q);
+    // The doorbell write occupies the CPU for one bus access; the
+    // device sees it when the write completes.
+    cpu_ctx.run(os_.bus().accessLatency(),
+                [this, q] { kickNow(q); });
+}
+
+void
+VirtioDriver::kickNow(unsigned q)
+{
+    os_.bus().memWrite(bar0_ + notifyRegionOffset, q, 4);
+}
+
+void
+VirtioDriver::onQueueInterrupt(unsigned q, std::function<void()> fn)
+{
+    os_.registerIrq(slot_, q, std::move(fn));
+}
+
+} // namespace guest
+} // namespace bmhive

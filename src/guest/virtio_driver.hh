@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Generic guest-side virtio-pci driver: device initialization
+ * (the virtio 1.0 status dance, feature negotiation, queue
+ * programming) and the notify doorbell. Net and blk drivers build
+ * on this.
+ */
+
+#ifndef BMHIVE_GUEST_VIRTIO_DRIVER_HH
+#define BMHIVE_GUEST_VIRTIO_DRIVER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "guest/guest_os.hh"
+#include "virtio/virtio_pci.hh"
+#include "virtio/virtqueue.hh"
+
+namespace bmhive {
+namespace guest {
+
+class VirtioDriver
+{
+  public:
+    /**
+     * @param os    the guest OS this driver runs in
+     * @param slot  PCI slot of the device (after enumeratePci)
+     */
+    VirtioDriver(GuestOs &os, int slot);
+    virtual ~VirtioDriver() = default;
+
+    /**
+     * Full virtio 1.0 initialization: reset, ACKNOWLEDGE, DRIVER,
+     * feature negotiation, queue allocation in guest memory,
+     * FEATURES_OK / DRIVER_OK. Performed functionally; the
+     * aggregate register-access cost is charged to vCPU 0.
+     *
+     * @param wanted     driver feature wishlist (masked by offer)
+     * @param queue_size ring size to program (<= device max)
+     */
+    void initialize(std::uint64_t wanted, std::uint16_t queue_size);
+
+    bool initialized() const { return !queues_.empty(); }
+    std::uint64_t features() const { return features_; }
+    unsigned numQueues() const { return unsigned(queues_.size()); }
+
+    virtio::VirtQueueDriver &queue(unsigned q);
+
+    /**
+     * Ring the doorbell for queue @p q on @p cpu_ctx: one MMIO
+     * write whose cost is the platform bus's access latency. The
+     * write reaches the device when the CPU completes it.
+     */
+    void kick(unsigned q, hw::CpuExecutor &cpu_ctx);
+
+    /** Functional kick without CPU accounting (tests, firmware). */
+    void kickNow(unsigned q);
+
+    /** Register a handler run when queue @p q's MSI fires. */
+    void onQueueInterrupt(unsigned q, std::function<void()> fn);
+
+    int slot() const { return slot_; }
+    Addr bar0() const { return bar0_; }
+
+  protected:
+    std::uint32_t cfgRead(Addr off, unsigned size);
+    void cfgWrite(Addr off, std::uint32_t v, unsigned size);
+
+    GuestOs &os_;
+    int slot_;
+    Addr bar0_ = 0;
+    std::uint64_t features_ = 0;
+    std::vector<std::unique_ptr<virtio::VirtQueueDriver>> queues_;
+    unsigned regAccesses_ = 0; ///< accesses made during init
+};
+
+} // namespace guest
+} // namespace bmhive
+
+#endif // BMHIVE_GUEST_VIRTIO_DRIVER_HH

@@ -1,0 +1,163 @@
+#include "hv/bm_hypervisor.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+#include "virtio/virtio_net.hh"
+
+namespace bmhive {
+namespace hv {
+
+BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
+                           hw::ComputeBoard &board,
+                           iobond::IoBond &bond,
+                           hw::CpuExecutor &core,
+                           cloud::VSwitch &vswitch,
+                           cloud::MacAddr mac,
+                           cloud::BlockService *storage,
+                           cloud::Volume *volume, bool rate_limited)
+    : SimObject(sim, std::move(name)), board_(board), bond_(bond),
+      vswitch_(vswitch), mac_(mac), storage_(storage),
+      volume_(volume), rateLimited_(rate_limited)
+{
+    IoServiceParams params;
+    params.pollPeriod = paper::bmPollPeriod;
+    // Each poll reads the IO-Bond mailbox over PCIe; each
+    // completion batch writes the tail register (0.8 us, paper
+    // section 3.4.3). Payload copies are IO-Bond DMA, not CPU.
+    params.pollRegisterCost = bond.params().mailboxAccess;
+    params.completionRegisterCost = bond.params().mailboxAccess;
+    params.perPacketCopyCost = 0;
+    params.suppressGuestNotify = false; // the doorbell is hardware
+
+    core_ = &core;
+    serviceParams_ = params;
+    service_ = std::make_unique<VirtioIoService>(
+        sim, this->name() + ".svc", core, params);
+
+    port_ = vswitch_.addPort(mac, [this](const cloud::Packet &pkt) {
+        service_->enqueueRx(pkt);
+    });
+}
+
+void
+BmHypervisor::powerOnGuest()
+{
+    board_.powerOn();
+}
+
+void
+BmHypervisor::powerOffGuest()
+{
+    service_->stop();
+    connected_ = false;
+    board_.powerOff();
+}
+
+bool
+BmHypervisor::connectBackends()
+{
+    panic_if(connected_, name(), ": backends already connected");
+    bool any = false;
+    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn) {
+        auto type = bond_.function(fn).deviceType();
+        if (type == virtio::DeviceType::Net) {
+            if (!bond_.shadowReady(fn, virtio::NET_RXQ) ||
+                !bond_.shadowReady(fn, virtio::NET_TXQ))
+                continue;
+            auto limiter =
+                rateLimited_
+                    ? cloud::InstanceLimits::cloudNetwork()
+                    : cloud::DualRateLimiter::unlimited();
+            service_->attachNet(
+                bond_.baseMemory(),
+                bond_.shadowLayout(fn, virtio::NET_RXQ),
+                bond_.shadowLayout(fn, virtio::NET_TXQ),
+                [this, fn] {
+                    bond_.backendCompleted(fn, virtio::NET_RXQ);
+                },
+                [this, fn] {
+                    bond_.backendCompleted(fn, virtio::NET_TXQ);
+                },
+                vswitch_, port_, limiter);
+            any = true;
+        } else if (type == virtio::DeviceType::Console) {
+            if (!bond_.shadowReady(fn, 0) ||
+                !bond_.shadowReady(fn, 1))
+                continue;
+            service_->attachConsole(
+                bond_.baseMemory(), bond_.shadowLayout(fn, 0),
+                bond_.shadowLayout(fn, 1),
+                [this, fn] { bond_.backendCompleted(fn, 0); },
+                [this, fn] { bond_.backendCompleted(fn, 1); },
+                [this](const std::string &text) {
+                    if (consoleSink_)
+                        consoleSink_(text);
+                });
+            any = true;
+        } else if (type == virtio::DeviceType::Block) {
+            if (!bond_.shadowReady(fn, 0))
+                continue;
+            panic_if(storage_ == nullptr || volume_ == nullptr,
+                     name(),
+                     ": blk function without storage backing");
+            auto limiter =
+                rateLimited_
+                    ? cloud::InstanceLimits::cloudStorage()
+                    : cloud::DualRateLimiter::unlimited();
+            service_->attachBlk(
+                bond_.baseMemory(), bond_.shadowLayout(fn, 0),
+                [this, fn] { bond_.backendCompleted(fn, 0); },
+                *storage_, *volume_, limiter);
+            any = true;
+        }
+    }
+    if (any) {
+        connected_ = true;
+        service_->start();
+    }
+    return any;
+}
+
+bool
+BmHypervisor::updateGuestFirmware(const hw::FirmwareImage &fw)
+{
+    return board_.updateFirmware(fw, providerKey);
+}
+
+void
+BmHypervisor::liveUpgrade(std::function<void(Tick)> done)
+{
+    panic_if(!connected_, name(), ": live upgrade while detached");
+    Tick t0 = curTick();
+    // Stop taking new work; in-flight block I/O keeps completing.
+    service_->stop();
+    finishUpgrade(t0, std::move(done));
+}
+
+void
+BmHypervisor::finishUpgrade(Tick t0, std::function<void(Tick)> done)
+{
+    if (service_->blkInflight() > 0) {
+        auto *ev = new OneShotEvent(
+            [this, t0, done] { finishUpgrade(t0, done); },
+            name() + ".quiesce");
+        scheduleIn(ev, usToTicks(10));
+        return;
+    }
+    ++upgrades_;
+    auto next = std::make_unique<VirtioIoService>(
+        sim_, name() + ".svc.v" + std::to_string(upgrades_ + 1),
+        *core_, serviceParams_);
+    next->adoptFrom(*service_);
+    // The old process stays allocated until teardown (its
+    // in-flight lambdas are gone once quiesced).
+    retired_.push_back(std::move(service_));
+    service_ = std::move(next);
+    service_->start();
+    if (done)
+        done(curTick() - t0);
+}
+
+} // namespace hv
+} // namespace bmhive

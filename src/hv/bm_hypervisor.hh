@@ -1,0 +1,128 @@
+/**
+ * @file
+ * BmHypervisor: the user-space bare-metal hypervisor process.
+ * One process per bm-guest (paper section 3.2: "Every
+ * bm-hypervisor process provides service to one bm-guest only for
+ * better isolation of back-end virtio resource").
+ *
+ * Unlike a vm-hypervisor it virtualizes nothing: it manages the
+ * guest's life cycle through the PCIe interface (power, firmware
+ * verification) and runs the poll-mode virtio backend over
+ * IO-Bond's shadow vrings, bridging to the cloud vSwitch and block
+ * service.
+ */
+
+#ifndef BMHIVE_HV_BM_HYPERVISOR_HH
+#define BMHIVE_HV_BM_HYPERVISOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/block_service.hh"
+#include "cloud/vswitch.hh"
+#include "hv/io_service.hh"
+#include "hw/compute_board.hh"
+#include "iobond/iobond.hh"
+
+namespace bmhive {
+namespace hv {
+
+class BmHypervisor : public SimObject
+{
+  public:
+    /**
+     * @param board    the guest's compute board
+     * @param bond     the IO-Bond bridging the board to the base
+     * @param core     base-board core running this process's PMD
+     * @param vswitch  the server's DPDK vSwitch
+     * @param mac      the guest NIC's MAC (vSwitch port address)
+     * @param storage  cloud storage (may be null: no blk function)
+     * @param volume   the guest's volume (when storage given)
+     * @param rate_limited  apply the section 4.1 instance limits
+     */
+    BmHypervisor(Simulation &sim, std::string name,
+                 hw::ComputeBoard &board, iobond::IoBond &bond,
+                 hw::CpuExecutor &core, cloud::VSwitch &vswitch,
+                 cloud::MacAddr mac,
+                 cloud::BlockService *storage = nullptr,
+                 cloud::Volume *volume = nullptr,
+                 bool rate_limited = true);
+
+    /** Power the compute board on (PCIe power control). */
+    void powerOnGuest();
+    /** Power the board off and stop the backend. */
+    void powerOffGuest();
+
+    /**
+     * Wire the backend to the shadow vrings. Call after the guest
+     * driver has completed initialization (DRIVER_OK); returns
+     * false if no shadow queue is ready yet.
+     */
+    bool connectBackends();
+
+    /**
+     * Apply a guest firmware update; refused unless signed by the
+     * provider key.
+     */
+    bool updateGuestFirmware(const hw::FirmwareImage &fw);
+
+    /**
+     * Orthus-style live upgrade (paper section 6): replace this
+     * process's backend with a freshly constructed one while the
+     * guest keeps running. New work is held while in-flight block
+     * I/O quiesces, then the new service adopts all ring state and
+     * buffered traffic. @p done receives the service downtime.
+     */
+    void liveUpgrade(std::function<void(Tick downtime)> done);
+
+    /** Guest console output is delivered to @p sink. */
+    void setConsoleSink(
+        std::function<void(const std::string &)> sink)
+    {
+        consoleSink_ = std::move(sink);
+    }
+
+    /** Send input to the guest console. */
+    void consoleInput(const std::string &text)
+    {
+        service_->consoleInput(text);
+    }
+
+    /** Completed live upgrades. */
+    unsigned upgrades() const { return upgrades_; }
+
+    VirtioIoService &service() { return *service_; }
+    cloud::PortId port() const { return port_; }
+    bool connected() const { return connected_; }
+
+    /** Provider firmware-signing key (shared by the fleet). */
+    static constexpr std::uint64_t providerKey = 0xa11baba;
+
+  private:
+    hw::ComputeBoard &board_;
+    iobond::IoBond &bond_;
+    cloud::VSwitch &vswitch_;
+    cloud::MacAddr mac_;
+    cloud::BlockService *storage_;
+    cloud::Volume *volume_;
+    bool rateLimited_;
+    cloud::PortId port_;
+    std::unique_ptr<VirtioIoService> service_;
+    std::vector<std::unique_ptr<VirtioIoService>> retired_;
+    std::function<void(const std::string &)> consoleSink_;
+    hw::CpuExecutor *core_ = nullptr;
+    IoServiceParams serviceParams_;
+    bool connected_ = false;
+    unsigned upgrades_ = 0;
+
+    /** Finish a live upgrade once block I/O has drained. */
+    void finishUpgrade(Tick t0,
+                       std::function<void(Tick)> done);
+};
+
+} // namespace hv
+} // namespace bmhive
+
+#endif // BMHIVE_HV_BM_HYPERVISOR_HH

@@ -1,0 +1,431 @@
+#include "hv/io_service.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+#include "guest/packet_wire.hh"
+#include "virtio/virtio_blk.hh"
+
+namespace bmhive {
+namespace hv {
+
+using namespace virtio;
+
+VirtioIoService::VirtioIoService(Simulation &sim, std::string name,
+                                 hw::CpuExecutor &core,
+                                 IoServiceParams params)
+    : SimObject(sim, std::move(name)), core_(core), params_(params),
+      pollEvent_([this] { poll(); }, this->name() + ".poll",
+                 Event::pollPri)
+{
+}
+
+VirtioIoService::~VirtioIoService()
+{
+    if (pollEvent_.scheduled())
+        eventq().deschedule(&pollEvent_);
+}
+
+void
+VirtioIoService::attachNet(GuestMemory &ring_mem,
+                           const VringLayout &rx,
+                           const VringLayout &tx,
+                           CompletionBarrier rx_done,
+                           CompletionBarrier tx_done,
+                           cloud::VSwitch &vswitch, cloud::PortId port,
+                           cloud::DualRateLimiter limiter)
+{
+    netMem_ = &ring_mem;
+    netRx_ = std::make_unique<VirtQueueDevice>(ring_mem, rx);
+    netTx_ = std::make_unique<VirtQueueDevice>(ring_mem, tx);
+    netRxDone_ = std::move(rx_done);
+    netTxDone_ = std::move(tx_done);
+    vswitch_ = &vswitch;
+    port_ = port;
+    netLimiter_ = limiter;
+    if (params_.suppressGuestNotify) {
+        netRx_->setNoNotify(true);
+        netTx_->setNoNotify(true);
+    }
+}
+
+void
+VirtioIoService::attachBlk(GuestMemory &ring_mem,
+                           const VringLayout &vq,
+                           CompletionBarrier done,
+                           cloud::BlockService &svc, cloud::Volume &vol,
+                           cloud::DualRateLimiter limiter)
+{
+    blkMem_ = &ring_mem;
+    blk_ = std::make_unique<VirtQueueDevice>(ring_mem, vq);
+    blkDone_ = std::move(done);
+    blkSvc_ = &svc;
+    vol_ = &vol;
+    blkLimiter_ = limiter;
+    if (params_.suppressGuestNotify)
+        blk_->setNoNotify(true);
+}
+
+void
+VirtioIoService::attachConsole(
+    GuestMemory &ring_mem, const VringLayout &rx,
+    const VringLayout &tx, CompletionBarrier rx_done,
+    CompletionBarrier tx_done,
+    std::function<void(const std::string &)> sink)
+{
+    conMem_ = &ring_mem;
+    conRx_ = std::make_unique<VirtQueueDevice>(ring_mem, rx);
+    conTx_ = std::make_unique<VirtQueueDevice>(ring_mem, tx);
+    conRxDone_ = std::move(rx_done);
+    conTxDone_ = std::move(tx_done);
+    consoleSink_ = std::move(sink);
+    if (params_.suppressGuestNotify) {
+        conRx_->setNoNotify(true);
+        conTx_->setNoNotify(true);
+    }
+}
+
+void
+VirtioIoService::consoleInput(const std::string &text)
+{
+    conPending_.push_back(text);
+}
+
+void
+VirtioIoService::adoptFrom(VirtioIoService &old)
+{
+    panic_if(running_, name(), ": adopt into a running service");
+    panic_if(old.running_, name(), ": adopt from a running service");
+    panic_if(old.blkInflight_ != 0,
+             name(), ": adopt with block I/O in flight");
+    netMem_ = old.netMem_;
+    netRx_ = std::move(old.netRx_);
+    netTx_ = std::move(old.netTx_);
+    netRxDone_ = std::move(old.netRxDone_);
+    netTxDone_ = std::move(old.netTxDone_);
+    vswitch_ = old.vswitch_;
+    port_ = old.port_;
+    netLimiter_ = old.netLimiter_;
+    rxPending_ = std::move(old.rxPending_);
+    conMem_ = old.conMem_;
+    conRx_ = std::move(old.conRx_);
+    conTx_ = std::move(old.conTx_);
+    conRxDone_ = std::move(old.conRxDone_);
+    conTxDone_ = std::move(old.conTxDone_);
+    consoleSink_ = std::move(old.consoleSink_);
+    conPending_ = std::move(old.conPending_);
+    blkMem_ = old.blkMem_;
+    blk_ = std::move(old.blk_);
+    blkDone_ = std::move(old.blkDone_);
+    blkSvc_ = old.blkSvc_;
+    vol_ = old.vol_;
+    blkLimiter_ = old.blkLimiter_;
+    // Suppression flags follow the new flavour.
+    if (netRx_ && params_.suppressGuestNotify) {
+        netRx_->setNoNotify(true);
+        netTx_->setNoNotify(true);
+    }
+}
+
+void
+VirtioIoService::enqueueRx(const cloud::Packet &pkt)
+{
+    if (rxPending_.size() >= params_.rxPendingMax) {
+        rxDropped_.inc();
+        return;
+    }
+    rxPending_.push_back(pkt);
+}
+
+void
+VirtioIoService::start()
+{
+    panic_if(running_, name(), ": started twice");
+    running_ = true;
+    scheduleNext();
+}
+
+void
+VirtioIoService::stop()
+{
+    running_ = false;
+    if (pollEvent_.scheduled())
+        eventq().deschedule(&pollEvent_);
+}
+
+void
+VirtioIoService::scheduleNext()
+{
+    if (!running_)
+        return;
+    Tick next = curTick() + params_.pollPeriod;
+    if (core_.busyUntil() > next)
+        next = core_.busyUntil();
+    eventq().reschedule(&pollEvent_, next);
+}
+
+void
+VirtioIoService::poll()
+{
+    if (params_.pollRegisterCost > 0)
+        core_.charge(params_.pollRegisterCost);
+    if (netTx_)
+        pollNetTx();
+    if (netRx_)
+        pollNetRx();
+    if (blk_)
+        pollBlk();
+    if (conTx_)
+        pollConsole();
+    scheduleNext();
+}
+
+void
+VirtioIoService::pollNetTx()
+{
+    Tick cost = 0;
+    unsigned completed = 0;
+    while (auto chain = netTx_->pop()) {
+        auto ext = guest::readPacketFromTxChain(*netMem_, *chain);
+        cost += params_.perPacketCost + params_.perPacketCopyCost;
+        if (ext.ok) {
+            Tick when = netLimiter_.admit(curTick(), ext.pkt.len);
+            cloud::Packet pkt = ext.pkt;
+            cloud::VSwitch *sw = vswitch_;
+            cloud::PortId port = port_;
+            if (when <= curTick()) {
+                sw->send(port, pkt);
+            } else {
+                auto *ev = new OneShotEvent(
+                    [sw, port, pkt] { sw->send(port, pkt); },
+                    name() + ".paced_tx");
+                eventq().schedule(ev, when);
+            }
+            txPkts_.inc();
+        }
+        netTx_->pushUsed(chain->head, 0);
+        ++completed;
+    }
+    if (completed > 0) {
+        if (params_.completionRegisterCost > 0)
+            cost += params_.completionRegisterCost;
+        core_.charge(cost);
+        if (netTxDone_)
+            netTxDone_();
+    } else if (cost > 0) {
+        core_.charge(cost);
+    }
+}
+
+void
+VirtioIoService::pollNetRx()
+{
+    Tick cost = 0;
+    unsigned completed = 0;
+    while (!rxPending_.empty()) {
+        if (!netRx_->hasWork())
+            break; // guest has not replenished rx buffers
+        auto chain = netRx_->pop();
+        if (!chain)
+            continue; // malformed buffer consumed
+        const cloud::Packet &pkt = rxPending_.front();
+        std::uint32_t written =
+            guest::writePacketToRxChain(*netMem_, *chain, pkt);
+        rxPending_.pop_front();
+        cost += params_.perPacketCost + params_.perPacketCopyCost;
+        netRx_->pushUsed(chain->head, written);
+        rxPkts_.inc();
+        ++completed;
+    }
+    if (completed > 0) {
+        if (params_.completionRegisterCost > 0)
+            cost += params_.completionRegisterCost;
+        core_.charge(cost);
+        if (netRxDone_)
+            netRxDone_();
+    } else if (cost > 0) {
+        core_.charge(cost);
+    }
+}
+
+void
+VirtioIoService::pollConsole()
+{
+    // Guest output: drain the tx queue into the sink.
+    unsigned out = 0;
+    while (auto chain = conTx_->pop()) {
+        std::string text;
+        for (const auto &seg : chain->segs) {
+            if (seg.deviceWrites || seg.len == 0)
+                continue;
+            auto blob = conMem_->readBlob(seg.addr, seg.len);
+            text.append(blob.begin(), blob.end());
+        }
+        conTx_->pushUsed(chain->head, 0);
+        core_.charge(usToTicks(0.5));
+        if (consoleSink_)
+            consoleSink_(text);
+        ++out;
+    }
+    if (out > 0) {
+        if (params_.completionRegisterCost > 0)
+            core_.charge(params_.completionRegisterCost);
+        if (conTxDone_)
+            conTxDone_();
+    }
+
+    // Host input: copy pending strings into posted rx buffers.
+    unsigned in = 0;
+    while (!conPending_.empty() && conRx_->hasWork()) {
+        auto chain = conRx_->pop();
+        if (!chain)
+            continue;
+        const std::string &text = conPending_.front();
+        std::uint32_t written = 0;
+        for (const auto &seg : chain->segs) {
+            if (!seg.deviceWrites)
+                continue;
+            Bytes n = std::min<Bytes>(seg.len, text.size());
+            std::vector<std::uint8_t> bytes(text.begin(),
+                                            text.begin() + long(n));
+            conMem_->writeBlob(seg.addr, bytes);
+            written = std::uint32_t(n);
+            break;
+        }
+        conRx_->pushUsed(chain->head, written);
+        conPending_.pop_front();
+        ++in;
+    }
+    if (in > 0) {
+        if (params_.completionRegisterCost > 0)
+            core_.charge(params_.completionRegisterCost);
+        if (conRxDone_)
+            conRxDone_();
+    }
+}
+
+void
+VirtioIoService::pollBlk()
+{
+    while (auto chain = blk_->pop()) {
+        // Chain: [hdr 16B out] [data in|out]? [status 1B in].
+        if (chain->segs.size() < 2 ||
+            chain->segs.front().deviceWrites ||
+            chain->segs.front().len < VirtioBlkReqHdr::wireSize ||
+            !chain->segs.back().deviceWrites ||
+            chain->segs.back().len != 1) {
+            blk_->pushUsed(chain->head, 0);
+            continue;
+        }
+        VirtioBlkReqHdr hdr = VirtioBlkReqHdr::readFrom(
+            *blkMem_, chain->segs.front().addr);
+        Segment status = chain->segs.back();
+        bool has_data = chain->segs.size() >= 3;
+        Segment data{0, 0, false};
+        if (has_data)
+            data = chain->segs[1];
+
+        if (hdr.type == VIRTIO_BLK_T_FLUSH ||
+            (hdr.type == VIRTIO_BLK_T_IN && !has_data) ||
+            (hdr.type == VIRTIO_BLK_T_OUT && !has_data)) {
+            // Flush (or degenerate zero-length op): complete OK.
+            blkMem_->write8(status.addr, VIRTIO_BLK_S_OK);
+            blk_->pushUsed(chain->head, 1);
+            blkIos_.inc();
+            if (blkDone_)
+                blkDone_();
+            continue;
+        }
+        if (hdr.type != VIRTIO_BLK_T_IN &&
+            hdr.type != VIRTIO_BLK_T_OUT) {
+            blkMem_->write8(status.addr, VIRTIO_BLK_S_UNSUPP);
+            blk_->pushUsed(chain->head, 1);
+            if (blkDone_)
+                blkDone_();
+            continue;
+        }
+
+        bool is_write = hdr.type == VIRTIO_BLK_T_OUT;
+        Bytes len = data.len;
+        std::uint16_t head = chain->head;
+        std::uint64_t lba = hdr.sector;
+        Addr data_addr = data.addr;
+        Addr status_addr = status.addr;
+
+        if (is_write) {
+            // Data already sits in ring memory; persist it now.
+            vol_->writeData(lba, blkMem_->readBlob(data_addr, len));
+        }
+
+        cloud::BlockIo io;
+        io.write = is_write;
+        io.lba = lba;
+        io.len = len;
+        io.done = [this, is_write, lba, len, data_addr, status_addr,
+                   head] {
+            // Completion handling runs on the iothread; if that
+            // thread is preempted, every in-flight I/O behind it
+            // waits — the mechanism behind the vm's latency tail.
+            hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
+            Tick cost = params_.blkTouchCost +
+                        params_.completionRegisterCost;
+            if (!is_write && params_.blkCopyBytesPerSec > 0.0) {
+                cost += Tick(double(len) /
+                             params_.blkCopyBytesPerSec *
+                             double(tickSec));
+            }
+            core->run(cost, [this, is_write, lba, len, data_addr,
+                             status_addr, head] {
+                if (!is_write) {
+                    blkMem_->writeBlob(data_addr,
+                                       vol_->readData(lba, len));
+                }
+                blkMem_->write8(status_addr, VIRTIO_BLK_S_OK);
+                blk_->pushUsed(head,
+                               is_write ? 1
+                                        : std::uint32_t(len) + 1);
+                blkIos_.inc();
+                panic_if(blkInflight_ == 0,
+                         name(), ": inflight underflow");
+                --blkInflight_;
+                if (blkDone_)
+                    blkDone_();
+            });
+        };
+
+        // The submission path: CPU work (touch + payload copy)
+        // occupies the iothread — a preempted or copy-saturated
+        // iothread throttles every I/O behind it — while the rest
+        // of the host software path (blkExtraCost) adds latency
+        // without consuming the thread.
+        hw::CpuExecutor *score = blkCore_ ? blkCore_ : &core_;
+        auto io_box =
+            std::make_shared<cloud::BlockIo>(std::move(io));
+        Tick copy_cost = 0;
+        if (is_write && params_.blkCopyBytesPerSec > 0.0) {
+            copy_cost = Tick(double(len) /
+                             params_.blkCopyBytesPerSec *
+                             double(tickSec));
+        }
+        ++blkInflight_;
+        score->run(
+            params_.blkTouchCost + copy_cost,
+            [this, io_box, len] {
+                Tick when = blkLimiter_.admit(
+                    curTick() + params_.blkExtraCost, len);
+                auto *svc = blkSvc_;
+                auto *vol = vol_;
+                auto *ev = new OneShotEvent(
+                    [svc, vol, io_box] {
+                        svc->submit(*vol, std::move(*io_box));
+                    },
+                    name() + ".blk_submit");
+                eventq().schedule(
+                    ev, std::max(when, curTick() +
+                                           params_.blkExtraCost));
+            });
+    }
+}
+
+} // namespace hv
+} // namespace bmhive

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * VirtioIoService: the user-space, poll-mode virtio backend (paper
+ * section 3.4.2). One service instance runs per guest on a
+ * dedicated base-board core, polling the guest's queues, pushing
+ * network frames into the DPDK-style vSwitch, and executing block
+ * I/O against the SPDK-style cloud storage.
+ *
+ * The same service implements both platforms' backends:
+ *  - BM-Hive: queues are IO-Bond *shadow* vrings in base memory;
+ *    each poll iteration pays the mailbox register read and each
+ *    completion batch pays the tail-register write (0.8 us each).
+ *  - KVM baseline: queues are the guest's own vrings (shared
+ *    memory, vhost-user style); the service additionally performs
+ *    the CPU data copies a software backend must do, and it
+ *    suppresses guest doorbells while polling (NO_NOTIFY), which
+ *    IO-Bond's hardware front-end cannot do.
+ */
+
+#ifndef BMHIVE_HV_IO_SERVICE_HH
+#define BMHIVE_HV_IO_SERVICE_HH
+
+#include <deque>
+#include <string>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/paper_constants.hh"
+#include "base/stats.hh"
+#include "cloud/block_service.hh"
+#include "cloud/rate_limiter.hh"
+#include "cloud/vswitch.hh"
+#include "hw/cpu_executor.hh"
+#include "mem/guest_memory.hh"
+#include "sim/sim_object.hh"
+#include "virtio/virtqueue.hh"
+
+namespace bmhive {
+namespace hv {
+
+/** Timing knobs distinguishing the two backend flavours. */
+struct IoServiceParams
+{
+    /** Poll period of the PMD loop. */
+    Tick pollPeriod = paper::backendPollPeriod;
+    /** Register read at the top of each poll (bm: mailbox). */
+    Tick pollRegisterCost = 0;
+    /** Register write per completion batch (bm: tail register). */
+    Tick completionRegisterCost = 0;
+    /** CPU cost to process one packet (parse + switch handoff). */
+    Tick perPacketCost = paper::backendPerPacketCost;
+    /** CPU copy cost per packet payload (vm backend only; the
+     *  bm path is copied by IO-Bond's DMA engine instead). */
+    Tick perPacketCopyCost = 0;
+    /** CPU cost to submit/complete one block I/O. */
+    Tick blkTouchCost = usToTicks(1.0);
+    /** Extra host-side cost per block I/O (vm: the extra memory
+     *  copies and the longer software path, section 4.3). */
+    Tick blkExtraCost = 0;
+    /** CPU copy rate for block payloads (0 = no copy; the bm path
+     *  moves data with IO-Bond's DMA engine instead). */
+    double blkCopyBytesPerSec = 0.0;
+    /** Suppress guest doorbells while polling (vhost only). */
+    bool suppressGuestNotify = false;
+    /** Backend rx buffering (socket backlog analog). */
+    std::size_t rxPendingMax = 4096;
+};
+
+/**
+ * Completion barrier: invoked after the service pushed used
+ * elements so the platform can propagate them to the guest
+ * (IO-Bond tail write, or a direct MSI for the vhost case).
+ */
+using CompletionBarrier = std::function<void()>;
+
+class VirtioIoService : public SimObject
+{
+  public:
+    VirtioIoService(Simulation &sim, std::string name,
+                    hw::CpuExecutor &core, IoServiceParams params);
+    ~VirtioIoService() override;
+
+    /**
+     * Attach the network role: device views of the guest's rx/tx
+     * rings plus the vSwitch port this guest owns.
+     */
+    void attachNet(GuestMemory &ring_mem,
+                   const virtio::VringLayout &rx,
+                   const virtio::VringLayout &tx,
+                   CompletionBarrier rx_done, CompletionBarrier tx_done,
+                   cloud::VSwitch &vswitch, cloud::PortId port,
+                   cloud::DualRateLimiter limiter);
+
+    /**
+     * Attach the console role: queue 0 carries host->guest input,
+     * queue 1 guest->host output; output text reaches @p sink.
+     */
+    void attachConsole(GuestMemory &ring_mem,
+                       const virtio::VringLayout &rx,
+                       const virtio::VringLayout &tx,
+                       CompletionBarrier rx_done,
+                       CompletionBarrier tx_done,
+                       std::function<void(const std::string &)>
+                           sink);
+
+    /** Queue text toward the guest console (host->guest). */
+    void consoleInput(const std::string &text);
+
+    /** Attach the storage role. */
+    void attachBlk(GuestMemory &ring_mem,
+                   const virtio::VringLayout &vq,
+                   CompletionBarrier done, cloud::BlockService &svc,
+                   cloud::Volume &vol,
+                   cloud::DualRateLimiter limiter);
+
+    /** Frames from the vSwitch destined to this guest. */
+    void enqueueRx(const cloud::Packet &pkt);
+
+    /** Resize the rx backlog (socket-backlog analog). */
+    void setRxBacklog(std::size_t n) { params_.rxPendingMax = n; }
+
+    /** Per-packet processing cost (PMD burst mode amortizes it). */
+    void setPerPacketCost(Tick t) { params_.perPacketCost = t; }
+
+    /** Poll period of the PMD loop (ablation studies). */
+    void setPollPeriod(Tick t) { params_.pollPeriod = t; }
+
+    /**
+     * Run block completions on @p core instead of the main poll
+     * core (the vm baseline uses a separate, preemptible
+     * iothread; see paper section 2.1 on host I/O contention).
+     */
+    void setBlkCore(hw::CpuExecutor *core) { blkCore_ = core; }
+
+    /** Begin the poll loop. */
+    void start();
+
+    /**
+     * Adopt all attached roles, ring positions, limiter state, and
+     * buffered traffic from @p old (which must be stopped). Used
+     * by the Orthus-style live upgrade (paper section 6).
+     */
+    void adoptFrom(VirtioIoService &old);
+
+    /** Block I/Os submitted but not yet completed. */
+    std::uint64_t blkInflight() const { return blkInflight_; }
+    /** Stop polling (guest powered off / destroyed). */
+    void stop();
+
+    std::uint64_t txPackets() const { return txPkts_.value(); }
+    std::uint64_t rxPackets() const { return rxPkts_.value(); }
+    std::uint64_t blkIos() const { return blkIos_.value(); }
+    std::uint64_t rxDropped() const { return rxDropped_.value(); }
+
+    virtio::VirtQueueDevice *netTxQueue() { return netTx_.get(); }
+    virtio::VirtQueueDevice *netRxQueue() { return netRx_.get(); }
+    virtio::VirtQueueDevice *blkQueue() { return blk_.get(); }
+
+  private:
+    void poll();
+    void pollNetTx();
+    void pollNetRx();
+    void pollBlk();
+    void pollConsole();
+    void scheduleNext();
+
+    hw::CpuExecutor &core_;
+    hw::CpuExecutor *blkCore_ = nullptr; ///< defaults to &core_
+    IoServiceParams params_;
+
+    // Net role.
+    GuestMemory *netMem_ = nullptr;
+    std::unique_ptr<virtio::VirtQueueDevice> netRx_;
+    std::unique_ptr<virtio::VirtQueueDevice> netTx_;
+    CompletionBarrier netRxDone_;
+    CompletionBarrier netTxDone_;
+    cloud::VSwitch *vswitch_ = nullptr;
+    cloud::PortId port_ = 0;
+    cloud::DualRateLimiter netLimiter_ =
+        cloud::DualRateLimiter::unlimited();
+    std::deque<cloud::Packet> rxPending_;
+
+    // Console role.
+    GuestMemory *conMem_ = nullptr;
+    std::unique_ptr<virtio::VirtQueueDevice> conRx_;
+    std::unique_ptr<virtio::VirtQueueDevice> conTx_;
+    CompletionBarrier conRxDone_;
+    CompletionBarrier conTxDone_;
+    std::function<void(const std::string &)> consoleSink_;
+    std::deque<std::string> conPending_;
+
+    // Blk role.
+    GuestMemory *blkMem_ = nullptr;
+    std::unique_ptr<virtio::VirtQueueDevice> blk_;
+    CompletionBarrier blkDone_;
+    cloud::BlockService *blkSvc_ = nullptr;
+    cloud::Volume *vol_ = nullptr;
+    cloud::DualRateLimiter blkLimiter_ =
+        cloud::DualRateLimiter::unlimited();
+
+    bool running_ = false;
+    std::uint64_t blkInflight_ = 0;
+    EventFunctionWrapper pollEvent_;
+    Counter txPkts_;
+    Counter rxPkts_;
+    Counter blkIos_;
+    Counter rxDropped_;
+};
+
+} // namespace hv
+} // namespace bmhive
+
+#endif // BMHIVE_HV_IO_SERVICE_HH

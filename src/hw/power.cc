@@ -1,0 +1,32 @@
+#include "hw/power.hh"
+
+namespace bmhive {
+namespace hw {
+
+PowerBreakdown
+bmHivePower(const CpuModel &base_cpu,
+            const std::vector<CpuModel> &boards)
+{
+    PowerBreakdown p;
+    p.baseCpuWatts = base_cpu.tdpWatts;
+    for (const auto &b : boards) {
+        p.boardCpuWatts += b.tdpWatts;
+        p.fpgaWatts += ioBondFpgaWatts;
+        p.sellableThreads += b.threads;
+    }
+    return p;
+}
+
+PowerBreakdown
+vmServerPower(const CpuModel &cpu, unsigned reserved_threads)
+{
+    PowerBreakdown p;
+    p.boardCpuWatts = 2.0 * cpu.tdpWatts; // two sockets
+    unsigned total = 2 * cpu.threads;
+    p.sellableThreads =
+        total > reserved_threads ? total - reserved_threads : 0;
+    return p;
+}
+
+} // namespace hw
+} // namespace bmhive

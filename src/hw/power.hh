@@ -1,0 +1,62 @@
+/**
+ * @file
+ * TDP-based power model for the section 3.5 cost-efficiency
+ * analysis: watts per sellable vCPU for a BM-Hive server versus a
+ * conventional virtualization server.
+ */
+
+#ifndef BMHIVE_HW_POWER_HH
+#define BMHIVE_HW_POWER_HH
+
+#include <vector>
+
+#include "hw/cpu_model.hh"
+
+namespace bmhive {
+namespace hw {
+
+struct PowerBreakdown
+{
+    double baseCpuWatts = 0.0;
+    double boardCpuWatts = 0.0;
+    double fpgaWatts = 0.0;
+    unsigned sellableThreads = 0;
+
+    double
+    totalWatts() const
+    {
+        return baseCpuWatts + boardCpuWatts + fpgaWatts;
+    }
+
+    double
+    wattsPerVcpu() const
+    {
+        return sellableThreads == 0
+                   ? 0.0
+                   : totalWatts() / double(sellableThreads);
+    }
+};
+
+/** TDP of one IO-Bond FPGA (Intel Arria low-cost part). */
+constexpr double ioBondFpgaWatts = 20.0;
+
+/**
+ * Power of a BM-Hive server with the given compute boards; every
+ * board thread is sellable (no hypervisor reservation on the
+ * boards themselves).
+ */
+PowerBreakdown bmHivePower(const CpuModel &base_cpu,
+                           const std::vector<CpuModel> &boards);
+
+/**
+ * Power of a conventional virtualization server: two sockets of
+ * @p cpu, with @p reserved_threads HT kept for the hypervisor and
+ * the host kernel (8 in the paper).
+ */
+PowerBreakdown vmServerPower(const CpuModel &cpu,
+                             unsigned reserved_threads);
+
+} // namespace hw
+} // namespace bmhive
+
+#endif // BMHIVE_HW_POWER_HH

@@ -1,0 +1,449 @@
+#include "iobond/iobond.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+#include "virtio/virtio_blk.hh"
+#include "virtio/virtio_net.hh"
+
+namespace bmhive {
+namespace iobond {
+
+using namespace virtio;
+
+IoBondFunction::IoBondFunction(Simulation &sim, std::string name,
+                               IoBond &owner, unsigned index,
+                               DeviceType type, unsigned num_queues,
+                               std::uint64_t features)
+    : VirtioPciDevice(sim, std::move(name), type, num_queues,
+                      features),
+      owner_(owner), index_(index)
+{
+}
+
+void
+IoBondFunction::setDeviceCfgBytes(std::vector<std::uint8_t> bytes)
+{
+    devCfg_ = std::move(bytes);
+}
+
+std::uint32_t
+IoBondFunction::deviceCfgRead(Addr offset, unsigned size)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr idx = offset + i;
+        std::uint8_t b =
+            idx < devCfg_.size() ? devCfg_[idx] : 0;
+        v |= std::uint32_t(b) << (8 * i);
+    }
+    return v;
+}
+
+void
+IoBondFunction::onQueueNotify(unsigned q)
+{
+    owner_.guestNotified(*this, q);
+}
+
+void
+IoBondFunction::onDriverOk()
+{
+    owner_.driverReady(*this);
+}
+
+void
+IoBondFunction::onReset()
+{
+    owner_.functionReset(*this);
+}
+
+IoBond::IoBond(Simulation &sim, std::string name,
+               hw::ComputeBoard &board, GuestMemory &base_memory,
+               Addr shadow_region_base, IoBondParams params)
+    : SimObject(sim, std::move(name)), board_(board),
+      baseMem_(base_memory), params_(params),
+      dma_(sim, this->name() + ".dma", params.dmaBandwidth),
+      pool_(shadow_region_base + 4 * MiB, params.shadowArenaBytes),
+      shadowRings_(base_memory, shadow_region_base)
+{
+    panic_if(shadow_region_base + 4 * MiB +
+                     params.shadowArenaBytes >
+                 base_memory.size(),
+             this->name(), ": shadow region exceeds base memory");
+}
+
+IoBondFunction &
+IoBond::addNetFunction(int guest_slot, std::uint64_t mac)
+{
+    auto idx = unsigned(functions_.size());
+    auto fn = std::make_unique<IoBondFunction>(
+        sim_, name() + ".net" + std::to_string(idx), *this, idx,
+        DeviceType::Net, 2,
+        VIRTIO_NET_F_CSUM | VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
+            VIRTIO_RING_F_INDIRECT_DESC | VIRTIO_RING_F_EVENT_IDX);
+    std::vector<std::uint8_t> cfg(8, 0);
+    for (int i = 0; i < 6; ++i)
+        cfg[i] = std::uint8_t(mac >> (8 * i));
+    cfg[6] = 1; // VIRTIO_NET_S_LINK_UP
+    fn->setDeviceCfgBytes(std::move(cfg));
+    board_.pciBus().attach(*fn, guest_slot);
+    functions_.push_back(std::move(fn));
+    shadow_.emplace_back(2);
+    return *functions_.back();
+}
+
+IoBondFunction &
+IoBond::addBlkFunction(int guest_slot, std::uint64_t capacity_sectors)
+{
+    auto idx = unsigned(functions_.size());
+    auto fn = std::make_unique<IoBondFunction>(
+        sim_, name() + ".blk" + std::to_string(idx), *this, idx,
+        DeviceType::Block, 1,
+        VIRTIO_BLK_F_SEG_MAX | VIRTIO_BLK_F_BLK_SIZE |
+            VIRTIO_BLK_F_FLUSH | VIRTIO_RING_F_INDIRECT_DESC |
+            VIRTIO_RING_F_EVENT_IDX);
+    std::vector<std::uint8_t> cfg(8, 0);
+    for (int i = 0; i < 8; ++i)
+        cfg[i] = std::uint8_t(capacity_sectors >> (8 * i));
+    fn->setDeviceCfgBytes(std::move(cfg));
+    board_.pciBus().attach(*fn, guest_slot);
+    functions_.push_back(std::move(fn));
+    shadow_.emplace_back(1);
+    return *functions_.back();
+}
+
+IoBondFunction &
+IoBond::addConsoleFunction(int guest_slot)
+{
+    auto idx = unsigned(functions_.size());
+    auto fn = std::make_unique<IoBondFunction>(
+        sim_, name() + ".console" + std::to_string(idx), *this, idx,
+        DeviceType::Console, 2, VIRTIO_RING_F_INDIRECT_DESC);
+    board_.pciBus().attach(*fn, guest_slot);
+    functions_.push_back(std::move(fn));
+    shadow_.emplace_back(2);
+    return *functions_.back();
+}
+
+IoBondFunction &
+IoBond::function(unsigned i)
+{
+    panic_if(i >= functions_.size(), name(), ": bad function ", i);
+    return *functions_[i];
+}
+
+bool
+IoBond::shadowReady(unsigned fn, unsigned q) const
+{
+    if (fn >= shadow_.size() || q >= shadow_[fn].size())
+        return false;
+    return shadow_[fn][q].ready;
+}
+
+VringLayout
+IoBond::shadowLayout(unsigned fn, unsigned q) const
+{
+    panic_if(!shadowReady(fn, q),
+             name(), ": shadow (", fn, ",", q, ") not ready");
+    return shadow_[fn][q].shadowLayout;
+}
+
+void
+IoBond::driverReady(IoBondFunction &fn)
+{
+    unsigned fi = fn.index();
+    for (unsigned q = 0; q < fn.numQueues(); ++q) {
+        const QueueState &qs = fn.queueState(q);
+        if (!qs.enabled)
+            continue;
+        ShadowQueue &sq = shadow_[fi][q];
+        sq.guestLayout = qs.layout();
+        Addr base = shadowRings_.alloc(
+            VringLayout::bytesNeeded(qs.size), 4096);
+        sq.shadowLayout = VringLayout::contiguous(qs.size, base);
+        sq.shadowLayout.setAvailFlags(baseMem_, 0);
+        sq.shadowLayout.setAvailIdx(baseMem_, 0);
+        sq.shadowLayout.setUsedFlags(baseMem_, 0);
+        sq.shadowLayout.setUsedIdx(baseMem_, 0);
+        sq.syncedAvail = sq.shadowAvail = 0;
+        sq.syncedUsed = sq.guestUsed = 0;
+        sq.ready = true;
+        trace(name() + ": shadow vring ready fn=" +
+              std::to_string(fi) + " q=" + std::to_string(q));
+    }
+}
+
+void
+IoBond::functionReset(IoBondFunction &fn)
+{
+    unsigned fi = fn.index();
+    for (auto &sq : shadow_[fi]) {
+        for (auto &[head, cs] : sq.inflight) {
+            if (cs.bufBlock != PoolAllocator::nullAddr)
+                pool_.free(cs.bufBlock);
+            if (cs.indirectBlock != PoolAllocator::nullAddr)
+                pool_.free(cs.indirectBlock);
+        }
+        sq.inflight.clear();
+        sq.ready = false;
+    }
+}
+
+void
+IoBond::guestNotified(IoBondFunction &fn, unsigned q)
+{
+    notifies_.inc();
+    unsigned fi = fn.index();
+    trace(name() + ": doorbell fn=" + std::to_string(fi) +
+          " q=" + std::to_string(q));
+    // The notification crosses to the mailbox side of the FPGA
+    // before descriptor fetch begins.
+    auto *ev = new OneShotEvent(
+        [this, fi, q] { syncAvail(fi, q); }, name() + ".mailbox");
+    scheduleIn(ev, params_.mailboxAccess);
+}
+
+void
+IoBond::syncAvail(unsigned fn, unsigned q)
+{
+    ShadowQueue &sq = shadow_[fn][q];
+    if (!sq.ready)
+        return;
+    GuestMemory &gmem = board_.memory();
+    std::uint16_t gavail = sq.guestLayout.availIdx(gmem);
+    while (sq.syncedAvail != gavail) {
+        std::uint16_t head = sq.guestLayout.availRing(
+            gmem, sq.syncedAvail % sq.guestLayout.size());
+        ++sq.syncedAvail;
+        mirrorChain(fn, q, head);
+    }
+}
+
+bool
+IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
+{
+    ShadowQueue &sq = shadow_[fn][q];
+    GuestMemory &gmem = board_.memory();
+    ChainWalk walk = walkDescChain(gmem, sq.guestLayout, head);
+
+    auto fail_chain = [&] {
+        bad_.inc();
+        // Complete toward the guest with zero length so its
+        // descriptors are reclaimed; a hostile guest cannot wedge
+        // the bridge.
+        VringUsedElem elem{head, 0};
+        dma_.accountOnly(8, [this, fn, q, elem] {
+            ShadowQueue &s = shadow_[fn][q];
+            GuestMemory &gm = board_.memory();
+            s.guestLayout.setUsedRing(
+                gm, s.guestUsed % s.guestLayout.size(), elem);
+            ++s.guestUsed;
+            s.guestLayout.setUsedIdx(gm, s.guestUsed);
+            functions_[fn]->notifyGuest(q);
+        });
+        return false;
+    };
+
+    if (!walk.ok)
+        return fail_chain();
+
+    Bytes total = 0;
+    for (const auto &s : walk.chain.segs)
+        total += s.len;
+
+    ChainShadow cs;
+    if (total > 0) {
+        cs.bufBlock = pool_.alloc(total, 16);
+        if (cs.bufBlock == PoolAllocator::nullAddr) {
+            warn(name(), ": shadow arena exhausted");
+            return fail_chain();
+        }
+    }
+
+    // Lay segments out back to back within the block; DMA the
+    // device-readable ones from guest memory.
+    Addr cursor = cs.bufBlock;
+    Bytes dma_bytes = 0;
+    for (const auto &s : walk.chain.segs) {
+        cs.segs.push_back({s.addr, cursor, s.len, s.deviceWrites});
+        if (!s.deviceWrites && s.len > 0) {
+            dma_.copy(gmem, s.addr, baseMem_, cursor, s.len, {});
+            dma_bytes += s.len;
+        }
+        cursor += s.len;
+    }
+
+    // Materialize shadow descriptors.
+    std::uint16_t desc_count = 0;
+    if (walk.indirect) {
+        cs.indirectBlock =
+            pool_.alloc(Bytes(walk.indirectCount) * vringDescSize,
+                        16);
+        if (cs.indirectBlock == PoolAllocator::nullAddr) {
+            pool_.free(cs.bufBlock);
+            warn(name(), ": shadow arena exhausted (indirect)");
+            return fail_chain();
+        }
+        for (std::uint16_t i = 0; i < walk.indirectCount; ++i) {
+            const auto &seg = cs.segs[i];
+            Addr a = cs.indirectBlock + Addr(i) * vringDescSize;
+            baseMem_.write64(a, seg.shadowAddr);
+            baseMem_.write32(a + 8, std::uint32_t(seg.len));
+            std::uint16_t flags = std::uint16_t(
+                (seg.write ? VRING_DESC_F_WRITE : 0) |
+                (i + 1 < walk.indirectCount ? VRING_DESC_F_NEXT
+                                            : 0));
+            baseMem_.write16(a + 12, flags);
+            baseMem_.write16(a + 14,
+                             std::uint16_t(i + 1 < walk.indirectCount
+                                               ? i + 1
+                                               : 0));
+        }
+        VringDesc d;
+        d.addr = cs.indirectBlock;
+        d.len = std::uint32_t(walk.indirectCount) *
+                std::uint32_t(vringDescSize);
+        d.flags = VRING_DESC_F_INDIRECT;
+        d.next = 0;
+        sq.shadowLayout.writeDesc(baseMem_, head, d);
+        desc_count = std::uint16_t(walk.indirectCount + 1);
+    } else {
+        for (std::size_t i = 0; i < walk.path.size(); ++i) {
+            const auto &seg = cs.segs[i];
+            VringDesc d;
+            d.addr = seg.shadowAddr;
+            d.len = std::uint32_t(seg.len);
+            d.flags = std::uint16_t(
+                (seg.write ? VRING_DESC_F_WRITE : 0) |
+                (i + 1 < walk.path.size() ? VRING_DESC_F_NEXT : 0));
+            d.next = std::uint16_t(
+                i + 1 < walk.path.size() ? walk.path[i + 1] : 0);
+            sq.shadowLayout.writeDesc(baseMem_, walk.path[i], d);
+        }
+        desc_count = std::uint16_t(walk.path.size());
+    }
+
+    sq.inflight[head] = std::move(cs);
+
+    // Ring metadata follows the payload through the DMA engine;
+    // the chain is published on the shadow ring (and the head
+    // register bumped) only when everything has landed.
+    Bytes meta = Bytes(desc_count) * vringDescSize + 2;
+    dma_.accountOnly(meta, [this, fn, q, head, dma_bytes] {
+        ShadowQueue &s = shadow_[fn][q];
+        if (!s.ready)
+            return; // reset raced with the sync
+        s.shadowLayout.setAvailRing(
+            baseMem_, s.shadowAvail % s.shadowLayout.size(), head);
+        ++s.shadowAvail;
+        s.shadowLayout.setAvailIdx(baseMem_, s.shadowAvail);
+        chains_.inc();
+        trace(name() + ": chain head=" + std::to_string(head) +
+              " (" + std::to_string(dma_bytes) +
+              "B payload) published on shadow vring, head " +
+              "register -> " + std::to_string(s.shadowAvail));
+    });
+    return true;
+}
+
+void
+IoBond::backendCompleted(unsigned fn, unsigned q)
+{
+    panic_if(fn >= shadow_.size() || q >= shadow_[fn].size(),
+             name(), ": bad shadow queue (", fn, ",", q, ")");
+    ShadowQueue &sq = shadow_[fn][q];
+    if (!sq.ready)
+        return;
+    std::uint16_t sused = sq.shadowLayout.usedIdx(baseMem_);
+    while (sq.syncedUsed != sused) {
+        VringUsedElem elem = sq.shadowLayout.usedRing(
+            baseMem_, sq.syncedUsed % sq.shadowLayout.size());
+        ++sq.syncedUsed;
+        // Interrupt moderation: one MSI per completion batch, not
+        // per chain (the hardware raises it after the last DMA).
+        bool last = (sq.syncedUsed == sused);
+        returnChain(fn, q, elem, last);
+    }
+}
+
+void
+IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
+                    bool fire_msi)
+{
+    ShadowQueue &sq = shadow_[fn][q];
+    auto it = sq.inflight.find(std::uint16_t(elem.id));
+    if (it == sq.inflight.end()) {
+        warn(name(), ": backend completed unknown head ", elem.id);
+        return;
+    }
+    ChainShadow &cs = it->second;
+    GuestMemory &gmem = board_.memory();
+
+    // Device-written data flows back to guest memory — only the
+    // bytes the used element reports, not whole buffers.
+    Bytes budget = elem.len;
+    for (const auto &seg : cs.segs) {
+        if (!seg.write || seg.len == 0)
+            continue;
+        Bytes n = std::min<Bytes>(seg.len, budget);
+        if (n == 0)
+            break;
+        dma_.copy(baseMem_, seg.shadowAddr, gmem, seg.guestAddr, n,
+                  {});
+        budget -= n;
+    }
+
+    // The used element follows the data; on arrival the guest ring
+    // is updated, shadow resources are freed, and the MSI fires.
+    Addr buf_block = cs.bufBlock;
+    Addr ind_block = cs.indirectBlock;
+    sq.inflight.erase(it);
+
+    dma_.accountOnly(8, [this, fn, q, elem, buf_block, ind_block,
+                         fire_msi] {
+        ShadowQueue &s = shadow_[fn][q];
+        GuestMemory &gm = board_.memory();
+        s.guestLayout.setUsedRing(
+            gm, s.guestUsed % s.guestLayout.size(), elem);
+        ++s.guestUsed;
+        s.guestLayout.setUsedIdx(gm, s.guestUsed);
+        if (buf_block != PoolAllocator::nullAddr)
+            pool_.free(buf_block);
+        if (ind_block != PoolAllocator::nullAddr)
+            pool_.free(ind_block);
+        completions_.inc();
+        trace(name() + ": completion head=" +
+              std::to_string(elem.id) + " returned to guest" +
+              (fire_msi ? ", MSI" : ""));
+        // Respect the driver's interrupt suppression: flag bit in
+        // classic mode, used_event crossing with F_EVENT_IDX.
+        bool wants;
+        if (functions_[fn]->featureNegotiated(
+                VIRTIO_RING_F_EVENT_IDX)) {
+            wants = vringNeedEvent(
+                s.guestLayout.usedEvent(gm), s.guestUsed,
+                std::uint16_t(s.guestUsed - 1));
+        } else {
+            wants = !(s.guestLayout.availFlags(gm) &
+                      VRING_AVAIL_F_NO_INTERRUPT);
+        }
+        if (wants)
+            s.irqPending = true;
+        if (fire_msi && s.irqPending) {
+            s.irqPending = false;
+            functions_[fn]->notifyGuest(q);
+        }
+    });
+}
+
+void
+IoBond::trace(const std::string &msg)
+{
+    if (tracer_)
+        tracer_(msg);
+}
+
+} // namespace iobond
+} // namespace bmhive

@@ -1,0 +1,79 @@
+#include "mem/dma_engine.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace bmhive {
+
+DmaEngine::DmaEngine(Simulation &sim, std::string name,
+                     Bandwidth bandwidth, Tick startup)
+    : SimObject(sim, std::move(name)), bandwidth_(bandwidth),
+      startup_(startup),
+      completeEvent_([this] { complete(); }, this->name() + ".complete")
+{
+    panic_if(!bandwidth.valid(), "DMA engine needs positive bandwidth");
+}
+
+DmaEngine::~DmaEngine()
+{
+    if (completeEvent_.scheduled())
+        eventq().deschedule(&completeEvent_);
+}
+
+void
+DmaEngine::copy(const GuestMemory &src, Addr src_addr, GuestMemory &dst,
+                Addr dst_addr, Bytes len, Callback done)
+{
+    queue_.push_back(
+        Transfer{&src, src_addr, &dst, dst_addr, len, std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+void
+DmaEngine::accountOnly(Bytes len, Callback done)
+{
+    queue_.push_back(
+        Transfer{nullptr, 0, nullptr, 0, len, std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+void
+DmaEngine::startNext()
+{
+    panic_if(busy_, "DMA engine started while busy");
+    if (queue_.empty())
+        return;
+    busy_ = true;
+    const Transfer &t = queue_.front();
+    Tick duration = startup_ + bandwidth_.transferTime(t.len);
+    scheduleIn(&completeEvent_, duration);
+}
+
+void
+DmaEngine::complete()
+{
+    panic_if(queue_.empty(), "DMA completion with empty queue");
+    Transfer t = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = false;
+
+    if (t.src != nullptr) {
+        // Perform the actual copy at completion time so readers
+        // never observe half-finished transfers.
+        auto blob = t.src->readBlob(t.srcAddr, t.len);
+        t.dst->writeBlob(t.dstAddr, blob);
+    }
+    bytesMoved_ += t.len;
+    ++transfers_;
+
+    if (!queue_.empty())
+        startNext();
+
+    if (t.done)
+        t.done();
+}
+
+} // namespace bmhive

@@ -1,0 +1,167 @@
+#include "pci/config_space.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace pci {
+
+ConfigSpace::ConfigSpace()
+{
+    setWord(REG_VENDOR_ID, 0xffff);
+    setByte(REG_HEADER_TYPE, 0x00);
+}
+
+void
+ConfigSpace::setIds(std::uint16_t vendor, std::uint16_t device,
+                    std::uint16_t subsys_vendor, std::uint16_t subsys,
+                    std::uint32_t class_code, std::uint8_t revision)
+{
+    setWord(REG_VENDOR_ID, vendor);
+    setWord(REG_DEVICE_ID, device);
+    setWord(REG_SUBSYS_VENDOR_ID, subsys_vendor);
+    setWord(REG_SUBSYS_ID, subsys);
+    setByte(REG_REVISION, revision);
+    // Class code occupies the top three bytes of dword 0x08.
+    setByte(0x09, std::uint8_t(class_code & 0xff));         // prog-if
+    setByte(0x0a, std::uint8_t((class_code >> 8) & 0xff));  // subclass
+    setByte(0x0b, std::uint8_t((class_code >> 16) & 0xff)); // class
+}
+
+int
+ConfigSpace::addMemBar(int bar, Bytes size)
+{
+    panic_if(bar < 0 || bar > 5, "invalid BAR index: ", bar);
+    panic_if(size < 16 || (size & (size - 1)) != 0,
+             "BAR size must be a power of two >= 16, got ", size);
+    panic_if(barSize_[bar] != 0, "BAR ", bar, " already declared");
+    barSize_[bar] = size;
+    // Memory BAR, 32-bit, non-prefetchable: low bits are zero.
+    setDword(std::uint16_t(REG_BAR0 + 4 * bar), 0);
+    return bar;
+}
+
+std::uint8_t
+ConfigSpace::addCapability(std::uint8_t cap_id, std::uint8_t len)
+{
+    panic_if(len < 2, "capability too short");
+    panic_if(capNext_ + len > 0x100 - 1,
+             "config space capability area exhausted");
+    std::uint8_t off = capNext_;
+    // Align next capability to 4 bytes.
+    capNext_ = std::uint8_t((capNext_ + len + 3) & ~3);
+
+    setByte(off, cap_id);
+    setByte(std::uint8_t(off + 1), 0); // next = end of list
+
+    if (capTail_ == 0) {
+        setByte(REG_CAP_PTR, off);
+        setWord(REG_STATUS, std::uint16_t(word(REG_STATUS) |
+                                          STATUS_CAP_LIST));
+    } else {
+        setByte(std::uint8_t(capTail_ + 1), off);
+    }
+    capTail_ = off;
+    return off;
+}
+
+std::uint32_t
+ConfigSpace::read(std::uint16_t offset, unsigned size) const
+{
+    panic_if(size != 1 && size != 2 && size != 4,
+             "bad config read size: ", size);
+    panic_if(offset + size > data_.size(), "config read out of range");
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= std::uint32_t(data_[offset + i]) << (8 * i);
+    return v;
+}
+
+void
+ConfigSpace::write(std::uint16_t offset, std::uint32_t value,
+                   unsigned size)
+{
+    panic_if(size != 1 && size != 2 && size != 4,
+             "bad config write size: ", size);
+    panic_if(offset + size > data_.size(), "config write out of range");
+
+    // BAR writes: implement size probing. A 32-bit write of
+    // 0xffffffff returns the size mask on the next read.
+    if (size == 4 && offset >= REG_BAR0 && offset < REG_BAR0 + 24 &&
+        (offset & 3) == 0) {
+        int bar = (offset - REG_BAR0) / 4;
+        if (barSize_[bar] == 0)
+            return; // unimplemented BAR: hardwired zero
+        Bytes sz = barSize_[bar];
+        std::uint32_t mask = ~std::uint32_t(sz - 1);
+        std::uint32_t v = (value == 0xffffffffu)
+                              ? mask
+                              : (value & mask);
+        setDword(offset, v);
+        return;
+    }
+
+    // Read-only identification area (except command/status/BARs/
+    // cache line/latency/interrupt line).
+    bool writable =
+        offset == REG_COMMAND || offset == REG_COMMAND + 1 ||
+        offset == REG_INTERRUPT_LINE ||
+        (offset >= 0x40); // capability area writable by default
+    if (!writable)
+        return;
+
+    for (unsigned i = 0; i < size; ++i)
+        data_[offset + i] = std::uint8_t(value >> (8 * i));
+}
+
+Addr
+ConfigSpace::barBase(int bar) const
+{
+    panic_if(bar < 0 || bar > 5, "invalid BAR index: ", bar);
+    std::uint32_t raw = dword(std::uint16_t(REG_BAR0 + 4 * bar));
+    return raw & ~std::uint32_t(0xf);
+}
+
+bool
+ConfigSpace::memEnabled() const
+{
+    return word(REG_COMMAND) & CMD_MEM_SPACE;
+}
+
+bool
+ConfigSpace::busMasterEnabled() const
+{
+    return word(REG_COMMAND) & CMD_BUS_MASTER;
+}
+
+void
+ConfigSpace::setWord(std::uint16_t offset, std::uint16_t v)
+{
+    data_[offset] = std::uint8_t(v & 0xff);
+    data_[offset + 1] = std::uint8_t(v >> 8);
+}
+
+void
+ConfigSpace::setDword(std::uint16_t offset, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        data_[offset + i] = std::uint8_t(v >> (8 * i));
+}
+
+std::uint16_t
+ConfigSpace::word(std::uint16_t offset) const
+{
+    return std::uint16_t(data_[offset]) |
+           std::uint16_t(data_[offset + 1]) << 8;
+}
+
+std::uint32_t
+ConfigSpace::dword(std::uint16_t offset) const
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= std::uint32_t(data_[offset + i]) << (8 * i);
+    return v;
+}
+
+} // namespace pci
+} // namespace bmhive

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * PCI configuration space model: the standard type-0 header plus a
+ * capability list. IO-Bond emulates one PCI function per virtio
+ * device toward the compute board (paper section 3.4.1): config
+ * space, BAR0/BAR1, and PCIe capabilities — exactly the structures
+ * modelled here.
+ */
+
+#ifndef BMHIVE_PCI_CONFIG_SPACE_HH
+#define BMHIVE_PCI_CONFIG_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace bmhive {
+namespace pci {
+
+/** Standard config-space register offsets (type-0 header). */
+enum ConfigReg : std::uint16_t {
+    REG_VENDOR_ID = 0x00,
+    REG_DEVICE_ID = 0x02,
+    REG_COMMAND = 0x04,
+    REG_STATUS = 0x06,
+    REG_REVISION = 0x08,
+    REG_CLASS_CODE = 0x09, // 3 bytes: prog-if, subclass, class
+    REG_HEADER_TYPE = 0x0e,
+    REG_BAR0 = 0x10,
+    REG_BAR1 = 0x14,
+    REG_BAR2 = 0x18,
+    REG_BAR3 = 0x1c,
+    REG_BAR4 = 0x20,
+    REG_BAR5 = 0x24,
+    REG_SUBSYS_VENDOR_ID = 0x2c,
+    REG_SUBSYS_ID = 0x2e,
+    REG_CAP_PTR = 0x34,
+    REG_INTERRUPT_LINE = 0x3c,
+    REG_INTERRUPT_PIN = 0x3d,
+};
+
+/** COMMAND register bits. */
+enum CommandBits : std::uint16_t {
+    CMD_IO_SPACE = 1 << 0,
+    CMD_MEM_SPACE = 1 << 1,
+    CMD_BUS_MASTER = 1 << 2,
+    CMD_INTX_DISABLE = 1 << 10,
+};
+
+/** STATUS register bits. */
+enum StatusBits : std::uint16_t {
+    STATUS_CAP_LIST = 1 << 4,
+};
+
+/** Capability IDs used by the model. */
+enum CapabilityId : std::uint8_t {
+    CAP_ID_MSI = 0x05,
+    CAP_ID_VENDOR = 0x09, ///< vendor-specific; virtio uses this
+    CAP_ID_PCIE = 0x10,
+};
+
+/**
+ * 256-byte configuration space with capability-list management.
+ * BAR sizing (write all-ones, read back the mask) is implemented so
+ * a guest firmware model can probe BAR sizes the standard way.
+ */
+class ConfigSpace
+{
+  public:
+    ConfigSpace();
+
+    /** Set identification registers. */
+    void setIds(std::uint16_t vendor, std::uint16_t device,
+                std::uint16_t subsys_vendor, std::uint16_t subsys,
+                std::uint32_t class_code, std::uint8_t revision);
+
+    /**
+     * Declare a memory BAR of @p size bytes (power of two, >= 16).
+     * @return the BAR index passed in, for chaining.
+     */
+    int addMemBar(int bar, Bytes size);
+
+    /**
+     * Append a capability of @p len bytes (header included).
+     * @return config-space offset of the capability header.
+     */
+    std::uint8_t addCapability(std::uint8_t cap_id, std::uint8_t len);
+
+    /** Config accesses; @p size in {1, 2, 4}. */
+    std::uint32_t read(std::uint16_t offset, unsigned size) const;
+    void write(std::uint16_t offset, std::uint32_t value, unsigned size);
+
+    /** Programmed base address of a BAR (masked to its size). */
+    Addr barBase(int bar) const;
+    /** Declared size of a BAR; 0 if not present. */
+    Bytes barSize(int bar) const { return barSize_[bar]; }
+
+    /** True if memory decoding is enabled via COMMAND. */
+    bool memEnabled() const;
+    /** True if bus mastering (DMA) is enabled. */
+    bool busMasterEnabled() const;
+
+    /** Raw byte view for capability implementations. */
+    std::uint8_t byte(std::uint16_t offset) const { return data_[offset]; }
+    void setByte(std::uint16_t offset, std::uint8_t v) { data_[offset] = v; }
+    void setWord(std::uint16_t offset, std::uint16_t v);
+    void setDword(std::uint16_t offset, std::uint32_t v);
+    std::uint16_t word(std::uint16_t offset) const;
+    std::uint32_t dword(std::uint16_t offset) const;
+
+  private:
+    std::array<std::uint8_t, 256> data_{};
+    std::array<Bytes, 6> barSize_{};
+    std::uint8_t capTail_ = 0;   ///< offset of last capability header
+    std::uint8_t capNext_ = 0x40; ///< next free capability offset
+};
+
+} // namespace pci
+} // namespace bmhive
+
+#endif // BMHIVE_PCI_CONFIG_SPACE_HH

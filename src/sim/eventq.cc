@@ -1,0 +1,107 @@
+#include "sim/eventq.hh"
+
+#include "base/logging.hh"
+
+namespace bmhive {
+
+Event::~Event()
+{
+    panic_if(scheduled_,
+             "event '", name(), "' destroyed while scheduled");
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    panic_if(ev == nullptr, "scheduling a null event");
+    panic_if(ev->scheduled_,
+             "event '", ev->name(), "' is already scheduled");
+    panic_if(when < curTick_,
+             "scheduling event '", ev->name(), "' in the past: ",
+             when, " < ", curTick_);
+    ev->when_ = when;
+    ev->sequence_ = nextSeq_++;
+    ev->scheduled_ = true;
+    ev->squashed_ = false;
+    heap_.push(Entry{when, ev->priority_, ev->sequence_, ev});
+    ++liveCount_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    panic_if(ev == nullptr, "descheduling a null event");
+    panic_if(!ev->scheduled_,
+             "event '", ev->name(), "' is not scheduled");
+    // Lazy deletion: mark squashed, drop when popped.
+    ev->scheduled_ = false;
+    ev->squashed_ = true;
+    --liveCount_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::skim()
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        // An event is stale if it was squashed, or if it was
+        // rescheduled (its live (when, seq) no longer matches).
+        bool stale = top.ev->squashed_ || !top.ev->scheduled_ ||
+                     top.ev->sequence_ != top.seq;
+        if (!stale)
+            return;
+        if (top.ev->squashed_ && top.ev->sequence_ == top.seq)
+            top.ev->squashed_ = false;
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skim();
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skim();
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    panic_if(e.when < curTick_, "time went backwards");
+    curTick_ = e.when;
+    e.ev->scheduled_ = false;
+    --liveCount_;
+    ++processed_;
+    e.ev->process();
+    return true;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (true) {
+        skim();
+        if (heap_.empty())
+            return;
+        if (heap_.top().when > limit) {
+            curTick_ = limit;
+            return;
+        }
+        step();
+    }
+}
+
+} // namespace bmhive

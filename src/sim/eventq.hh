@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Discrete-event simulation core: Event, EventQueue.
+ *
+ * The event queue is the single source of simulated time. Events
+ * are ordered by (tick, priority, insertion sequence); same-tick
+ * events therefore execute in a deterministic order, which the
+ * test suite relies on.
+ */
+
+#ifndef BMHIVE_SIM_EVENTQ_HH
+#define BMHIVE_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace bmhive {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled at a point in simulated time. Subclass
+ * and implement process(), or use EventFunctionWrapper for
+ * lambda-based events.
+ *
+ * Events do not own themselves; the creating object manages their
+ * lifetime and must keep them alive while scheduled.
+ */
+class Event
+{
+  public:
+    /** Lower value runs first among same-tick events. */
+    using Priority = int;
+
+    static constexpr Priority defaultPri = 0;
+    /** Service/poll loops run after ordinary events of that tick. */
+    static constexpr Priority pollPri = 10;
+    /** Statistics collection runs last at a given tick. */
+    static constexpr Priority statsPri = 100;
+
+    explicit Event(Priority pri = defaultPri) : priority_(pri) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when simulated time reaches when(). */
+    virtual void process() = 0;
+
+    /** Human-readable label for tracing. */
+    virtual std::string name() const { return "event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    Priority priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    Priority priority_;
+    std::uint64_t sequence_ = 0;
+    bool scheduled_ = false;
+    bool squashed_ = false;
+};
+
+/** Event that invokes a stored callable; the common case. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> fn, std::string name,
+                         Priority pri = defaultPri)
+        : Event(pri), fn_(std::move(fn)), name_(std::move(name)) {}
+
+    void process() override { fn_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> fn_;
+    std::string name_;
+};
+
+/**
+ * Fire-and-forget event: runs its callable once and deletes itself.
+ * Use for asynchronous completions with no owner (e.g. in-flight
+ * MSI messages). Must be heap-allocated.
+ */
+class OneShotEvent : public Event
+{
+  public:
+    OneShotEvent(std::function<void()> fn, std::string name,
+                 Priority pri = defaultPri)
+        : Event(pri), fn_(std::move(fn)), name_(std::move(name)) {}
+
+    void
+    process() override
+    {
+        auto fn = std::move(fn_);
+        delete this;
+        if (fn)
+            fn();
+    }
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> fn_;
+    std::string name_;
+};
+
+/**
+ * The global ordering structure for events. One queue per
+ * simulation; everything in a simulation shares it.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev at absolute time @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if scheduled) and re-schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True if no events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+    /** Number of scheduled (non-squashed) events. */
+    std::size_t size() const { return liveCount_; }
+
+    /** Tick of the next live event; maxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Run the next event.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue is empty or curTick exceeds @p limit. */
+    void run(Tick limit = maxTick);
+
+    /** Total events processed since construction. */
+    std::uint64_t processedCount() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Event::Priority pri;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (pri != o.pri)
+                return pri > o.pri;
+            return seq > o.seq;
+        }
+    };
+
+    /** Drop squashed entries from the top of the heap. */
+    void skim();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace bmhive
+
+#endif // BMHIVE_SIM_EVENTQ_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SimObject: named component attached to a Simulation context.
+ * Simulation bundles the event queue and the root random source so
+ * that a whole run is reproducible from one seed.
+ */
+
+#ifndef BMHIVE_SIM_SIM_OBJECT_HH
+#define BMHIVE_SIM_SIM_OBJECT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/random.hh"
+#include "base/units.hh"
+#include "sim/eventq.hh"
+
+namespace bmhive {
+
+/**
+ * Owner of simulated time and randomness for one experiment run.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &eventq() { return eventq_; }
+    Rng &rng() { return rng_; }
+    Tick now() const { return eventq_.curTick(); }
+
+    /** Run the event loop until empty or @p limit. */
+    void run(Tick limit = maxTick) { eventq_.run(limit); }
+
+  private:
+    EventQueue eventq_;
+    Rng rng_;
+};
+
+/**
+ * Base class for every simulated component. Provides the name and
+ * convenience access to the owning Simulation's queue and RNG.
+ */
+class SimObject
+{
+  public:
+    SimObject(Simulation &sim, std::string name)
+        : sim_(sim), name_(std::move(name)) {}
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    Simulation &sim() { return sim_; }
+    EventQueue &eventq() { return sim_.eventq(); }
+    Rng &rng() { return sim_.rng(); }
+    Tick curTick() const { return sim_.now(); }
+
+    /** Schedule @p ev at a delay relative to now. */
+    void
+    scheduleIn(Event *ev, Tick delay)
+    {
+        eventq().schedule(ev, curTick() + delay);
+    }
+
+  protected:
+    Simulation &sim_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace bmhive
+
+#endif // BMHIVE_SIM_SIM_OBJECT_HH

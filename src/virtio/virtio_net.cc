@@ -1,0 +1,33 @@
+#include "virtio/virtio_net.hh"
+
+namespace bmhive {
+namespace virtio {
+
+void
+VirtioNetHdr::writeTo(GuestMemory &m, Addr a) const
+{
+    m.write8(a + 0, flags);
+    m.write8(a + 1, gsoType);
+    m.write16(a + 2, hdrLen);
+    m.write16(a + 4, gsoSize);
+    m.write16(a + 6, csumStart);
+    m.write16(a + 8, csumOffset);
+    m.write16(a + 10, numBuffers);
+}
+
+VirtioNetHdr
+VirtioNetHdr::readFrom(const GuestMemory &m, Addr a)
+{
+    VirtioNetHdr h;
+    h.flags = m.read8(a + 0);
+    h.gsoType = m.read8(a + 1);
+    h.hdrLen = m.read16(a + 2);
+    h.gsoSize = m.read16(a + 4);
+    h.csumStart = m.read16(a + 6);
+    h.csumOffset = m.read16(a + 8);
+    h.numBuffers = m.read16(a + 10);
+    return h;
+}
+
+} // namespace virtio
+} // namespace bmhive

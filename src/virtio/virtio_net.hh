@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Virtio-net wire format (virtio 1.0 section 5.1): the per-packet
+ * header that precedes every frame on the tx/rx queues, the
+ * device-specific configuration layout (MAC + status), and feature
+ * bits. Used by the guest driver, the IO-Bond front-end, and the
+ * bm-hypervisor / vhost backends.
+ */
+
+#ifndef BMHIVE_VIRTIO_VIRTIO_NET_HH
+#define BMHIVE_VIRTIO_VIRTIO_NET_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/guest_memory.hh"
+
+namespace bmhive {
+namespace virtio {
+
+/** Virtio-net feature bits. */
+enum NetFeatureBits : std::uint64_t {
+    VIRTIO_NET_F_CSUM = 1ull << 0,
+    VIRTIO_NET_F_MAC = 1ull << 5,
+    VIRTIO_NET_F_MRG_RXBUF = 1ull << 15,
+    VIRTIO_NET_F_STATUS = 1ull << 16,
+};
+
+/** Conventional queue indices for a 1-queue-pair device. */
+enum NetQueues : unsigned {
+    NET_RXQ = 0,
+    NET_TXQ = 1,
+};
+
+/**
+ * virtio_net_hdr, the 12-byte header (with num_buffers, as used
+ * when VIRTIO_F_VERSION_1 is negotiated).
+ */
+struct VirtioNetHdr
+{
+    std::uint8_t flags = 0;
+    std::uint8_t gsoType = 0;
+    std::uint16_t hdrLen = 0;
+    std::uint16_t gsoSize = 0;
+    std::uint16_t csumStart = 0;
+    std::uint16_t csumOffset = 0;
+    std::uint16_t numBuffers = 0;
+
+    static constexpr Bytes wireSize = 12;
+
+    void writeTo(GuestMemory &m, Addr a) const;
+    static VirtioNetHdr readFrom(const GuestMemory &m, Addr a);
+};
+
+/** Device-specific config layout: MAC then status. */
+struct VirtioNetConfig
+{
+    std::array<std::uint8_t, 6> mac{};
+    std::uint16_t status = 1; // VIRTIO_NET_S_LINK_UP
+
+    static constexpr Addr macOffset = 0;
+    static constexpr Addr statusOffset = 6;
+};
+
+} // namespace virtio
+} // namespace bmhive
+
+#endif // BMHIVE_VIRTIO_VIRTIO_NET_HH

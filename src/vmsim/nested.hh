@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Nested-virtualization cost model (paper section 2.3): a guest
+ * hypervisor runs inside a VM, so every L2 exit is emulated by L1,
+ * which itself exits to L0 several times (the Turtles effect).
+ * The paper reports a nested guest reaching ~80% of native for CPU
+ * work and ~25% for I/O-intensive programs; BM-Hive avoids all of
+ * it by giving the user hypervisor the real hardware.
+ */
+
+#ifndef BMHIVE_VMSIM_NESTED_HH
+#define BMHIVE_VMSIM_NESTED_HH
+
+#include "base/paper_constants.hh"
+#include "vmsim/vm_exec.hh"
+
+namespace bmhive {
+namespace vmsim {
+
+/**
+ * Exit amplification: one L2 exit causes this many L0 exits (VMCS
+ * shadowing reduces but does not eliminate it).
+ */
+constexpr double nestedExitAmplification = 5.0;
+
+/** Execution parameters of a nested (L2) guest's vCPU. */
+inline VmExecParams
+nestedExecParams()
+{
+    VmExecParams p;
+    p.exitCost =
+        Tick(double(paper::vmExitCost) * nestedExitAmplification);
+    p.backgroundExitsPerSec = 4000.0; // L1 housekeeping included
+    p.preemptRatePerSec = 4.0;        // both L0 and L1 schedulers
+    p.preemptMeanDuration = usToTicks(300);
+    p.memStretch = 1.04; // three-level paging
+    return p;
+}
+
+/**
+ * Fraction of native throughput a nested guest achieves for a
+ * workload that causes @p exits_per_sec_native exits per second of
+ * work at native speed.
+ */
+inline double
+nestedEfficiency(double exits_per_sec_native)
+{
+    VmExecParams p = nestedExecParams();
+    double overhead_per_sec =
+        exits_per_sec_native * ticksToSec(p.exitCost) +
+        p.backgroundExitsPerSec * ticksToSec(p.exitCost);
+    double stretched = p.memStretch + overhead_per_sec;
+    return 1.0 / stretched;
+}
+
+/** Single-level (plain VM) efficiency for the same workload. */
+inline double
+singleLevelEfficiency(double exits_per_sec_native)
+{
+    VmExecParams p; // defaults = plain VM
+    double overhead_per_sec =
+        exits_per_sec_native * ticksToSec(p.exitCost) +
+        p.backgroundExitsPerSec * ticksToSec(p.exitCost);
+    double stretched = p.memStretch + overhead_per_sec;
+    return 1.0 / stretched;
+}
+
+/** Representative native exit rates for the section 2.3 bench. */
+constexpr double cpuWorkloadExitRate = 200.0;    // compute-bound
+constexpr double ioWorkloadExitRate = 55000.0;   // I/O-intensive
+
+} // namespace vmsim
+} // namespace bmhive
+
+#endif // BMHIVE_VMSIM_NESTED_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * fio-style storage benchmark (paper Fig. 11): N jobs issue 4 KiB
+ * random reads or writes against the guest's cloud volume, each
+ * job keeping one I/O in flight (fio's default sync engine).
+ * Reports IOPS, average latency, and the 99.9th percentile.
+ */
+
+#ifndef BMHIVE_WORKLOADS_FIO_HH
+#define BMHIVE_WORKLOADS_FIO_HH
+
+#include <string>
+
+#include "base/stats.hh"
+#include "sim/sim_object.hh"
+#include "workloads/guest_iface.hh"
+
+namespace bmhive {
+namespace workloads {
+
+struct FioParams
+{
+    bool write = false;
+    Bytes blockBytes = 4 * KiB;
+    unsigned jobs = 8;
+    std::uint64_t volumeSectors = 64 * MiB / 512;
+    Tick warmup = msToTicks(20);
+    Tick window = msToTicks(400);
+};
+
+struct FioResult
+{
+    double iops = 0.0;
+    double avgUs = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    std::uint64_t completed = 0;
+};
+
+class FioRunner : public SimObject
+{
+  public:
+    FioRunner(Simulation &sim, std::string name, GuestContext guest,
+              FioParams params);
+
+    FioResult run();
+
+  private:
+    void jobLoop(unsigned job);
+
+    GuestContext guest_;
+    FioParams params_;
+    LatencyRecorder lat_;
+    std::uint64_t completed_ = 0;
+    bool stop_ = false;
+    Tick measureStart_ = 0;
+    Tick measureEnd_ = 0;
+};
+
+} // namespace workloads
+} // namespace bmhive
+
+#endif // BMHIVE_WORKLOADS_FIO_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GuestContext: the uniform handle workloads use to drive a guest,
+ * regardless of whether it is a bm-guest (compute board + IO-Bond)
+ * or a vm-guest (vCPUs + vhost). This mirrors the paper's
+ * interoperability property: the benchmark binaries are identical
+ * on both platforms; only the platform underneath changes.
+ */
+
+#ifndef BMHIVE_WORKLOADS_GUEST_IFACE_HH
+#define BMHIVE_WORKLOADS_GUEST_IFACE_HH
+
+#include "core/bmhive_server.hh"
+#include "guest/blk_driver.hh"
+#include "guest/guest_os.hh"
+#include "guest/net_driver.hh"
+#include "vmsim/vm_guest.hh"
+
+namespace bmhive {
+namespace workloads {
+
+struct GuestContext
+{
+    guest::GuestOs *os = nullptr;
+    guest::NetDriver *net = nullptr;
+    guest::BlkDriver *blk = nullptr;      ///< may be null
+    hv::VirtioIoService *svc = nullptr;   ///< this guest's backend
+
+    static GuestContext
+    of(core::BmGuest &g)
+    {
+        return {&g.os(), &g.net(), g.blk(),
+                &g.hypervisor().service()};
+    }
+
+    static GuestContext
+    of(vmsim::VmGuest &g)
+    {
+        return {&g.os(), &g.net(), g.blk(), &g.service()};
+    }
+
+    hw::CpuExecutor &
+    cpu(unsigned i) const
+    {
+        return os->cpu(i % os->cpuCount());
+    }
+};
+
+} // namespace workloads
+} // namespace bmhive
+
+#endif // BMHIVE_WORKLOADS_GUEST_IFACE_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Network microbenchmarks reproducing the paper's netperf /
+ * sockperf / DPDK measurements (section 4.3):
+ *
+ *  - PacketFlood: netperf-style small-UDP blast between two
+ *    guests, reporting receive PPS (Fig. 9) or throughput for
+ *    large TCP-like frames (the 9.6 Gbit/s test).
+ *  - PingPong: sockperf-style request/response latency in kernel,
+ *    DPDK, and ICMP modes (Fig. 10).
+ */
+
+#ifndef BMHIVE_WORKLOADS_NET_PERF_HH
+#define BMHIVE_WORKLOADS_NET_PERF_HH
+
+#include <functional>
+#include <string>
+
+#include "base/paper_constants.hh"
+#include "base/stats.hh"
+#include "sim/sim_object.hh"
+#include "workloads/guest_iface.hh"
+
+namespace bmhive {
+namespace workloads {
+
+/** Guest network-stack flavour for a workload. */
+enum class NetStack { Kernel, Dpdk, Icmp };
+
+/** Per-packet guest CPU cost of the chosen stack. */
+Tick stackCost(NetStack stack);
+
+struct PacketFloodParams
+{
+    Bytes payloadBytes = 1; ///< netperf: headers + 1 byte of data
+    unsigned flows = 8;     ///< sender contexts (vCPUs used)
+    unsigned batch = 32;    ///< tx submissions per doorbell
+    NetStack stack = NetStack::Kernel;
+    Tick warmup = msToTicks(5);
+    Tick window = msToTicks(50); ///< measurement window
+};
+
+struct PacketFloodResult
+{
+    double pps = 0.0;        ///< received packets per second
+    double gbps = 0.0;       ///< received payload throughput
+    double jitterPct = 0.0;  ///< stddev of per-interval PPS / mean
+    std::uint64_t received = 0;
+    std::uint64_t sent = 0;
+};
+
+/**
+ * Closed-loop packet blaster: @p flows sender contexts on the
+ * source guest each keep the tx ring fed; the sink guest counts
+ * arrivals. PPS jitter is computed over 1 ms sub-intervals.
+ */
+class PacketFlood : public SimObject
+{
+  public:
+    PacketFlood(Simulation &sim, std::string name, GuestContext src,
+                GuestContext dst, PacketFloodParams params);
+
+    /** Run to completion (blocks the event loop). */
+    PacketFloodResult run();
+
+  private:
+    void senderLoop(unsigned flow);
+
+    GuestContext src_;
+    GuestContext dst_;
+    PacketFloodParams params_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+    std::uint64_t seq_ = 0;
+    bool stop_ = false;
+};
+
+struct PingPongParams
+{
+    Bytes payloadBytes = 64;
+    unsigned samples = 2000;
+    NetStack stack = NetStack::Kernel;
+};
+
+struct PingPongResult
+{
+    double avgUs = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+};
+
+/**
+ * Request/response latency: one in-flight message bounced between
+ * the two guests; reports one-way latency (RTT/2), matching
+ * sockperf's report.
+ */
+class PingPong : public SimObject
+{
+  public:
+    PingPong(Simulation &sim, std::string name, GuestContext a,
+             GuestContext b, PingPongParams params);
+
+    PingPongResult run();
+
+  private:
+    void fire();
+
+    GuestContext a_;
+    GuestContext b_;
+    PingPongParams params_;
+    LatencyRecorder rtt_;
+    Tick sentAt_ = 0;
+    unsigned remaining_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace workloads
+} // namespace bmhive
+
+#endif // BMHIVE_WORKLOADS_NET_PERF_HH

@@ -1,0 +1,88 @@
+#include "workloads/spec.hh"
+
+#include "base/paper_constants.hh"
+
+namespace bmhive {
+namespace workloads {
+
+const std::vector<SpecComponent> &
+specCint2006()
+{
+    // Native scores approximate published E5-2682 v4 class results;
+    // memory intensity / exit profiles follow the benchmarks'
+    // well-known characterization (mcf/omnetpp pointer-chasing and
+    // memory-bound; perlbench/gobmk core-bound).
+    static const std::vector<SpecComponent> components = {
+        {"400.perlbench", 35.0, 0.15, 300},
+        {"401.bzip2", 24.0, 0.30, 200},
+        {"403.gcc", 32.0, 0.45, 600},
+        {"429.mcf", 26.0, 0.95, 1500},
+        {"445.gobmk", 27.0, 0.10, 150},
+        {"456.hmmer", 28.0, 0.20, 120},
+        {"458.sjeng", 30.0, 0.15, 150},
+        {"462.libquantum", 52.0, 0.85, 900},
+        {"464.h264ref", 42.0, 0.25, 250},
+        {"471.omnetpp", 23.0, 0.90, 1200},
+        {"473.astar", 25.0, 0.60, 700},
+        {"483.xalancbmk", 36.0, 0.70, 1000},
+    };
+    return components;
+}
+
+double
+specScore(const SpecComponent &comp, Platform platform, Rng &rng)
+{
+    double noise = 1.0 + rng.uniform(-0.005, 0.005);
+    switch (platform) {
+      case Platform::Physical:
+        return comp.nativeScore * noise;
+      case Platform::BareMetal:
+        // Paper section 4.2: the bm-guest measured ~4% faster than
+        // the (differently configured) physical reference.
+        return comp.nativeScore * 1.04 * noise;
+      case Platform::Vm: {
+        // EPT: two-level walks tax memory-bound code; exits add
+        // hypervisor time.
+        double ept_tax = 1.0 + 0.075 * comp.memIntensity;
+        double exit_tax =
+            1.0 + comp.exitsPerSec * ticksToSec(paper::vmExitCost);
+        return comp.nativeScore / (ept_tax * exit_tax) * noise;
+      }
+    }
+    return 0.0;
+}
+
+std::vector<StreamResult>
+streamBandwidth(Rng &rng)
+{
+    struct Kernel
+    {
+        const char *name;
+        double efficiency; ///< fraction of channel peak achieved
+    };
+    // Copy moves 16B/iter, Triad 24B/iter + FMA; efficiencies match
+    // the usual STREAM results on quad-channel Broadwell.
+    static const Kernel kernels[] = {
+        {"Copy", 0.82},
+        {"Scale", 0.81},
+        {"Add", 0.86},
+        {"Triad", 0.85},
+    };
+    std::vector<StreamResult> out;
+    for (const auto &k : kernels) {
+        double base = memChannelPeakGBs * k.efficiency;
+        StreamResult r;
+        r.kernel = k.name;
+        r.physicalGBs = base * (1.0 + rng.uniform(-0.004, 0.004));
+        // bm == physical: memory is accessed natively.
+        r.bareMetalGBs = base * (1.0 + rng.uniform(-0.004, 0.004));
+        // vm: EPT/TLB pressure under 16-thread load (paper: best
+        // case ~98% of the bm-guest).
+        r.vmGBs = base * 0.978 * (1.0 + rng.uniform(-0.006, 0.006));
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace workloads
+} // namespace bmhive

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CPU and memory benchmark models: SPEC CINT2006 (paper Fig. 7)
+ * and STREAM (Fig. 8).
+ *
+ * Each SPEC component carries a profile (memory intensity, native
+ * exit rate when run inside a VM); the platform result is the
+ * native score divided by the platform's stretch on that profile.
+ * STREAM bandwidth is bounded by the memory channels; the vm pays
+ * the EPT/TLB tax under load (the paper measures ~98% of bm).
+ */
+
+#ifndef BMHIVE_WORKLOADS_SPEC_HH
+#define BMHIVE_WORKLOADS_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/units.hh"
+
+namespace bmhive {
+namespace workloads {
+
+/** Which platform executes the benchmark. */
+enum class Platform { Physical, BareMetal, Vm };
+
+struct SpecComponent
+{
+    std::string name;
+    double nativeScore;    ///< SPEC ratio on the physical machine
+    double memIntensity;   ///< 0 = core-bound, 1 = memory-bound
+    double exitsPerSec;    ///< exit rate when run inside a VM
+};
+
+/** The 12 components of SPEC CINT2006. */
+const std::vector<SpecComponent> &specCint2006();
+
+/**
+ * Score of @p comp on @p platform.
+ *
+ * The bm-guest runs ~4% faster than the reference physical
+ * machine (different board/BIOS/memory vendor, paper section
+ * 4.2); the vm-guest pays exit handling plus an EPT walk tax that
+ * grows with memory intensity.
+ *
+ * @param rng  adds small run-to-run variation (+-0.5%)
+ */
+double specScore(const SpecComponent &comp, Platform platform,
+                 Rng &rng);
+
+struct StreamResult
+{
+    std::string kernel;
+    double physicalGBs;
+    double bareMetalGBs;
+    double vmGBs;
+};
+
+/**
+ * STREAM with 16 threads, 200M x 8B elements per array (paper
+ * configuration: 1.5 GB per array, 4.5 GB total).
+ */
+std::vector<StreamResult> streamBandwidth(Rng &rng);
+
+/** Peak bandwidth of the four DDR4-2400 channels (GB/s). */
+constexpr double memChannelPeakGBs = 4 * 19.2;
+
+} // namespace workloads
+} // namespace bmhive
+
+#endif // BMHIVE_WORKLOADS_SPEC_HH

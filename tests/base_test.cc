@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the base module: logging, units, statistics,
+ * token buckets, and the deterministic random source.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/paper_constants.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/token_bucket.hh"
+#include "base/units.hh"
+
+namespace bmhive {
+namespace {
+
+class DeathAsThrow : public ::testing::Test
+{
+  protected:
+    void SetUp() override { Logger::global().setThrowOnDeath(true); }
+    void TearDown() override
+    {
+        Logger::global().setThrowOnDeath(false);
+    }
+};
+
+using LoggingTest = DeathAsThrow;
+
+TEST_F(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST_F(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST_F(LoggingTest, PanicIfHonorsCondition)
+{
+    EXPECT_NO_THROW(panic_if(false, "not reached"));
+    EXPECT_THROW(panic_if(true, "reached"), PanicError);
+}
+
+TEST_F(LoggingTest, MessageContainsFileAndValues)
+{
+    try {
+        panic("value=", 7, " name=", "x");
+        FAIL() << "should have thrown";
+    } catch (const PanicError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("value=7 name=x"), std::string::npos);
+        EXPECT_NE(what.find("base_test.cc"), std::string::npos);
+    }
+}
+
+TEST(UnitsTest, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(usToTicks(1.0), 1000000u);
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(123.0)), 123.0);
+    EXPECT_DOUBLE_EQ(ticksToSec(tickSec), 1.0);
+}
+
+TEST(UnitsTest, PaperIoBondConstants)
+{
+    EXPECT_EQ(paper::ioBondPciAccess, usToTicks(0.8));
+    EXPECT_EQ(paper::ioBondEmulatedAccess, usToTicks(1.6));
+    EXPECT_EQ(paper::vmExitCost, usToTicks(10));
+}
+
+TEST(UnitsTest, BandwidthTransferTime)
+{
+    Bandwidth b = Bandwidth::gbps(50);
+    // 4 KiB at 50 Gbps = 4096*8/50e9 s = 655.36 ns.
+    Tick t = b.transferTime(4096);
+    EXPECT_NEAR(double(t), 655360.0, 1.0);
+    EXPECT_EQ(Bandwidth().transferTime(1), maxTick);
+}
+
+TEST(UnitsTest, MinBandwidthPicksBottleneck)
+{
+    Bandwidth a = Bandwidth::gbps(32);
+    Bandwidth b = Bandwidth::gbps(50);
+    EXPECT_DOUBLE_EQ(minBandwidth(a, b).gbitsPerSec(), 32.0);
+}
+
+TEST(SummaryStatsTest, MeanVarianceMinMax)
+{
+    SummaryStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSetTest, ExactPercentiles)
+{
+    SampleSet s;
+    for (int i = 1; i <= 1000; ++i)
+        s.record(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 500.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 990.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.999), 999.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+}
+
+TEST(SampleSetTest, PercentileMatchesSortReference)
+{
+    Rng rng(7);
+    SampleSet s;
+    std::vector<double> ref;
+    for (int i = 0; i < 5000; ++i) {
+        double v = rng.lognormal(0.0, 1.0);
+        s.record(v);
+        ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        std::size_t rank = std::size_t(std::ceil(q * ref.size()));
+        EXPECT_DOUBLE_EQ(s.percentile(q), ref[rank - 1])
+            << "q=" << q;
+    }
+}
+
+TEST(SampleSetTest, RecordAfterSortStaysCorrect)
+{
+    SampleSet s;
+    s.record(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+    s.record(1.0); // after a sorted query
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.record(-1.0);
+    h.record(0.0);
+    h.record(9.999);
+    h.record(10.0);
+    h.record(5.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(5), 6.0);
+}
+
+TEST(TokenBucketTest, UnlimitedAlwaysAdmits)
+{
+    TokenBucket b = TokenBucket::unlimited();
+    EXPECT_TRUE(b.tryConsume(0, 1e12));
+    EXPECT_EQ(b.nextAvailable(123, 1e12), 123u);
+}
+
+TEST(TokenBucketTest, BurstThenPaced)
+{
+    // 1000 tokens/s, burst of 10.
+    TokenBucket b(1000.0, 10.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(b.tryConsume(0, 1.0)) << i;
+    EXPECT_FALSE(b.tryConsume(0, 1.0));
+    // One token refills after 1 ms.
+    Tick next = b.nextAvailable(0, 1.0);
+    EXPECT_NEAR(double(next), double(msToTicks(1)), 2000.0);
+    EXPECT_TRUE(b.tryConsume(msToTicks(1) + 10, 1.0));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst)
+{
+    TokenBucket b(1000.0, 10.0);
+    EXPECT_TRUE(b.tryConsume(0, 10.0));
+    // After 1 s the bucket holds at most 10 again, not 1000.
+    EXPECT_NEAR(b.level(tickSec), 10.0, 1e-9);
+}
+
+TEST(TokenBucketTest, ForceConsumeCreatesDebt)
+{
+    TokenBucket b(1000.0, 10.0);
+    b.forceConsume(0, 30.0);
+    EXPECT_LT(b.level(0), 0.0);
+    // The 20-token debt plus one token takes 21 ms to clear.
+    Tick next = b.nextAvailable(0, 1.0);
+    EXPECT_NEAR(double(next), double(msToTicks(21)), 3000.0);
+}
+
+TEST(TokenBucketTest, ConservationUnderRandomLoad)
+{
+    // Property: tokens consumed <= burst + rate * elapsed.
+    Rng rng(42);
+    TokenBucket b(5000.0, 100.0);
+    double consumed = 0.0;
+    Tick now = 0;
+    for (int i = 0; i < 10000; ++i) {
+        now += Tick(rng.uniform(0, 2e6)); // up to 2 us steps
+        double want = rng.uniform(0.5, 3.0);
+        if (b.tryConsume(now, want))
+            consumed += want;
+    }
+    double bound = 100.0 + 5000.0 * ticksToSec(now) + 1e-6;
+    EXPECT_LE(consumed, bound);
+    // And the bucket was not pathologically idle either.
+    EXPECT_GT(consumed, 0.5 * bound);
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, SeedChangesStream)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DistributionsAreSane)
+{
+    Rng r(5);
+    SummaryStats normal, expo, pareto;
+    for (int i = 0; i < 20000; ++i) {
+        normal.record(r.normal(10.0, 2.0));
+        expo.record(r.exponential(4.0));
+        pareto.record(r.pareto(1.0, 3.0));
+    }
+    EXPECT_NEAR(normal.mean(), 10.0, 0.1);
+    EXPECT_NEAR(normal.stddev(), 2.0, 0.1);
+    EXPECT_NEAR(expo.mean(), 4.0, 0.15);
+    // Pareto(xm=1, alpha=3) mean = alpha/(alpha-1) = 1.5.
+    EXPECT_NEAR(pareto.mean(), 1.5, 0.1);
+    EXPECT_GE(pareto.min(), 1.0);
+}
+
+} // namespace
+} // namespace bmhive

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the fleet simulator (Table 2 / Fig 1 generators)
+ * and the workload drivers (SPEC/STREAM models, packet workloads,
+ * fio, and the application server bench).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hh"
+#include "fleet/fleet_sim.hh"
+#include "workloads/app_server.hh"
+#include "workloads/fio.hh"
+#include "workloads/net_perf.hh"
+#include "workloads/spec.hh"
+
+namespace bmhive {
+namespace {
+
+TEST(FleetTest, ExitDistributionTailOrdering)
+{
+    Rng rng(1);
+    fleet::ExitRateFleetParams p;
+    p.numVms = 100000;
+    auto s = fleet::measureExitRates(rng, p);
+    EXPECT_GT(s.pctAbove10k, s.pctAbove50k);
+    EXPECT_GT(s.pctAbove50k, s.pctAbove100k);
+    EXPECT_GT(s.pctAbove100k, 0.0);
+    // Near the paper's Table 2 values.
+    EXPECT_NEAR(s.pctAbove10k, 3.82, 1.0);
+    EXPECT_NEAR(s.pctAbove50k, 0.37, 0.15);
+    EXPECT_NEAR(s.pctAbove100k, 0.13, 0.08);
+}
+
+TEST(FleetTest, ExitDistributionDeterministicInSeed)
+{
+    fleet::ExitRateFleetParams p;
+    p.numVms = 20000;
+    Rng r1(9), r2(9);
+    auto a = fleet::measureExitRates(r1, p);
+    auto b = fleet::measureExitRates(r2, p);
+    EXPECT_DOUBLE_EQ(a.pctAbove10k, b.pctAbove10k);
+    EXPECT_DOUBLE_EQ(a.medianRate, b.medianRate);
+}
+
+TEST(FleetTest, PreemptionSharedVsExclusive)
+{
+    Rng rng(2);
+    fleet::PreemptionFleetParams sh =
+        fleet::PreemptionFleetParams::sharedFleet();
+    sh.numVms = 4000;
+    sh.hours = 6;
+    auto s = fleet::measurePreemption(rng, sh);
+
+    fleet::PreemptionFleetParams ex =
+        fleet::PreemptionFleetParams::exclusiveFleet();
+    ex.numVms = 4000;
+    ex.hours = 6;
+    auto e = fleet::measurePreemption(rng, ex);
+
+    for (unsigned h = 0; h < 6; ++h) {
+        EXPECT_GT(s.p99Pct[h], 5 * e.p99Pct[h]) << h;
+        EXPECT_GE(s.p999Pct[h], s.p99Pct[h]) << h;
+        EXPECT_GE(e.p999Pct[h], e.p99Pct[h]) << h;
+    }
+}
+
+TEST(FleetTest, DiurnalLoadPeaksInTheAfternoon)
+{
+    EXPECT_GT(fleet::diurnalLoad(14), fleet::diurnalLoad(2));
+    double sum = 0;
+    for (unsigned h = 0; h < 24; ++h)
+        sum += fleet::diurnalLoad(h);
+    EXPECT_NEAR(sum / 24.0, 1.0, 0.02);
+}
+
+TEST(SpecModelTest, PlatformOrdering)
+{
+    Rng rng(3);
+    for (const auto &comp : workloads::specCint2006()) {
+        double ph = workloads::specScore(
+            comp, workloads::Platform::Physical, rng);
+        double bm = workloads::specScore(
+            comp, workloads::Platform::BareMetal, rng);
+        double vm = workloads::specScore(
+            comp, workloads::Platform::Vm, rng);
+        EXPECT_GT(bm, ph * 1.02) << comp.name;
+        EXPECT_LT(vm, ph) << comp.name;
+    }
+}
+
+TEST(SpecModelTest, MemoryBoundComponentsLoseMost)
+{
+    Rng rng(4);
+    auto score_ratio = [&](const char *name) {
+        for (const auto &c : workloads::specCint2006()) {
+            if (c.name == name) {
+                double ph = workloads::specScore(
+                    c, workloads::Platform::Physical, rng);
+                double vm = workloads::specScore(
+                    c, workloads::Platform::Vm, rng);
+                return vm / ph;
+            }
+        }
+        return 0.0;
+    };
+    // mcf (memory-bound) suffers more than gobmk (core-bound).
+    EXPECT_LT(score_ratio("429.mcf"), score_ratio("445.gobmk"));
+}
+
+TEST(SpecModelTest, StreamVmAtNinetyEightPercent)
+{
+    Rng rng(5);
+    for (const auto &r : workloads::streamBandwidth(rng)) {
+        EXPECT_NEAR(r.vmGBs / r.bareMetalGBs, 0.978, 0.015)
+            << r.kernel;
+        EXPECT_NEAR(r.bareMetalGBs / r.physicalGBs, 1.0, 0.02)
+            << r.kernel;
+        EXPECT_LT(r.bareMetalGBs, workloads::memChannelPeakGBs);
+    }
+}
+
+TEST(WorkloadTest, PacketFloodDeliversAndMeasures)
+{
+    bench::Testbed bed(41);
+    auto a = bed.bmGuest(0xA, 0);
+    auto b = bed.bmGuest(0xB, 0);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    workloads::PacketFloodParams p;
+    p.flows = 4;
+    p.batch = 8;
+    p.warmup = msToTicks(2);
+    p.window = msToTicks(10);
+    workloads::PacketFlood flood(bed.sim, "f", a, b, p);
+    auto r = flood.run();
+    EXPECT_GT(r.pps, 5e5);
+    EXPECT_GT(r.received, 0u);
+    EXPECT_LE(r.received, r.sent);
+}
+
+TEST(WorkloadTest, PingPongLatencyConsistent)
+{
+    bench::Testbed bed(42);
+    auto a = bed.bmGuest(0xA, 0);
+    auto b = bed.bmGuest(0xB, 0);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    workloads::PingPongParams p;
+    p.samples = 200;
+    workloads::PingPong pp(bed.sim, "pp", a, b, p);
+    auto r = pp.run();
+    EXPECT_GT(r.avgUs, 2.0);
+    EXPECT_LT(r.avgUs, 50.0);
+    EXPECT_GE(r.p99Us, r.p50Us);
+    EXPECT_GE(r.maxUs, r.p99Us);
+}
+
+TEST(WorkloadTest, DpdkLatencyBelowKernelLatency)
+{
+    bench::Testbed bed(43);
+    auto a = bed.bmGuest(0xA, 0);
+    auto b = bed.bmGuest(0xB, 0);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    workloads::PingPongParams pk;
+    pk.samples = 200;
+    pk.stack = workloads::NetStack::Kernel;
+    auto kernel =
+        workloads::PingPong(bed.sim, "k", a, b, pk).run();
+    workloads::PingPongParams pd;
+    pd.samples = 200;
+    pd.stack = workloads::NetStack::Dpdk;
+    auto dpdk = workloads::PingPong(bed.sim, "d", a, b, pd).run();
+    EXPECT_LT(dpdk.avgUs, kernel.avgUs);
+}
+
+TEST(WorkloadTest, FioSaturatesNearTheIopsCap)
+{
+    bench::Testbed bed(44);
+    auto g = bed.bmGuest(0xA, 64);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    workloads::FioParams p;
+    p.jobs = 8;
+    p.window = msToTicks(300);
+    workloads::FioRunner fio(bed.sim, "fio", g, p);
+    auto r = fio.run();
+    EXPECT_GT(r.iops, 15e3);
+    EXPECT_LE(r.iops, 26e3);
+    EXPECT_GT(r.avgUs, 250.0);
+    EXPECT_GE(r.p999Us, r.p99Us);
+}
+
+TEST(WorkloadTest, AppBenchClosedLoopThroughput)
+{
+    bench::Testbed bed(45);
+    auto g = bed.bmGuest(0xA, 64);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    workloads::AppBenchParams p;
+    p.clients = 64;
+    p.window = msToTicks(60);
+    workloads::AppServerBench bench(
+        bed.sim, "ab", g, bed.vswitch, 0xC11E,
+        workloads::AppProfile::nginx(), p);
+    auto r = bench.run();
+    // 8 workers at ~56 us/request ≈ 140K RPS capacity; with 64
+    // clients the closed loop should get close.
+    EXPECT_GT(r.rps, 8e4);
+    EXPECT_LT(r.rps, 2e5);
+    EXPECT_GT(r.avgMs, 0.05);
+    EXPECT_EQ(r.timedOut, 0u);
+}
+
+TEST(WorkloadTest, AppProfilesExposePaperWorkloads)
+{
+    EXPECT_EQ(workloads::AppProfile::nginx().name, "nginx");
+    EXPECT_EQ(workloads::AppProfile::mariadbReadOnly().workers,
+              16u);
+    EXPECT_EQ(workloads::AppProfile::redis(64).workers, 1u);
+    // Redis per-request cost grows with value size.
+    EXPECT_GT(workloads::AppProfile::redis(4096).cpuPerRequest,
+              workloads::AppProfile::redis(4).cpuPerRequest);
+    // MariaDB write paths carry block I/O.
+    EXPECT_GT(
+        workloads::AppProfile::mariadbWriteOnly().blkWritesPerRequest,
+        0.0);
+}
+
+} // namespace
+} // namespace bmhive

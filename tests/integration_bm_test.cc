@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Integration tests across the whole BM-Hive stack: provision
+ * bm-guests on a server, move packets guest-to-guest through
+ * vrings -> IO-Bond shadow vrings -> bm-hypervisor -> vSwitch and
+ * back, run block I/O against cloud storage, boot a guest from a
+ * cloud image over virtio-blk, and exercise the security
+ * properties (hostile rings, firmware signing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/paper_constants.hh"
+#include "cloud/block_service.hh"
+#include "cloud/vswitch.hh"
+#include "core/bmhive_server.hh"
+#include "guest/firmware.hh"
+
+namespace bmhive {
+namespace {
+
+using core::BmGuest;
+using core::BmHiveServer;
+using core::InstanceCatalog;
+
+class BmIntegrationTest : public ::testing::Test
+{
+  protected:
+    BmIntegrationTest()
+        : sim(1234), vswitch(sim, "vswitch"),
+          storage(sim, "storage"), server(sim, "server", vswitch,
+                                          &storage)
+    {
+    }
+
+    /** Provision a guest with a fresh volume. */
+    BmGuest &
+    newGuest(cloud::MacAddr mac, bool rate_limited = true)
+    {
+        auto &vol = storage.createVolume(
+            "vol" + std::to_string(mac), 64 * MiB);
+        return server.provision(InstanceCatalog::evaluated(), mac,
+                                &vol, rate_limited);
+    }
+
+    Simulation sim;
+    cloud::VSwitch vswitch;
+    cloud::BlockService storage;
+    BmHiveServer server;
+};
+
+TEST_F(BmIntegrationTest, ProvisionBringsUpDriversAndBackend)
+{
+    BmGuest &g = newGuest(0xaa);
+    EXPECT_EQ(g.board().powerState(), hw::BoardPower::On);
+    EXPECT_TRUE(g.net().initialized());
+    ASSERT_NE(g.blk(), nullptr);
+    EXPECT_TRUE(g.blk()->initialized());
+    EXPECT_TRUE(g.hypervisor().connected());
+    EXPECT_EQ(server.guestCount(), 1u);
+    EXPECT_EQ(server.freeSlots(), server.maxBoards() - 1);
+    // Drivers negotiated VERSION_1 + indirect descriptors.
+    EXPECT_TRUE(g.net().features() & virtio::VIRTIO_F_VERSION_1);
+    EXPECT_TRUE(g.net().features() &
+                virtio::VIRTIO_RING_F_INDIRECT_DESC);
+}
+
+TEST_F(BmIntegrationTest, GuestToGuestPacketDeliveredIntact)
+{
+    BmGuest &a = newGuest(0xaa);
+    BmGuest &b = newGuest(0xbb);
+    sim.run(msToTicks(1)); // let rx rings settle
+
+    std::vector<cloud::Packet> received;
+    b.net().setRxHandler(
+        [&](const cloud::Packet &p) { received.push_back(p); });
+
+    cloud::Packet pkt;
+    pkt.src = 0xaa;
+    pkt.dst = 0xbb;
+    pkt.len = cloud::udpFrameBytes(64);
+    pkt.created = sim.now();
+    pkt.seq = 424242;
+    ASSERT_TRUE(a.net().sendPacket(pkt, true, a.os().cpu(0)));
+
+    sim.run(sim.now() + msToTicks(5));
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].seq, 424242u);
+    EXPECT_EQ(received[0].src, 0xaau);
+    EXPECT_EQ(received[0].dst, 0xbbu);
+    EXPECT_EQ(received[0].len, pkt.len);
+
+    // The payload crossed both IO-Bonds.
+    EXPECT_GE(a.bond().chainsForwarded(), 1u);
+    EXPECT_GE(b.bond().completionsReturned(), 1u);
+    EXPECT_GE(vswitch.forwarded(), 1u);
+}
+
+TEST_F(BmIntegrationTest, PacketLatencyReflectsIoBondPath)
+{
+    BmGuest &a = newGuest(0xaa, /*rate_limited=*/false);
+    BmGuest &b = newGuest(0xbb, /*rate_limited=*/false);
+    sim.run(msToTicks(1));
+
+    Tick received_at = 0;
+    Tick sent_at = 0;
+    cloud::Packet pkt;
+    b.net().setRxHandler([&](const cloud::Packet &) {
+        received_at = sim.now();
+    });
+    pkt.src = 0xaa;
+    pkt.dst = 0xbb;
+    pkt.len = 64;
+    sent_at = sim.now();
+    ASSERT_TRUE(a.net().sendPacket(pkt, true, a.os().cpu(0)));
+    sim.run(sim.now() + msToTicks(5));
+
+    ASSERT_GT(received_at, 0u);
+    Tick latency = received_at - sent_at;
+    // Lower bound: doorbell (0.8) + mailbox (0.8) on the tx side
+    // plus the completion mailbox hop on the rx side.
+    EXPECT_GE(latency, usToTicks(2.4));
+    // And it should still be a few tens of microseconds at most.
+    EXPECT_LE(latency, usToTicks(60));
+}
+
+TEST_F(BmIntegrationTest, BlockWriteReadRoundTrip)
+{
+    BmGuest &g = newGuest(0xaa);
+    sim.run(msToTicks(1));
+
+    // Write a recognizable pattern at sector 100.
+    std::vector<std::uint8_t> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(i ^ (i >> 8));
+
+    bool write_done = false;
+    ASSERT_TRUE(g.blk()->write(
+        100, 4096, &data, g.os().cpu(0),
+        [&](std::uint8_t status, Addr) {
+            EXPECT_EQ(status, virtio::VIRTIO_BLK_S_OK);
+            write_done = true;
+        }));
+    sim.run(sim.now() + msToTicks(20));
+    ASSERT_TRUE(write_done);
+
+    bool read_done = false;
+    ASSERT_TRUE(g.blk()->read(
+        100, 4096, g.os().cpu(0),
+        [&](std::uint8_t status, Addr addr) {
+            EXPECT_EQ(status, virtio::VIRTIO_BLK_S_OK);
+            auto got = g.os().memory().readBlob(addr, 4096);
+            EXPECT_EQ(got, data);
+            read_done = true;
+        }));
+    sim.run(sim.now() + msToTicks(20));
+    ASSERT_TRUE(read_done);
+    EXPECT_EQ(g.blk()->errors(), 0u);
+}
+
+TEST_F(BmIntegrationTest, StorageLatencyIsPlausible)
+{
+    BmGuest &g = newGuest(0xaa);
+    sim.run(msToTicks(1));
+
+    Tick t0 = sim.now();
+    Tick done_at = 0;
+    ASSERT_TRUE(g.blk()->read(0, 4096, g.os().cpu(0),
+                              [&](std::uint8_t, Addr) {
+                                  done_at = sim.now();
+                              }));
+    sim.run(sim.now() + msToTicks(50));
+    ASSERT_GT(done_at, 0u);
+    Tick latency = done_at - t0;
+    // Two fabric traversals (2x30 us) + SSD service at minimum.
+    EXPECT_GE(latency, usToTicks(80));
+    EXPECT_LE(latency, msToTicks(5));
+}
+
+TEST_F(BmIntegrationTest, BootFromCloudImageOverVirtio)
+{
+    auto &vol = storage.createVolume("bootvol", 64 * MiB);
+    guest::installImage(vol, 256 * KiB, "centos-7.4");
+    BmGuest &g = server.provision(InstanceCatalog::evaluated(),
+                                  0xcc, &vol);
+    sim.run(msToTicks(1));
+
+    bool booted = false;
+    std::string version;
+    guest::VirtioBootFirmware fw(g.os(), *g.blk());
+    fw.boot([&](bool ok, const std::string &v) {
+        booted = ok;
+        version = v;
+    });
+    sim.run(sim.now() + secToTicks(2));
+    EXPECT_TRUE(booted);
+    EXPECT_EQ(version, "centos-7.4");
+}
+
+TEST_F(BmIntegrationTest, HostileRingCannotWedgeBackend)
+{
+    BmGuest &g = newGuest(0xaa);
+    BmGuest &peer = newGuest(0xbb);
+    sim.run(msToTicks(1));
+
+    // The "guest" writes a corrupt chain directly into its own
+    // ring memory: a loop between descriptors 0 and 1 on the tx
+    // queue, published via the avail ring.
+    auto &txq = g.net().queue(virtio::NET_TXQ);
+    auto layout = txq.layout();
+    GuestMemory &m = g.os().memory();
+    layout.writeDesc(m, 0,
+                     {0x100, 8, virtio::VRING_DESC_F_NEXT, 1});
+    layout.writeDesc(m, 1,
+                     {0x200, 8, virtio::VRING_DESC_F_NEXT, 0});
+    std::uint16_t avail = layout.availIdx(m);
+    layout.setAvailRing(m, avail % layout.size(), 0);
+    layout.setAvailIdx(m, avail + 1);
+    g.net().kickNow(virtio::NET_TXQ);
+
+    sim.run(sim.now() + msToTicks(5));
+    EXPECT_GE(g.bond().malformedChains(), 1u);
+
+    // The backend and the rest of the server still work: the peer
+    // can still receive traffic from this guest via a fresh, sane
+    // packet (driver state was not corrupted by desc 0/1 reuse —
+    // use the peer to send instead).
+    std::vector<cloud::Packet> got;
+    g.net().setRxHandler(
+        [&](const cloud::Packet &p) { got.push_back(p); });
+    cloud::Packet pkt;
+    pkt.src = 0xbb;
+    pkt.dst = 0xaa;
+    pkt.len = 64;
+    pkt.seq = 7;
+    ASSERT_TRUE(peer.net().sendPacket(pkt, true, peer.os().cpu(0)));
+    sim.run(sim.now() + msToTicks(5));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].seq, 7u);
+}
+
+TEST_F(BmIntegrationTest, FirmwareUpdateRequiresValidSignature)
+{
+    BmGuest &g = newGuest(0xaa);
+
+    hw::FirmwareImage evil;
+    evil.version = "evil-2.0";
+    evil.payloadDigest = 0xbadf00d;
+    evil.signature = 0x12345678; // forged
+    EXPECT_FALSE(g.hypervisor().updateGuestFirmware(evil));
+    EXPECT_EQ(g.board().firmware().version, "factory-1.0");
+
+    hw::FirmwareImage good;
+    good.version = "signed-2.0";
+    good.payloadDigest = 0x2000;
+    good.signature = hw::FirmwareImage::sign(
+        0x2000, hv::BmHypervisor::providerKey);
+    EXPECT_TRUE(g.hypervisor().updateGuestFirmware(good));
+    EXPECT_EQ(g.board().firmware().version, "signed-2.0");
+}
+
+TEST_F(BmIntegrationTest, SixteenGuestsCoReside)
+{
+    for (unsigned i = 0; i < 16; ++i) {
+        // The evaluated 32HT instance allows only 8 per server;
+        // use the smaller E3 instance for a full house.
+        auto &vol = storage.createVolume(
+            "v" + std::to_string(i), 16 * MiB);
+        server.provision(InstanceCatalog::byName("ebm.xeon-e3.8"),
+                         0x100 + i, &vol);
+    }
+    EXPECT_EQ(server.guestCount(), 16u);
+    EXPECT_EQ(server.freeSlots(), 0u);
+    Logger::global().setThrowOnDeath(true);
+    auto &vol = storage.createVolume("overflow", 16 * MiB);
+    EXPECT_THROW(server.provision(
+                     InstanceCatalog::byName("ebm.xeon-e3.8"),
+                     0x999, &vol),
+                 FatalError);
+    Logger::global().setThrowOnDeath(false);
+}
+
+TEST_F(BmIntegrationTest, ReleaseFreesSlotAndStopsService)
+{
+    BmGuest &g = newGuest(0xaa);
+    EXPECT_EQ(server.freeSlots(), server.maxBoards() - 1);
+    server.release(g);
+    EXPECT_EQ(server.freeSlots(), server.maxBoards());
+    EXPECT_EQ(g.board().powerState(), hw::BoardPower::Off);
+}
+
+TEST_F(BmIntegrationTest, DeterministicAcrossRuns)
+{
+    auto run_once = [](std::uint64_t seed) {
+        Simulation sim(seed);
+        cloud::VSwitch vs(sim, "vs");
+        cloud::BlockService st(sim, "st");
+        BmHiveServer srv(sim, "srv", vs, &st);
+        auto &vol = st.createVolume("v", 16 * MiB);
+        BmGuest &a = srv.provision(InstanceCatalog::evaluated(),
+                                   0xaa, &vol);
+        BmGuest &b = srv.provision(InstanceCatalog::evaluated(),
+                                   0xbb, nullptr);
+        sim.run(msToTicks(1));
+        Tick recv = 0;
+        b.net().setRxHandler(
+            [&](const cloud::Packet &) { recv = sim.now(); });
+        cloud::Packet p;
+        p.src = 0xaa;
+        p.dst = 0xbb;
+        p.len = 64;
+        a.net().sendPacket(p, true, a.os().cpu(0));
+        sim.run(sim.now() + msToTicks(10));
+        return recv;
+    };
+    Tick r1 = run_once(77);
+    Tick r2 = run_once(77);
+    EXPECT_EQ(r1, r2);
+    EXPECT_GT(r1, 0u);
+}
+
+} // namespace
+} // namespace bmhive

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shape-regression tests: fast (seconds-scale) versions of the
+ * headline experiments, asserting that the paper's qualitative
+ * results still hold after any model change. The full-length
+ * regenerations live in bench/; these are the tripwires.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hh"
+#include "core/cost_model.hh"
+#include "vmsim/nested.hh"
+#include "workloads/app_server.hh"
+#include "workloads/fio.hh"
+#include "workloads/net_perf.hh"
+#include "workloads/spec.hh"
+
+namespace bmhive {
+namespace {
+
+using namespace workloads;
+
+TEST(ShapeRegression, NginxBmBeatsVmByPaperFactor)
+{
+    AppBenchParams p;
+    p.clients = 100;
+    p.window = msToTicks(60);
+
+    bench::Testbed bm_bed(7001);
+    auto bm_g = bm_bed.bmGuest(0xA, 0);
+    bm_bed.sim.run(bm_bed.sim.now() + msToTicks(1));
+    AppServerBench bm_bench(bm_bed.sim, "ab", bm_g,
+                            bm_bed.vswitch, 0xC11E,
+                            AppProfile::nginx(), p);
+    auto bm = bm_bench.run();
+
+    bench::Testbed vm_bed(7002);
+    auto vm_g = vm_bed.vmGuest(0xA, 0);
+    vm_bed.sim.run(vm_bed.sim.now() + msToTicks(1));
+    AppServerBench vm_bench(vm_bed.sim, "ab", vm_g,
+                            vm_bed.vswitch, 0xC11E,
+                            AppProfile::nginx(), p);
+    auto vm = vm_bench.run();
+
+    double ratio = bm.rps / vm.rps;
+    EXPECT_GE(ratio, 1.40) << bm.rps << " vs " << vm.rps;
+    EXPECT_LE(ratio, 1.75);
+    // Response time ~30% shorter on bm.
+    EXPECT_LT(bm.avgMs, vm.avgMs * 0.80);
+}
+
+TEST(ShapeRegression, UdpPpsBothAboveThreePointTwoMillion)
+{
+    auto run_pair = [](bool bm) {
+        bench::Testbed bed(bm ? 7003 : 7004);
+        auto a = bm ? bed.bmGuest(0xA, 0) : bed.vmGuest(0xA, 0);
+        auto b = bm ? bed.bmGuest(0xB, 0) : bed.vmGuest(0xB, 0);
+        bed.sim.run(bed.sim.now() + msToTicks(1));
+        PacketFloodParams p;
+        p.flows = 14;
+        p.batch = 4;
+        p.warmup = msToTicks(3);
+        p.window = msToTicks(15);
+        PacketFlood flood(bed.sim, "f", a, b, p);
+        return flood.run().pps;
+    };
+    double bm = run_pair(true);
+    double vm = run_pair(false);
+    EXPECT_GT(bm, 3.2e6);
+    EXPECT_GT(vm, 3.2e6);
+    // vm slightly ahead (suppressed doorbells).
+    EXPECT_GT(vm, bm * 0.98);
+}
+
+TEST(ShapeRegression, StorageVmSlowerWithHeavierTail)
+{
+    FioParams p;
+    p.jobs = 8;
+    p.window = msToTicks(600);
+
+    bench::Testbed bm_bed(7005);
+    auto bm_g = bm_bed.bmGuest(0xA, 128);
+    bm_bed.sim.run(bm_bed.sim.now() + msToTicks(1));
+    FioRunner bm_fio(bm_bed.sim, "fio", bm_g, p);
+    auto bm = bm_fio.run();
+
+    bench::Testbed vm_bed(7006);
+    auto vm_g = vm_bed.vmGuest(0xA, 128);
+    vm_bed.sim.run(vm_bed.sim.now() + msToTicks(1));
+    FioRunner vm_fio(vm_bed.sim, "fio", vm_g, p);
+    auto vm = vm_fio.run();
+
+    EXPECT_GT(vm.avgUs, bm.avgUs * 1.08);
+    EXPECT_LT(vm.avgUs, bm.avgUs * 1.45);
+    EXPECT_GT(vm.p999Us, bm.p999Us * 1.8);
+    EXPECT_GT(bm.iops, 20e3);
+}
+
+TEST(ShapeRegression, DpdkLatencyVmBelowBm)
+{
+    bench::Testbed bm_bed(7007);
+    auto a = bm_bed.bmGuest(0xA, 0);
+    auto b = bm_bed.bmGuest(0xB, 0);
+    bm_bed.sim.run(bm_bed.sim.now() + msToTicks(1));
+    PingPongParams p;
+    p.samples = 300;
+    p.stack = NetStack::Dpdk;
+    auto bm = PingPong(bm_bed.sim, "pp", a, b, p).run();
+
+    bench::Testbed vm_bed(7008);
+    auto va = vm_bed.vmGuest(0xA, 0);
+    auto vb = vm_bed.vmGuest(0xB, 0);
+    vm_bed.sim.run(vm_bed.sim.now() + msToTicks(1));
+    auto vm = PingPong(vm_bed.sim, "pp", va, vb, p).run();
+
+    // The IO-Bond register hops show up under kernel bypass.
+    EXPECT_GT(bm.avgUs, vm.avgUs);
+    EXPECT_LT(bm.avgUs - vm.avgUs, 5.0);
+}
+
+TEST(ShapeRegression, SpecAndStreamBands)
+{
+    Rng rng(7009);
+    double gp = 1, gb = 1, gv = 1;
+    unsigned n = 0;
+    for (const auto &c : specCint2006()) {
+        gp *= specScore(c, Platform::Physical, rng);
+        gb *= specScore(c, Platform::BareMetal, rng);
+        gv *= specScore(c, Platform::Vm, rng);
+        ++n;
+    }
+    gp = std::pow(gp, 1.0 / n);
+    gb = std::pow(gb, 1.0 / n);
+    gv = std::pow(gv, 1.0 / n);
+    EXPECT_NEAR(gb / gp, 1.04, 0.015);
+    EXPECT_NEAR(gv / gp, 0.96, 0.015);
+    for (const auto &r : streamBandwidth(rng))
+        EXPECT_NEAR(r.vmGBs / r.bareMetalGBs, 0.978, 0.02);
+}
+
+TEST(ShapeRegression, NestedVirtBands)
+{
+    EXPECT_NEAR(vmsim::nestedEfficiency(
+                    vmsim::cpuWorkloadExitRate),
+                0.80, 0.04);
+    EXPECT_NEAR(vmsim::nestedEfficiency(
+                    vmsim::ioWorkloadExitRate),
+                0.25, 0.04);
+}
+
+TEST(ShapeRegression, CostModelBands)
+{
+    auto t = core::CostModel::tdpPerVcpu();
+    EXPECT_NEAR(t.bm.wattsPerVcpu(), 3.17, 0.1);
+    EXPECT_NEAR(t.vm.wattsPerVcpu(), 3.06, 0.1);
+}
+
+} // namespace
+} // namespace bmhive
