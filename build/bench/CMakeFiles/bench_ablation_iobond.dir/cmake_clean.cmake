@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iobond.dir/bench_ablation_iobond.cc.o"
+  "CMakeFiles/bench_ablation_iobond.dir/bench_ablation_iobond.cc.o.d"
+  "bench_ablation_iobond"
+  "bench_ablation_iobond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iobond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

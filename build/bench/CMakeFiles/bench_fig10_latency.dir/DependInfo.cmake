@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_latency.cc" "bench/CMakeFiles/bench_fig10_latency.dir/bench_fig10_latency.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_latency.dir/bench_fig10_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/bmhive_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bmhive_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmsim/CMakeFiles/bmhive_vmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bmhive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/bmhive_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/bmhive_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bmhive_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/iobond/CMakeFiles/bmhive_iobond.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/bmhive_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bmhive_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bmhive_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/bmhive_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmhive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bmhive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mariadb_ro.dir/bench_fig13_mariadb_ro.cc.o"
+  "CMakeFiles/bench_fig13_mariadb_ro.dir/bench_fig13_mariadb_ro.cc.o.d"
+  "bench_fig13_mariadb_ro"
+  "bench_fig13_mariadb_ro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mariadb_ro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

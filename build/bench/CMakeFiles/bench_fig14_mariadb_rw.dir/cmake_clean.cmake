@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mariadb_rw.dir/bench_fig14_mariadb_rw.cc.o"
+  "CMakeFiles/bench_fig14_mariadb_rw.dir/bench_fig14_mariadb_rw.cc.o.d"
+  "bench_fig14_mariadb_rw"
+  "bench_fig14_mariadb_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mariadb_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

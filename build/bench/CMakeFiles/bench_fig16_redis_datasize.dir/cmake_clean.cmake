@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_redis_datasize.dir/bench_fig16_redis_datasize.cc.o"
+  "CMakeFiles/bench_fig16_redis_datasize.dir/bench_fig16_redis_datasize.cc.o.d"
+  "bench_fig16_redis_datasize"
+  "bench_fig16_redis_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_redis_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_stream.dir/bench_fig8_stream.cc.o"
+  "CMakeFiles/bench_fig8_stream.dir/bench_fig8_stream.cc.o.d"
+  "bench_fig8_stream"
+  "bench_fig8_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_udp_pps.dir/bench_fig9_udp_pps.cc.o"
+  "CMakeFiles/bench_fig9_udp_pps.dir/bench_fig9_udp_pps.cc.o.d"
+  "bench_fig9_udp_pps"
+  "bench_fig9_udp_pps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_udp_pps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

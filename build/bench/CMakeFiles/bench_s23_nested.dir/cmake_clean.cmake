@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s23_nested.dir/bench_s23_nested.cc.o"
+  "CMakeFiles/bench_s23_nested.dir/bench_s23_nested.cc.o.d"
+  "bench_s23_nested"
+  "bench_s23_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s23_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s35_cost.dir/bench_s35_cost.cc.o"
+  "CMakeFiles/bench_s35_cost.dir/bench_s35_cost.cc.o.d"
+  "bench_s35_cost"
+  "bench_s35_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s35_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

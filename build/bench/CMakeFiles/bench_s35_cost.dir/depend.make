@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s35_cost.
+# This may be replaced when dependencies are built.

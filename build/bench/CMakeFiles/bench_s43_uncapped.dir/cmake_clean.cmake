@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s43_uncapped.dir/bench_s43_uncapped.cc.o"
+  "CMakeFiles/bench_s43_uncapped.dir/bench_s43_uncapped.cc.o.d"
+  "bench_s43_uncapped"
+  "bench_s43_uncapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s43_uncapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_vmexits.dir/bench_table2_vmexits.cc.o"
+  "CMakeFiles/bench_table2_vmexits.dir/bench_table2_vmexits.cc.o.d"
+  "bench_table2_vmexits"
+  "bench_table2_vmexits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_vmexits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_vs_vm.dir/bm_vs_vm.cc.o"
+  "CMakeFiles/bm_vs_vm.dir/bm_vs_vm.cc.o.d"
+  "bm_vs_vm"
+  "bm_vs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_vs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

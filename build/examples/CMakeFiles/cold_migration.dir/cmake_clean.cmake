@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_migration.dir/cold_migration.cc.o"
+  "CMakeFiles/cold_migration.dir/cold_migration.cc.o.d"
+  "cold_migration"
+  "cold_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("mem")
+subdirs("pci")
+subdirs("virtio")
+subdirs("cloud")
+subdirs("hw")
+subdirs("guest")
+subdirs("iobond")
+subdirs("hv")
+subdirs("vmsim")
+subdirs("core")
+subdirs("fleet")
+subdirs("workloads")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_base.dir/logging.cc.o"
+  "CMakeFiles/bmhive_base.dir/logging.cc.o.d"
+  "CMakeFiles/bmhive_base.dir/stats.cc.o"
+  "CMakeFiles/bmhive_base.dir/stats.cc.o.d"
+  "CMakeFiles/bmhive_base.dir/token_bucket.cc.o"
+  "CMakeFiles/bmhive_base.dir/token_bucket.cc.o.d"
+  "libbmhive_base.a"
+  "libbmhive_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_cloud.dir/block_service.cc.o"
+  "CMakeFiles/bmhive_cloud.dir/block_service.cc.o.d"
+  "CMakeFiles/bmhive_cloud.dir/vswitch.cc.o"
+  "CMakeFiles/bmhive_cloud.dir/vswitch.cc.o.d"
+  "libbmhive_cloud.a"
+  "libbmhive_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

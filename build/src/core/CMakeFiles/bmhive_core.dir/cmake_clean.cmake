@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_core.dir/bmhive_server.cc.o"
+  "CMakeFiles/bmhive_core.dir/bmhive_server.cc.o.d"
+  "CMakeFiles/bmhive_core.dir/cost_model.cc.o"
+  "CMakeFiles/bmhive_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/bmhive_core.dir/instance_catalog.cc.o"
+  "CMakeFiles/bmhive_core.dir/instance_catalog.cc.o.d"
+  "libbmhive_core.a"
+  "libbmhive_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

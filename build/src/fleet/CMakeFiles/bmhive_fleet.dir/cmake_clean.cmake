@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_fleet.dir/fleet_sim.cc.o"
+  "CMakeFiles/bmhive_fleet.dir/fleet_sim.cc.o.d"
+  "libbmhive_fleet.a"
+  "libbmhive_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

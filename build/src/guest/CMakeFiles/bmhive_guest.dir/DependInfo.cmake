@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/blk_driver.cc" "src/guest/CMakeFiles/bmhive_guest.dir/blk_driver.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/blk_driver.cc.o.d"
+  "/root/repo/src/guest/console_driver.cc" "src/guest/CMakeFiles/bmhive_guest.dir/console_driver.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/console_driver.cc.o.d"
+  "/root/repo/src/guest/firmware.cc" "src/guest/CMakeFiles/bmhive_guest.dir/firmware.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/firmware.cc.o.d"
+  "/root/repo/src/guest/guest_os.cc" "src/guest/CMakeFiles/bmhive_guest.dir/guest_os.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/guest_os.cc.o.d"
+  "/root/repo/src/guest/net_driver.cc" "src/guest/CMakeFiles/bmhive_guest.dir/net_driver.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/net_driver.cc.o.d"
+  "/root/repo/src/guest/packet_wire.cc" "src/guest/CMakeFiles/bmhive_guest.dir/packet_wire.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/packet_wire.cc.o.d"
+  "/root/repo/src/guest/virtio_driver.cc" "src/guest/CMakeFiles/bmhive_guest.dir/virtio_driver.cc.o" "gcc" "src/guest/CMakeFiles/bmhive_guest.dir/virtio_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virtio/CMakeFiles/bmhive_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bmhive_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bmhive_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bmhive_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/bmhive_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmhive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bmhive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

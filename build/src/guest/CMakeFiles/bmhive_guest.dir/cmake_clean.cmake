@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_guest.dir/blk_driver.cc.o"
+  "CMakeFiles/bmhive_guest.dir/blk_driver.cc.o.d"
+  "CMakeFiles/bmhive_guest.dir/console_driver.cc.o"
+  "CMakeFiles/bmhive_guest.dir/console_driver.cc.o.d"
+  "CMakeFiles/bmhive_guest.dir/firmware.cc.o"
+  "CMakeFiles/bmhive_guest.dir/firmware.cc.o.d"
+  "CMakeFiles/bmhive_guest.dir/guest_os.cc.o"
+  "CMakeFiles/bmhive_guest.dir/guest_os.cc.o.d"
+  "CMakeFiles/bmhive_guest.dir/net_driver.cc.o"
+  "CMakeFiles/bmhive_guest.dir/net_driver.cc.o.d"
+  "CMakeFiles/bmhive_guest.dir/packet_wire.cc.o"
+  "CMakeFiles/bmhive_guest.dir/packet_wire.cc.o.d"
+  "CMakeFiles/bmhive_guest.dir/virtio_driver.cc.o"
+  "CMakeFiles/bmhive_guest.dir/virtio_driver.cc.o.d"
+  "libbmhive_guest.a"
+  "libbmhive_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

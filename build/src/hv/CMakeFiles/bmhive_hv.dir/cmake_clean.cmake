@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_hv.dir/bm_hypervisor.cc.o"
+  "CMakeFiles/bmhive_hv.dir/bm_hypervisor.cc.o.d"
+  "CMakeFiles/bmhive_hv.dir/io_service.cc.o"
+  "CMakeFiles/bmhive_hv.dir/io_service.cc.o.d"
+  "libbmhive_hv.a"
+  "libbmhive_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

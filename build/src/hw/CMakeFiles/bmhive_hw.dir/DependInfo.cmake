@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/compute_board.cc" "src/hw/CMakeFiles/bmhive_hw.dir/compute_board.cc.o" "gcc" "src/hw/CMakeFiles/bmhive_hw.dir/compute_board.cc.o.d"
+  "/root/repo/src/hw/cpu_model.cc" "src/hw/CMakeFiles/bmhive_hw.dir/cpu_model.cc.o" "gcc" "src/hw/CMakeFiles/bmhive_hw.dir/cpu_model.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/bmhive_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/bmhive_hw.dir/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bmhive_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/bmhive_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmhive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bmhive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

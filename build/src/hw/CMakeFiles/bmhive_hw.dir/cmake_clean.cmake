@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_hw.dir/compute_board.cc.o"
+  "CMakeFiles/bmhive_hw.dir/compute_board.cc.o.d"
+  "CMakeFiles/bmhive_hw.dir/cpu_model.cc.o"
+  "CMakeFiles/bmhive_hw.dir/cpu_model.cc.o.d"
+  "CMakeFiles/bmhive_hw.dir/power.cc.o"
+  "CMakeFiles/bmhive_hw.dir/power.cc.o.d"
+  "libbmhive_hw.a"
+  "libbmhive_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_iobond.dir/iobond.cc.o"
+  "CMakeFiles/bmhive_iobond.dir/iobond.cc.o.d"
+  "libbmhive_iobond.a"
+  "libbmhive_iobond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_iobond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dma_engine.cc" "src/mem/CMakeFiles/bmhive_mem.dir/dma_engine.cc.o" "gcc" "src/mem/CMakeFiles/bmhive_mem.dir/dma_engine.cc.o.d"
+  "/root/repo/src/mem/guest_memory.cc" "src/mem/CMakeFiles/bmhive_mem.dir/guest_memory.cc.o" "gcc" "src/mem/CMakeFiles/bmhive_mem.dir/guest_memory.cc.o.d"
+  "/root/repo/src/mem/pool_allocator.cc" "src/mem/CMakeFiles/bmhive_mem.dir/pool_allocator.cc.o" "gcc" "src/mem/CMakeFiles/bmhive_mem.dir/pool_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/bmhive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmhive_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_mem.dir/dma_engine.cc.o"
+  "CMakeFiles/bmhive_mem.dir/dma_engine.cc.o.d"
+  "CMakeFiles/bmhive_mem.dir/guest_memory.cc.o"
+  "CMakeFiles/bmhive_mem.dir/guest_memory.cc.o.d"
+  "CMakeFiles/bmhive_mem.dir/pool_allocator.cc.o"
+  "CMakeFiles/bmhive_mem.dir/pool_allocator.cc.o.d"
+  "libbmhive_mem.a"
+  "libbmhive_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_pci.dir/config_space.cc.o"
+  "CMakeFiles/bmhive_pci.dir/config_space.cc.o.d"
+  "CMakeFiles/bmhive_pci.dir/pci_device.cc.o"
+  "CMakeFiles/bmhive_pci.dir/pci_device.cc.o.d"
+  "libbmhive_pci.a"
+  "libbmhive_pci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbmhive_pci.a"
+)

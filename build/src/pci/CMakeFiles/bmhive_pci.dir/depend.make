@@ -1,0 +1,2 @@
+# Empty dependencies file for bmhive_pci.
+# This may be replaced when dependencies are built.

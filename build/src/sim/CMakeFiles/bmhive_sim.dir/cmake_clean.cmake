@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_sim.dir/eventq.cc.o"
+  "CMakeFiles/bmhive_sim.dir/eventq.cc.o.d"
+  "libbmhive_sim.a"
+  "libbmhive_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

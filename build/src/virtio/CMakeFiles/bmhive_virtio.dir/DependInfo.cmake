@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virtio/virtio_net.cc" "src/virtio/CMakeFiles/bmhive_virtio.dir/virtio_net.cc.o" "gcc" "src/virtio/CMakeFiles/bmhive_virtio.dir/virtio_net.cc.o.d"
+  "/root/repo/src/virtio/virtio_pci.cc" "src/virtio/CMakeFiles/bmhive_virtio.dir/virtio_pci.cc.o" "gcc" "src/virtio/CMakeFiles/bmhive_virtio.dir/virtio_pci.cc.o.d"
+  "/root/repo/src/virtio/virtqueue.cc" "src/virtio/CMakeFiles/bmhive_virtio.dir/virtqueue.cc.o" "gcc" "src/virtio/CMakeFiles/bmhive_virtio.dir/virtqueue.cc.o.d"
+  "/root/repo/src/virtio/vring.cc" "src/virtio/CMakeFiles/bmhive_virtio.dir/vring.cc.o" "gcc" "src/virtio/CMakeFiles/bmhive_virtio.dir/vring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bmhive_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/bmhive_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmhive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bmhive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_virtio.dir/virtio_net.cc.o"
+  "CMakeFiles/bmhive_virtio.dir/virtio_net.cc.o.d"
+  "CMakeFiles/bmhive_virtio.dir/virtio_pci.cc.o"
+  "CMakeFiles/bmhive_virtio.dir/virtio_pci.cc.o.d"
+  "CMakeFiles/bmhive_virtio.dir/virtqueue.cc.o"
+  "CMakeFiles/bmhive_virtio.dir/virtqueue.cc.o.d"
+  "CMakeFiles/bmhive_virtio.dir/vring.cc.o"
+  "CMakeFiles/bmhive_virtio.dir/vring.cc.o.d"
+  "libbmhive_virtio.a"
+  "libbmhive_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_vmsim.dir/vm_guest.cc.o"
+  "CMakeFiles/bmhive_vmsim.dir/vm_guest.cc.o.d"
+  "libbmhive_vmsim.a"
+  "libbmhive_vmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_vmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app_server.cc" "src/workloads/CMakeFiles/bmhive_workloads.dir/app_server.cc.o" "gcc" "src/workloads/CMakeFiles/bmhive_workloads.dir/app_server.cc.o.d"
+  "/root/repo/src/workloads/fio.cc" "src/workloads/CMakeFiles/bmhive_workloads.dir/fio.cc.o" "gcc" "src/workloads/CMakeFiles/bmhive_workloads.dir/fio.cc.o.d"
+  "/root/repo/src/workloads/net_perf.cc" "src/workloads/CMakeFiles/bmhive_workloads.dir/net_perf.cc.o" "gcc" "src/workloads/CMakeFiles/bmhive_workloads.dir/net_perf.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/bmhive_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/bmhive_workloads.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bmhive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmsim/CMakeFiles/bmhive_vmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/bmhive_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/iobond/CMakeFiles/bmhive_iobond.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/bmhive_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/bmhive_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bmhive_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/bmhive_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bmhive_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/bmhive_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmhive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bmhive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmhive_workloads.dir/app_server.cc.o"
+  "CMakeFiles/bmhive_workloads.dir/app_server.cc.o.d"
+  "CMakeFiles/bmhive_workloads.dir/fio.cc.o"
+  "CMakeFiles/bmhive_workloads.dir/fio.cc.o.d"
+  "CMakeFiles/bmhive_workloads.dir/net_perf.cc.o"
+  "CMakeFiles/bmhive_workloads.dir/net_perf.cc.o.d"
+  "CMakeFiles/bmhive_workloads.dir/spec.cc.o"
+  "CMakeFiles/bmhive_workloads.dir/spec.cc.o.d"
+  "libbmhive_workloads.a"
+  "libbmhive_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmhive_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

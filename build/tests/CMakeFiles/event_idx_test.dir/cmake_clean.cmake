@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_idx_test.dir/event_idx_test.cc.o"
+  "CMakeFiles/event_idx_test.dir/event_idx_test.cc.o.d"
+  "event_idx_test"
+  "event_idx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_idx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

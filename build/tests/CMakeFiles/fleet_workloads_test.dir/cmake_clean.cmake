@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_workloads_test.dir/fleet_workloads_test.cc.o"
+  "CMakeFiles/fleet_workloads_test.dir/fleet_workloads_test.cc.o.d"
+  "fleet_workloads_test"
+  "fleet_workloads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

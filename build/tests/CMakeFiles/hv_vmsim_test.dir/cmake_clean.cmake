@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_vmsim_test.dir/hv_vmsim_test.cc.o"
+  "CMakeFiles/hv_vmsim_test.dir/hv_vmsim_test.cc.o.d"
+  "hv_vmsim_test"
+  "hv_vmsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_vmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

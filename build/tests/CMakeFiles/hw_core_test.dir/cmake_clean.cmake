@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_core_test.dir/hw_core_test.cc.o"
+  "CMakeFiles/hw_core_test.dir/hw_core_test.cc.o.d"
+  "hw_core_test"
+  "hw_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_bm_test.dir/integration_bm_test.cc.o"
+  "CMakeFiles/integration_bm_test.dir/integration_bm_test.cc.o.d"
+  "integration_bm_test"
+  "integration_bm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_bm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobond_test.dir/iobond_test.cc.o"
+  "CMakeFiles/iobond_test.dir/iobond_test.cc.o.d"
+  "iobond_test"
+  "iobond_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pci_test.dir/pci_test.cc.o"
+  "CMakeFiles/pci_test.dir/pci_test.cc.o.d"
+  "pci_test"
+  "pci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
