@@ -70,8 +70,9 @@ runWith(std::uint64_t seed, double dma_gbps, Tick poll_period,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Ablation 1", "IO-Bond internal DMA bandwidth (paper: "
                          "50 Gbps), uncapped guests");
     std::printf("  %10s %12s %12s %14s\n", "DMA Gbps", "PPS (M)",

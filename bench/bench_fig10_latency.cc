@@ -48,8 +48,9 @@ tcpThroughput(GuestContext a, GuestContext b, Simulation &sim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 10", "64B UDP / ping latency (sockperf, DPDK, "
                       "ICMP), one-way us");
 

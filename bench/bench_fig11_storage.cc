@@ -35,8 +35,9 @@ runFio(GuestContext g, Simulation &sim, bool write)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 11", "cloud storage latency, fio 8 jobs, 4 KiB "
                       "random, 25K IOPS cap");
 

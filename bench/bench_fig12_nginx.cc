@@ -35,8 +35,9 @@ runOne(GuestContext g, cloud::VSwitch &sw, Simulation &sim,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 12", "NGINX requests/s and response time vs "
                       "concurrent clients (ab, KeepAlive off)");
 

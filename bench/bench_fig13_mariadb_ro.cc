@@ -15,8 +15,9 @@ using namespace bmhive::bench;
 using namespace bmhive::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 13", "MariaDB read-only QPS (sysbench, 128 "
                       "threads, 16 tables x 1M rows)");
 

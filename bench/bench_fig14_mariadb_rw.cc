@@ -33,8 +33,9 @@ runOne(std::uint64_t seed, bool bm, const workloads::AppProfile &prof)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 14", "MariaDB rd/wr mixed and write-only QPS "
                       "(sysbench, 128 threads)");
 

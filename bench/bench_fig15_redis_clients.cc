@@ -33,8 +33,9 @@ runOne(std::uint64_t seed, bool bm, unsigned clients)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 15", "Redis requests/s vs clients "
                       "(redis-benchmark, 64B values)");
 

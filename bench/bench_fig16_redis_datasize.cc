@@ -34,8 +34,9 @@ runOne(std::uint64_t seed, bool bm, Bytes value_bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 16", "Redis requests/s vs value size "
                       "(redis-benchmark, 256 clients)");
 

@@ -19,8 +19,9 @@ using namespace bmhive;
 using namespace bmhive::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 1", "VM preemption p99/p99.9, 20K VMs, 24h, "
                      "shared vs exclusive");
 

@@ -19,8 +19,9 @@ using namespace bmhive::bench;
 using namespace bmhive::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 7", "SPEC CINT2006: physical vs bm-guest vs "
                      "vm-guest");
 

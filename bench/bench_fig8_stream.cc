@@ -19,8 +19,9 @@ using namespace bmhive::bench;
 using namespace bmhive::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 8", "STREAM bandwidth (GB/s), 16 threads, 200M x "
                      "8B per array");
 

@@ -35,8 +35,9 @@ runPair(GuestContext src, GuestContext dst, Simulation &sim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Fig. 9", "UDP packet receive rate (netperf UDP, 1B "
                      "payload, 4M PPS cap)");
 

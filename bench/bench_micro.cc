@@ -192,4 +192,16 @@ BENCHMARK(BM_SimulatedPpsThroughput);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip our flags before google-benchmark sees (and rejects)
+    // them; dumps --metrics-out on exit like every other bench.
+    bmhive::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

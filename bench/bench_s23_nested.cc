@@ -17,8 +17,9 @@ using namespace bmhive::bench;
 using namespace bmhive::vmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Sec. 2.3", "nested virtualization: fraction of "
                        "native performance");
 

@@ -19,8 +19,9 @@ using namespace bmhive;
 using namespace bmhive::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Sec. 3.5", "cost efficiency: vCPU density and TDP per "
                        "vCPU");
 

@@ -37,8 +37,9 @@ localSsd()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Sec. 4.3", "uncapped BM-Hive: PPS without the 4M "
                        "limit (DPDK senders)");
     {

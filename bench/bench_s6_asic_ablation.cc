@@ -43,8 +43,9 @@ runOne(std::uint64_t seed, iobond::IoBondParams bond)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Sec. 6", "IO-Bond FPGA vs ASIC (PCI access 0.8us -> "
                      "0.2us), DPDK 64B one-way latency");
 

@@ -13,8 +13,9 @@ using namespace bmhive;
 using namespace bmhive::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Table 1", "comparison of three cloud services");
     std::printf(
         "  %-14s %-26s %-26s %-30s %-22s\n", "service", "security",

@@ -18,8 +18,9 @@ using namespace bmhive;
 using namespace bmhive::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Table 2", "VM exits per second per vCPU across a "
                       "300K-VM fleet (5-minute count)");
 

@@ -14,8 +14,9 @@ using namespace bmhive;
 using namespace bmhive::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bmhive::bench::Session session(argc, argv);
     banner("Table 3", "bare-metal instances available in the "
                       "cloud");
 

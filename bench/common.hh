@@ -13,16 +13,133 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cloud/block_service.hh"
 #include "cloud/vswitch.hh"
 #include "core/bmhive_server.hh"
+#include "obs/metric_registry.hh"
 #include "vmsim/vm_guest.hh"
 #include "workloads/guest_iface.hh"
 
 namespace bmhive {
 namespace bench {
+
+/**
+ * Collects the metric registries of every Testbed a bench builds —
+ * including ones already destroyed, whose registries are snapshot
+ * as JSON at teardown — so Session can dump them all at exit.
+ */
+class MetricsCapture
+{
+  public:
+    static MetricsCapture &
+    instance()
+    {
+        static MetricsCapture c;
+        return c;
+    }
+
+    /** Track a live registry under @p label. */
+    void
+    attach(std::string label, obs::MetricRegistry &reg)
+    {
+        live_.push_back({std::move(label), &reg});
+    }
+
+    /** Snapshot and stop tracking (registry is going away). */
+    void
+    detach(obs::MetricRegistry &reg)
+    {
+        for (auto it = live_.begin(); it != live_.end(); ++it) {
+            if (it->reg == &reg) {
+                snapshots_.emplace_back(it->label,
+                                        reg.toJson());
+                live_.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** One JSON object: {"<label>": {<metrics>}, ...}. */
+    std::string
+    toJson() const
+    {
+        std::string out = "{";
+        bool first = true;
+        auto add = [&](const std::string &label,
+                       const std::string &body) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\n  \"" + label + "\": " + body;
+        };
+        for (const auto &[label, body] : snapshots_)
+            add(label, body);
+        for (const auto &l : live_)
+            add(l.label, l.reg->toJson());
+        out += "\n}\n";
+        return out;
+    }
+
+  private:
+    struct Live
+    {
+        std::string label;
+        obs::MetricRegistry *reg;
+    };
+    std::vector<Live> live_;
+    std::vector<std::pair<std::string, std::string>> snapshots_;
+};
+
+/**
+ * Per-run bookkeeping every bench main owns: parses (and strips)
+ * the common command-line flags, and at exit writes the end-of-run
+ * metric snapshot of every testbed when --metrics-out=<path> was
+ * given. Declare it first in main() so it outlives the testbeds.
+ */
+class Session
+{
+  public:
+    Session(int &argc, char **argv)
+    {
+        const std::string flag = "--metrics-out=";
+        int w = 1;
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind(flag, 0) == 0)
+                metricsOut_ = a.substr(flag.size());
+            else
+                argv[w++] = argv[i];
+        }
+        argc = w;
+        argv[argc] = nullptr;
+    }
+
+    ~Session()
+    {
+        if (metricsOut_.empty())
+            return;
+        std::string json = MetricsCapture::instance().toJson();
+        std::FILE *f = std::fopen(metricsOut_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         metricsOut_.c_str());
+            return;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("metrics snapshot written to %s\n",
+                    metricsOut_.c_str());
+    }
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+  private:
+    std::string metricsOut_;
+};
 
 /**
  * One experiment environment. Everything shares a Simulation, so
@@ -39,7 +156,12 @@ class Testbed
           server(sim, "server", vswitch, &storage,
                  smallServer(max_boards))
     {
+        static unsigned ordinal = 0;
+        MetricsCapture::instance().attach(
+            "testbed" + std::to_string(ordinal++), sim.metrics());
     }
+
+    ~Testbed() { MetricsCapture::instance().detach(sim.metrics()); }
 
     static core::BmServerParams
     smallServer(unsigned max_boards)

@@ -119,6 +119,10 @@ main()
         "hostile");
     sim.eventq().schedule(ev, sim.now() + msToTicks(10));
 
+    // Fleet-style monitoring: one per-guest rollup (packets, block
+    // I/Os, poll busy ratio) logged every 10 simulated ms.
+    server.startStatsDump(msToTicks(10));
+
     sim.run(sim.now() + msToTicks(25));
 
     std::printf("\n%-8s %14s %14s %16s\n", "guest", "rx packets",

@@ -12,10 +12,65 @@ Logger::global()
 }
 
 void
-Logger::print(LogLevel lvl, const std::string &msg)
+Logger::setTickSource(std::function<Tick()> src, const void *owner)
 {
-    if (static_cast<int>(lvl) > static_cast<int>(verbosity_))
+    tickSource_ = std::move(src);
+    tickOwner_ = owner;
+}
+
+void
+Logger::clearTickSource(const void *owner)
+{
+    if (tickOwner_ != owner)
+        return; // a newer simulation took over; leave it installed
+    tickSource_ = nullptr;
+    tickOwner_ = nullptr;
+}
+
+void
+Logger::debugEnable(const std::string &component)
+{
+    debugSet_.insert(component);
+}
+
+void
+Logger::debugDisable(const std::string &component)
+{
+    debugSet_.erase(component);
+}
+
+bool
+Logger::debugEnabled(const std::string &component) const
+{
+    if (debugSet_.empty()) {
+        // Legacy behaviour: the verbosity knob alone decides.
+        return static_cast<int>(LogLevel::Debug) <=
+               static_cast<int>(verbosity_);
+    }
+    for (const auto &entry : debugSet_) {
+        if (entry.empty())
+            return true; // wildcard
+        if (component == entry)
+            return true;
+        // Dot-boundary prefix: "a.b" enables "a.b.c", not "a.bc".
+        if (component.size() > entry.size() &&
+            component.compare(0, entry.size(), entry) == 0 &&
+            component[entry.size()] == '.')
+            return true;
+    }
+    return false;
+}
+
+void
+Logger::print(LogLevel lvl, const std::string &component,
+              const std::string &msg)
+{
+    if (lvl == LogLevel::Debug) {
+        if (!debugEnabled(component))
+            return;
+    } else if (static_cast<int>(lvl) > static_cast<int>(verbosity_)) {
         return;
+    }
     const char *prefix = "";
     switch (lvl) {
       case LogLevel::Panic:
@@ -34,7 +89,13 @@ Logger::print(LogLevel lvl, const std::string &msg)
         prefix = "debug: ";
         break;
     }
-    std::cerr << prefix << msg << "\n";
+    std::ostream &os = stream_ ? *stream_ : std::cerr;
+    os << prefix;
+    if (tickSource_)
+        os << "[" << tickSource_() << "] ";
+    if (!component.empty())
+        os << component << ": ";
+    os << msg << "\n";
 }
 
 namespace detail {

@@ -17,8 +17,13 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <iosfwd>
+#include <set>
 #include <sstream>
 #include <string>
+
+#include "base/units.hh"
 
 namespace bmhive {
 
@@ -47,12 +52,49 @@ class Logger
     void setThrowOnDeath(bool t) { throwOnDeath_ = t; }
     bool throwOnDeath() const { return throwOnDeath_; }
 
-    /** Emit one formatted message. */
-    void print(LogLevel lvl, const std::string &msg);
+    /**
+     * Source of the current simulation Tick, used to prefix every
+     * log line with simulated time. A Simulation installs itself on
+     * construction (@p owner disambiguates nested simulations) and
+     * clears on destruction.
+     */
+    void setTickSource(std::function<Tick()> src, const void *owner);
+    void clearTickSource(const void *owner);
+
+    /**
+     * Per-component Debug filtering. When the enable set is empty,
+     * Debug messages fall back to the verbosity gate (legacy
+     * behaviour). When non-empty, a Debug message prints iff its
+     * component matches an enabled entry exactly or an entry is a
+     * dot-separated prefix of it (enabling "server.guest0" also
+     * enables "server.guest0.iobond"). The empty-string entry
+     * enables everything.
+     */
+    void debugEnable(const std::string &component);
+    void debugDisable(const std::string &component);
+    void debugClear() { debugSet_.clear(); }
+    bool debugEnabled(const std::string &component) const;
+
+    /** Redirect output (tests); null restores the default stream. */
+    void setStream(std::ostream *os) { stream_ = os; }
+
+    /** Emit one formatted message with no component attribution. */
+    void print(LogLevel lvl, const std::string &msg)
+    {
+        print(lvl, std::string(), msg);
+    }
+
+    /** Emit one formatted message from @p component. */
+    void print(LogLevel lvl, const std::string &component,
+               const std::string &msg);
 
   private:
     LogLevel verbosity_ = LogLevel::Inform;
     bool throwOnDeath_ = false;
+    std::function<Tick()> tickSource_;
+    const void *tickOwner_ = nullptr;
+    std::set<std::string> debugSet_;
+    std::ostream *stream_ = nullptr;
 };
 
 /** Exception thrown by panic() when throw-on-death is enabled. */
@@ -127,6 +169,22 @@ inform(Args &&...args)
 {
     Logger::global().print(LogLevel::Inform,
                            detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Component-attributed debug message; printed only when the
+ * component is enabled (see Logger::debugEnable). SimObjects pass
+ * their hierarchical name so whole subtrees can be switched on.
+ */
+template <typename... Args>
+void
+debug(const std::string &component, Args &&...args)
+{
+    Logger &log = Logger::global();
+    if (!log.debugEnabled(component))
+        return;
+    log.print(LogLevel::Debug, component,
+              detail::concat(std::forward<Args>(args)...));
 }
 
 } // namespace bmhive

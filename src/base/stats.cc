@@ -157,4 +157,59 @@ Histogram::bucketHigh(std::size_t i) const
     return lo_ + width_ * double(i + 1);
 }
 
+void
+Gauge::set(double v)
+{
+    value_ = v;
+    if (!seen_) {
+        min_ = max_ = v;
+        seen_ = true;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++updates_;
+}
+
+void
+Gauge::reset()
+{
+    min_ = max_ = value_;
+    seen_ = true;
+    updates_ = 0;
+}
+
+void
+TimeWeightedAverage::record(double v, Tick now)
+{
+    panic_if(started_ && now < last_,
+             "time-weighted average fed non-monotonic time");
+    if (!started_) {
+        started_ = true;
+        start_ = last_ = now;
+    }
+    weighted_ += value_ * double(now - last_);
+    value_ = v;
+    last_ = now;
+}
+
+double
+TimeWeightedAverage::average(Tick now) const
+{
+    if (!started_ || now <= start_)
+        return value_;
+    double integral = weighted_;
+    if (now > last_)
+        integral += value_ * double(now - last_);
+    return integral / double(now - start_);
+}
+
+void
+TimeWeightedAverage::reset()
+{
+    value_ = weighted_ = 0.0;
+    start_ = last_ = 0;
+    started_ = false;
+}
+
 } // namespace bmhive

@@ -148,6 +148,61 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
+/**
+ * Instantaneous level with min/max watermarks, e.g. queue depth or
+ * in-flight I/O. Unlike Counter it can move both directions.
+ */
+class Gauge
+{
+  public:
+    void set(double v);
+    /** Signed adjustment, e.g. add(1) on submit, add(-1) on done. */
+    void add(double delta) { set(value_ + delta); }
+
+    double value() const { return value_; }
+    /** Lowest value seen since construction or reset(). */
+    double minWatermark() const { return seen_ ? min_ : 0.0; }
+    /** Highest value seen since construction or reset(). */
+    double maxWatermark() const { return seen_ ? max_ : 0.0; }
+    std::uint64_t updates() const { return updates_; }
+
+    /** Keeps the current level; watermarks restart from it. */
+    void reset();
+
+  private:
+    double value_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    bool seen_ = false;
+    std::uint64_t updates_ = 0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal: each
+ * record(v, now) holds v from now until the next record. Used for
+ * averages where duration matters (mean queue depth, mean poll
+ * utilization) rather than per-sample means.
+ */
+class TimeWeightedAverage
+{
+  public:
+    /** The signal takes value @p v from @p now on. */
+    void record(double v, Tick now);
+
+    /** Integral / elapsed over [first record, now]. */
+    double average(Tick now) const;
+
+    double current() const { return value_; }
+    void reset();
+
+  private:
+    double value_ = 0.0;
+    double weighted_ = 0.0; ///< integral of value dt so far
+    Tick start_ = 0;
+    Tick last_ = 0;
+    bool started_ = false;
+};
+
 } // namespace bmhive
 
 #endif // BMHIVE_BASE_STATS_HH

@@ -47,7 +47,11 @@ Volume::readData(std::uint64_t lba, Bytes len) const
 BlockService::BlockService(Simulation &sim, std::string name,
                            Params params)
     : SimObject(sim, std::move(name)), params_(params),
-      channelFree_(params.channels, 0)
+      channelFree_(params.channels, 0),
+      completed_(metrics().counter(this->name() + ".completed")),
+      reads_(metrics().counter(this->name() + ".reads")),
+      writes_(metrics().counter(this->name() + ".writes")),
+      serviceLatency_(metrics().latency(this->name() + ".service"))
 {
     panic_if(params.channels == 0, "storage needs >= 1 channel");
 }
@@ -102,6 +106,11 @@ BlockService::submit(Volume &vol, BlockIo io)
                           from_storage);
 
     completed_.inc();
+    if (io.write)
+        writes_.inc();
+    else
+        reads_.inc();
+    serviceLatency_.record(completion - curTick());
     auto *ev = new OneShotEvent(std::move(io.done),
                                 name() + ".complete");
     eventq().schedule(ev, completion);

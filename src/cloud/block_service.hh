@@ -110,6 +110,8 @@ class BlockService : public SimObject
     void submit(Volume &vol, BlockIo io);
 
     std::uint64_t completedIos() const { return completed_.value(); }
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writes() const { return writes_.value(); }
 
   private:
     /** Pick the earliest-free channel and occupy it. */
@@ -118,7 +120,12 @@ class BlockService : public SimObject
     Params params_;
     std::vector<std::unique_ptr<Volume>> volumes_;
     std::vector<Tick> channelFree_;
-    Counter completed_;
+    /** Registry-backed: accessors and exports read the same cell. */
+    Counter &completed_;
+    Counter &reads_;
+    Counter &writes_;
+    /** Cluster-side latency (submit to completion callback). */
+    LatencyRecorder &serviceLatency_;
 };
 
 } // namespace cloud

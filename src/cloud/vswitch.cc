@@ -8,7 +8,11 @@ namespace bmhive {
 namespace cloud {
 
 VSwitch::VSwitch(Simulation &sim, std::string name, Params params)
-    : SimObject(sim, std::move(name)), params_(params)
+    : SimObject(sim, std::move(name)), params_(params),
+      forwarded_(metrics().counter(this->name() + ".forwarded")),
+      dropped_(metrics().counter(this->name() + ".dropped")),
+      uplinkTx_(metrics().counter(this->name() + ".uplink_tx")),
+      bytes_(metrics().counter(this->name() + ".bytes_switched"))
 {
 }
 
@@ -62,6 +66,7 @@ VSwitch::forward(const Packet &pkt)
         Tick arrive = depart + xfer;
         port.linkFree = arrive;
         forwarded_.inc();
+        bytes_.inc(pkt.len);
         Packet copy = pkt;
         auto *ev = new OneShotEvent(
             [this, pid, copy] {
@@ -80,6 +85,8 @@ VSwitch::forward(const Packet &pkt)
         Tick arrive = depart + xfer;
         uplinkFree_ = arrive;
         forwarded_.inc();
+        uplinkTx_.inc();
+        bytes_.inc(pkt.len);
         Packet copy = pkt;
         auto *ev = new OneShotEvent(
             [this, copy] { uplink_(copy); }, name() + ".uplink");

@@ -78,6 +78,8 @@ class VSwitch : public SimObject
 
     std::uint64_t forwarded() const { return forwarded_.value(); }
     std::uint64_t dropped() const { return dropped_.value(); }
+    std::uint64_t uplinkTx() const { return uplinkTx_.value(); }
+    std::uint64_t bytesSwitched() const { return bytes_.value(); }
 
   private:
     struct Port
@@ -96,8 +98,11 @@ class VSwitch : public SimObject
     std::function<void(const Packet &)> uplink_;
     Tick coreFree_ = 0;   ///< when the switching core is next idle
     Tick uplinkFree_ = 0; ///< when the uplink NIC is next idle
-    Counter forwarded_;
-    Counter dropped_;
+    /** Registry-backed: accessors and exports read the same cell. */
+    Counter &forwarded_;
+    Counter &dropped_;
+    Counter &uplinkTx_;
+    Counter &bytes_;
 };
 
 /**

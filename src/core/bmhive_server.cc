@@ -1,5 +1,6 @@
 #include "core/bmhive_server.hh"
 
+#include <iomanip>
 #include <sstream>
 #include <utility>
 
@@ -30,8 +31,24 @@ BmGuest::statsReport() const
        << " completions=" << bond_->completionsReturned()
        << " malformed=" << bond_->malformedChains()
        << " dma_bytes=" << bond_->dma().bytesMoved() << "\n";
+    std::uint64_t polls = hv_->service().pollsTotal();
+    os << "  backend: polls=" << polls
+       << " busy=" << hv_->service().pollsBusy();
+    if (polls > 0) {
+        os << " (" << std::fixed << std::setprecision(1)
+           << 100.0 * hv_->service().pollBusyRatio() << "% busy)";
+        os.unsetf(std::ios::fixed);
+    }
+    os << "\n";
     os << "  irqs=" << os_->irqsTaken()
        << " hv_upgrades=" << hv_->upgrades();
+    // Per-stage latency rollup, present once tracing is enabled.
+    auto *net = hv_->netTracer();
+    auto *blk = hv_->blkTracer();
+    if (net && net->completed() > 0)
+        os << "\n  net stages:\n" << net->breakdown();
+    if (blk && blk->completed() > 0)
+        os << "\n  blk stages:\n" << blk->breakdown();
     return os.str();
 }
 
@@ -40,7 +57,10 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
                            cloud::BlockService *storage,
                            BmServerParams params)
     : SimObject(sim, std::move(name)), params_(params),
-      vswitch_(vswitch), storage_(storage)
+      vswitch_(vswitch), storage_(storage),
+      statsDumps_(metrics().counter(this->name() + ".stats_dumps")),
+      statsEvent_([this] { dumpStats(); },
+                  this->name() + ".stats_dump")
 {
     fatal_if(params_.maxBoards == 0 ||
                  params_.maxBoards > paper::maxComputeBoards,
@@ -53,6 +73,40 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
     base_ = std::make_unique<hw::BaseBoard>(
         sim, this->name() + ".base", hw::CpuCatalog::baseBoardE5(),
         base_mem, paper::ioBondMailboxAccess);
+}
+
+BmHiveServer::~BmHiveServer()
+{
+    if (statsEvent_.scheduled())
+        eventq().deschedule(&statsEvent_);
+}
+
+void
+BmHiveServer::startStatsDump(Tick period)
+{
+    panic_if(period == 0, name(), ": stats dump needs a period");
+    statsPeriod_ = period;
+    eventq().reschedule(&statsEvent_, curTick() + period);
+}
+
+void
+BmHiveServer::stopStatsDump()
+{
+    statsPeriod_ = 0;
+    if (statsEvent_.scheduled())
+        eventq().deschedule(&statsEvent_);
+}
+
+void
+BmHiveServer::dumpStats()
+{
+    statsDumps_.inc();
+    for (unsigned i = 0; i < guests_.size(); ++i) {
+        inform(name(), ": guest", i, " ",
+               guests_[i]->statsReport());
+    }
+    if (statsPeriod_ > 0)
+        scheduleIn(&statsEvent_, statsPeriod_);
 }
 
 unsigned

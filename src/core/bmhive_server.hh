@@ -83,6 +83,7 @@ class BmHiveServer : public SimObject
                  cloud::VSwitch &vswitch,
                  cloud::BlockService *storage = nullptr,
                  BmServerParams params = {});
+    ~BmHiveServer() override;
 
     /**
      * Provision a bm-guest of @p type with NIC address @p mac and
@@ -107,7 +108,19 @@ class BmHiveServer : public SimObject
     /** Compute boards the PSU/space/I/O budget allows (Table 3). */
     unsigned maxBoards() const { return params_.maxBoards; }
 
+    /**
+     * Log every guest's statsReport() every @p period, like a
+     * management daemon scraping the fleet. Counted under
+     * "<name>.stats_dumps" in the metric registry.
+     */
+    void startStatsDump(Tick period);
+    void stopStatsDump();
+    std::uint64_t statsDumps() const { return statsDumps_.value(); }
+
   private:
+    /** One periodic rollup over all provisioned guests. */
+    void dumpStats();
+
     BmServerParams params_;
     cloud::VSwitch &vswitch_;
     cloud::BlockService *storage_;
@@ -116,6 +129,9 @@ class BmHiveServer : public SimObject
     unsigned usedSlots_ = 0;
     Addr nextShadowRegion_ = 0;
     unsigned nextCore_ = 0;
+    Tick statsPeriod_ = 0; ///< 0: periodic dump disabled
+    Counter &statsDumps_;
+    EventFunctionWrapper statsEvent_;
 };
 
 } // namespace core

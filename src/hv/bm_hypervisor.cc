@@ -80,6 +80,7 @@ BmHypervisor::connectBackends()
                     bond_.backendCompleted(fn, virtio::NET_TXQ);
                 },
                 vswitch_, port_, limiter);
+            netFn_ = int(fn);
             any = true;
         } else if (type == virtio::DeviceType::Console) {
             if (!bond_.shadowReady(fn, 0) ||
@@ -109,14 +110,58 @@ BmHypervisor::connectBackends()
                 bond_.baseMemory(), bond_.shadowLayout(fn, 0),
                 [this, fn] { bond_.backendCompleted(fn, 0); },
                 *storage_, *volume_, limiter);
+            blkFn_ = int(fn);
             any = true;
         }
     }
     if (any) {
         connected_ = true;
+        wireTracers();
         service_->start();
     }
     return any;
+}
+
+void
+BmHypervisor::enableIoTracing()
+{
+    if (!netTracer_) {
+        netTracer_ = std::make_unique<obs::RequestTracer>(
+            name() + ".net", metrics(), &traceSink());
+        // The guest's net driver suppresses tx completion MSIs and
+        // reclaims used buffers from its xmit path, so a tx flow's
+        // last observable event is the completion DMA.
+        netTracer_->setFinalStage(obs::Stage::CompleteDma);
+    }
+    if (!blkTracer_)
+        blkTracer_ = std::make_unique<obs::RequestTracer>(
+            name() + ".blk", metrics(), &traceSink());
+    traceIo_ = true;
+    if (connected_)
+        wireTracers();
+}
+
+void
+BmHypervisor::wireTracers()
+{
+    if (!traceIo_)
+        return;
+    // Only guest-initiated directions carry request spans; the rx
+    // ring's buffer turnaround is not a request latency.
+    if (netFn_ >= 0) {
+        bond_.setQueueTracer(unsigned(netFn_), virtio::NET_TXQ,
+                             netTracer_.get());
+        service_->setNetTxTracer(
+            netTracer_.get(),
+            obs::RequestTracer::flowKey(unsigned(netFn_),
+                                        virtio::NET_TXQ, 0));
+    }
+    if (blkFn_ >= 0) {
+        bond_.setQueueTracer(unsigned(blkFn_), 0, blkTracer_.get());
+        service_->setBlkTracer(
+            blkTracer_.get(),
+            obs::RequestTracer::flowKey(unsigned(blkFn_), 0, 0));
+    }
 }
 
 bool

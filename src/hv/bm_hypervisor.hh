@@ -25,6 +25,7 @@
 #include "hv/io_service.hh"
 #include "hw/compute_board.hh"
 #include "iobond/iobond.hh"
+#include "obs/request_tracer.hh"
 
 namespace bmhive {
 namespace hv {
@@ -90,6 +91,20 @@ class BmHypervisor : public SimObject
         service_->consoleInput(text);
     }
 
+    /**
+     * Trace every request through the full Fig. 6 path: doorbell,
+     * shadow sync, poll pickup, service, completion DMA, MSI.
+     * Spans land in per-stage latency recorders under
+     * "<name>.net.stage.*" / "<name>.blk.stage.*" and, when the
+     * simulation's TraceSink is enabled, as Chrome trace events.
+     * Cheap enough to leave on; off by default anyway.
+     */
+    void enableIoTracing();
+
+    /** Per-stage tracers; null until enableIoTracing(). */
+    obs::RequestTracer *netTracer() { return netTracer_.get(); }
+    obs::RequestTracer *blkTracer() { return blkTracer_.get(); }
+
     /** Completed live upgrades. */
     unsigned upgrades() const { return upgrades_; }
 
@@ -117,9 +132,19 @@ class BmHypervisor : public SimObject
     bool connected_ = false;
     unsigned upgrades_ = 0;
 
+    // Request tracing (enableIoTracing).
+    std::unique_ptr<obs::RequestTracer> netTracer_;
+    std::unique_ptr<obs::RequestTracer> blkTracer_;
+    int netFn_ = -1; ///< IO-Bond function index of the NIC
+    int blkFn_ = -1; ///< IO-Bond function index of the disk
+    bool traceIo_ = false;
+
     /** Finish a live upgrade once block I/O has drained. */
     void finishUpgrade(Tick t0,
                        std::function<void(Tick)> done);
+
+    /** Point bond and service at the tracers (post-connect). */
+    void wireTracers();
 };
 
 } // namespace hv

@@ -16,7 +16,15 @@ VirtioIoService::VirtioIoService(Simulation &sim, std::string name,
                                  IoServiceParams params)
     : SimObject(sim, std::move(name)), core_(core), params_(params),
       pollEvent_([this] { poll(); }, this->name() + ".poll",
-                 Event::pollPri)
+                 Event::pollPri),
+      txPkts_(metrics().counter(this->name() + ".tx_pkts")),
+      rxPkts_(metrics().counter(this->name() + ".rx_pkts")),
+      blkIos_(metrics().counter(this->name() + ".blk_ios")),
+      rxDropped_(metrics().counter(this->name() + ".rx_dropped")),
+      pollsTotal_(metrics().counter(this->name() + ".poll.total")),
+      pollsBusy_(metrics().counter(this->name() + ".poll.busy")),
+      pollBatch_(
+          metrics().histogram(this->name() + ".poll.batch", 0, 64, 16))
 {
 }
 
@@ -120,6 +128,16 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     blkSvc_ = old.blkSvc_;
     vol_ = old.vol_;
     blkLimiter_ = old.blkLimiter_;
+    netTracer_ = old.netTracer_;
+    netTxKeyBase_ = old.netTxKeyBase_;
+    blkTracer_ = old.blkTracer_;
+    blkKeyBase_ = old.blkKeyBase_;
+    // Traffic counters continue across the generation swap so
+    // per-guest rollups don't restart at zero on a live upgrade.
+    txPkts_.inc(old.txPkts_.value());
+    rxPkts_.inc(old.rxPkts_.value());
+    blkIos_.inc(old.blkIos_.value());
+    rxDropped_.inc(old.rxDropped_.value());
     // Suppression flags follow the new flavour.
     if (netRx_ && params_.suppressGuestNotify) {
         netRx_->setNoNotify(true);
@@ -169,23 +187,31 @@ VirtioIoService::poll()
 {
     if (params_.pollRegisterCost > 0)
         core_.charge(params_.pollRegisterCost);
+    unsigned work = 0;
     if (netTx_)
-        pollNetTx();
+        work += pollNetTx();
     if (netRx_)
-        pollNetRx();
+        work += pollNetRx();
     if (blk_)
-        pollBlk();
+        work += pollBlk();
     if (conTx_)
-        pollConsole();
+        work += pollConsole();
+    pollsTotal_.inc();
+    if (work > 0)
+        pollsBusy_.inc();
+    pollBatch_.record(double(work));
     scheduleNext();
 }
 
-void
+unsigned
 VirtioIoService::pollNetTx()
 {
     Tick cost = 0;
     unsigned completed = 0;
     while (auto chain = netTx_->pop()) {
+        if (netTracer_)
+            netTracer_->stamp(netTxKeyBase_ | chain->head,
+                              obs::Stage::PollPickup, curTick());
         auto ext = guest::readPacketFromTxChain(*netMem_, *chain);
         cost += params_.perPacketCost + params_.perPacketCopyCost;
         if (ext.ok) {
@@ -204,6 +230,9 @@ VirtioIoService::pollNetTx()
             txPkts_.inc();
         }
         netTx_->pushUsed(chain->head, 0);
+        if (netTracer_)
+            netTracer_->stamp(netTxKeyBase_ | chain->head,
+                              obs::Stage::Service, curTick());
         ++completed;
     }
     if (completed > 0) {
@@ -215,9 +244,10 @@ VirtioIoService::pollNetTx()
     } else if (cost > 0) {
         core_.charge(cost);
     }
+    return completed;
 }
 
-void
+unsigned
 VirtioIoService::pollNetRx()
 {
     Tick cost = 0;
@@ -246,9 +276,10 @@ VirtioIoService::pollNetRx()
     } else if (cost > 0) {
         core_.charge(cost);
     }
+    return completed;
 }
 
-void
+unsigned
 VirtioIoService::pollConsole()
 {
     // Guest output: drain the tx queue into the sink.
@@ -302,12 +333,18 @@ VirtioIoService::pollConsole()
         if (conRxDone_)
             conRxDone_();
     }
+    return out + in;
 }
 
-void
+unsigned
 VirtioIoService::pollBlk()
 {
+    unsigned picked = 0;
     while (auto chain = blk_->pop()) {
+        ++picked;
+        if (blkTracer_)
+            blkTracer_->stamp(blkKeyBase_ | chain->head,
+                              obs::Stage::PollPickup, curTick());
         // Chain: [hdr 16B out] [data in|out]? [status 1B in].
         if (chain->segs.size() < 2 ||
             chain->segs.front().deviceWrites ||
@@ -363,6 +400,11 @@ VirtioIoService::pollBlk()
         io.len = len;
         io.done = [this, is_write, lba, len, data_addr, status_addr,
                    head] {
+            // The storage round trip ends here: everything from
+            // poll pickup until now is the Service span.
+            if (blkTracer_)
+                blkTracer_->stamp(blkKeyBase_ | head,
+                                  obs::Stage::Service, curTick());
             // Completion handling runs on the iothread; if that
             // thread is preempted, every in-flight I/O behind it
             // waits — the mechanism behind the vm's latency tail.
@@ -425,6 +467,7 @@ VirtioIoService::pollBlk()
                                            params_.blkExtraCost));
             });
     }
+    return picked;
 }
 
 } // namespace hv

@@ -34,6 +34,7 @@
 #include "cloud/vswitch.hh"
 #include "hw/cpu_executor.hh"
 #include "mem/guest_memory.hh"
+#include "obs/request_tracer.hh"
 #include "sim/sim_object.hh"
 #include "virtio/virtqueue.hh"
 
@@ -154,16 +155,49 @@ class VirtioIoService : public SimObject
     std::uint64_t blkIos() const { return blkIos_.value(); }
     std::uint64_t rxDropped() const { return rxDropped_.value(); }
 
+    /** Poll-loop utilization (DPDK telemetry style): iterations
+     *  that found work vs. ran empty. */
+    std::uint64_t pollsTotal() const { return pollsTotal_.value(); }
+    std::uint64_t pollsBusy() const { return pollsBusy_.value(); }
+    double
+    pollBusyRatio() const
+    {
+        return pollsTotal_.value()
+                   ? double(pollsBusy_.value()) /
+                         double(pollsTotal_.value())
+                   : 0.0;
+    }
+
+    /**
+     * Stamp PollPickup/Service spans on guest tx packets. Keys are
+     * @p key_base | chain head; the base carries the (fn, queue)
+     * the platform glue knows and this service does not.
+     */
+    void
+    setNetTxTracer(obs::RequestTracer *t, std::uint64_t key_base)
+    {
+        netTracer_ = t;
+        netTxKeyBase_ = key_base;
+    }
+
+    /** Same for block requests (Service spans the storage trip). */
+    void
+    setBlkTracer(obs::RequestTracer *t, std::uint64_t key_base)
+    {
+        blkTracer_ = t;
+        blkKeyBase_ = key_base;
+    }
+
     virtio::VirtQueueDevice *netTxQueue() { return netTx_.get(); }
     virtio::VirtQueueDevice *netRxQueue() { return netRx_.get(); }
     virtio::VirtQueueDevice *blkQueue() { return blk_.get(); }
 
   private:
     void poll();
-    void pollNetTx();
-    void pollNetRx();
-    void pollBlk();
-    void pollConsole();
+    unsigned pollNetTx();
+    unsigned pollNetRx();
+    unsigned pollBlk();
+    unsigned pollConsole();
     void scheduleNext();
 
     hw::CpuExecutor &core_;
@@ -203,10 +237,20 @@ class VirtioIoService : public SimObject
     bool running_ = false;
     std::uint64_t blkInflight_ = 0;
     EventFunctionWrapper pollEvent_;
-    Counter txPkts_;
-    Counter rxPkts_;
-    Counter blkIos_;
-    Counter rxDropped_;
+    /** Registry-backed: accessors and exports read the same cell. */
+    Counter &txPkts_;
+    Counter &rxPkts_;
+    Counter &blkIos_;
+    Counter &rxDropped_;
+    Counter &pollsTotal_;
+    Counter &pollsBusy_;
+    Histogram &pollBatch_; ///< work items per poll iteration
+
+    // Request tracing (optional, wired by the platform glue).
+    obs::RequestTracer *netTracer_ = nullptr;
+    std::uint64_t netTxKeyBase_ = 0;
+    obs::RequestTracer *blkTracer_ = nullptr;
+    std::uint64_t blkKeyBase_ = 0;
 };
 
 } // namespace hv

@@ -66,7 +66,11 @@ IoBond::IoBond(Simulation &sim, std::string name,
       baseMem_(base_memory), params_(params),
       dma_(sim, this->name() + ".dma", params.dmaBandwidth),
       pool_(shadow_region_base + 4 * MiB, params.shadowArenaBytes),
-      shadowRings_(base_memory, shadow_region_base)
+      shadowRings_(base_memory, shadow_region_base),
+      notifies_(metrics().counter(this->name() + ".notifies")),
+      chains_(metrics().counter(this->name() + ".chains")),
+      completions_(metrics().counter(this->name() + ".completions")),
+      bad_(metrics().counter(this->name() + ".malformed"))
 {
     panic_if(shadow_region_base + 4 * MiB +
                      params.shadowArenaBytes >
@@ -192,9 +196,19 @@ IoBond::functionReset(IoBondFunction &fn)
 }
 
 void
+IoBond::setQueueTracer(unsigned fn, unsigned q,
+                       obs::RequestTracer *t)
+{
+    panic_if(fn >= shadow_.size() || q >= shadow_[fn].size(),
+             name(), ": bad shadow queue (", fn, ",", q, ")");
+    shadow_[fn][q].reqTracer = t;
+}
+
+void
 IoBond::guestNotified(IoBondFunction &fn, unsigned q)
 {
     notifies_.inc();
+    shadow_[fn.index()][q].lastDoorbell = curTick();
     unsigned fi = fn.index();
     trace(name() + ": doorbell fn=" + std::to_string(fi) +
           " q=" + std::to_string(q));
@@ -327,6 +341,12 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
 
     sq.inflight[head] = std::move(cs);
 
+    // The request's life begins at the doorbell that announced it,
+    // not at descriptor fetch; stamp with the earlier tick.
+    if (sq.reqTracer)
+        sq.reqTracer->stamp(obs::RequestTracer::flowKey(fn, q, head),
+                            obs::Stage::GuestPost, sq.lastDoorbell);
+
     // Ring metadata follows the payload through the DMA engine;
     // the chain is published on the shadow ring (and the head
     // register bumped) only when everything has landed.
@@ -340,6 +360,10 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
         ++s.shadowAvail;
         s.shadowLayout.setAvailIdx(baseMem_, s.shadowAvail);
         chains_.inc();
+        if (s.reqTracer)
+            s.reqTracer->stamp(
+                obs::RequestTracer::flowKey(fn, q, head),
+                obs::Stage::ShadowSync, curTick());
         trace(name() + ": chain head=" + std::to_string(head) +
               " (" + std::to_string(dma_bytes) +
               "B payload) published on shadow vring, head " +
@@ -414,6 +438,11 @@ IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
         if (ind_block != PoolAllocator::nullAddr)
             pool_.free(ind_block);
         completions_.inc();
+        if (s.reqTracer)
+            s.reqTracer->stamp(
+                obs::RequestTracer::flowKey(
+                    fn, q, std::uint16_t(elem.id)),
+                obs::Stage::CompleteDma, curTick());
         trace(name() + ": completion head=" +
               std::to_string(elem.id) + " returned to guest" +
               (fire_msi ? ", MSI" : ""));
@@ -433,6 +462,13 @@ IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
             s.irqPending = true;
         if (fire_msi && s.irqPending) {
             s.irqPending = false;
+            // The MSI closes the batch; only its final chain's
+            // flow completes end-to-end (interrupt moderation).
+            if (s.reqTracer)
+                s.reqTracer->stamp(
+                    obs::RequestTracer::flowKey(
+                        fn, q, std::uint16_t(elem.id)),
+                    obs::Stage::GuestIrq, curTick());
             functions_[fn]->notifyGuest(q);
         }
     });

@@ -40,6 +40,7 @@
 #include "hw/compute_board.hh"
 #include "mem/dma_engine.hh"
 #include "mem/pool_allocator.hh"
+#include "obs/request_tracer.hh"
 #include "virtio/virtio_pci.hh"
 #include "virtio/virtqueue.hh"
 
@@ -149,6 +150,17 @@ class IoBond : public SimObject
     /** Observe the datapath (used by the quickstart example). */
     void setTracer(Tracer t) { tracer_ = std::move(t); }
 
+    /**
+     * Stamp request spans for chains of (fn, q): GuestPost at the
+     * doorbell, ShadowSync when the chain is published on the
+     * shadow vring, CompleteDma when the used element lands back
+     * in guest memory, GuestIrq when the MSI fires. Trace only
+     * guest-initiated directions (net tx, blk); rx buffer
+     * turnaround would drown request latencies.
+     */
+    void setQueueTracer(unsigned fn, unsigned q,
+                        obs::RequestTracer *t);
+
     std::uint64_t notifications() const { return notifies_.value(); }
     std::uint64_t chainsForwarded() const { return chains_.value(); }
     std::uint64_t completionsReturned() const
@@ -185,6 +197,8 @@ class IoBond : public SimObject
         std::uint16_t syncedUsed = 0;  ///< shadow used returned
         std::uint16_t guestUsed = 0;   ///< published to the guest
         bool irqPending = false;       ///< batch needs an MSI
+        Tick lastDoorbell = 0;         ///< latest guest notify
+        obs::RequestTracer *reqTracer = nullptr;
         std::map<std::uint16_t, ChainShadow> inflight;
     };
 
@@ -214,10 +228,11 @@ class IoBond : public SimObject
     /** [fn][q] shadow state. */
     std::vector<std::vector<ShadowQueue>> shadow_;
     Tracer tracer_;
-    Counter notifies_;
-    Counter chains_;
-    Counter completions_;
-    Counter bad_;
+    /** Registry-backed: accessors and exports read the same cell. */
+    Counter &notifies_;
+    Counter &chains_;
+    Counter &completions_;
+    Counter &bad_;
 };
 
 } // namespace iobond

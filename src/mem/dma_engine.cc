@@ -10,6 +10,9 @@ DmaEngine::DmaEngine(Simulation &sim, std::string name,
                      Bandwidth bandwidth, Tick startup)
     : SimObject(sim, std::move(name)), bandwidth_(bandwidth),
       startup_(startup),
+      bytesMoved_(metrics().counter(this->name() + ".bytes_moved")),
+      transfers_(metrics().counter(this->name() + ".transfers")),
+      queueDepth_(metrics().gauge(this->name() + ".queue_depth")),
       completeEvent_([this] { complete(); }, this->name() + ".complete")
 {
     panic_if(!bandwidth.valid(), "DMA engine needs positive bandwidth");
@@ -27,6 +30,7 @@ DmaEngine::copy(const GuestMemory &src, Addr src_addr, GuestMemory &dst,
 {
     queue_.push_back(
         Transfer{&src, src_addr, &dst, dst_addr, len, std::move(done)});
+    queueDepth_.set(double(queue_.size()));
     if (!busy_)
         startNext();
 }
@@ -36,6 +40,7 @@ DmaEngine::accountOnly(Bytes len, Callback done)
 {
     queue_.push_back(
         Transfer{nullptr, 0, nullptr, 0, len, std::move(done)});
+    queueDepth_.set(double(queue_.size()));
     if (!busy_)
         startNext();
 }
@@ -58,6 +63,7 @@ DmaEngine::complete()
     panic_if(queue_.empty(), "DMA completion with empty queue");
     Transfer t = std::move(queue_.front());
     queue_.pop_front();
+    queueDepth_.set(double(queue_.size()));
     busy_ = false;
 
     if (t.src != nullptr) {
@@ -66,8 +72,8 @@ DmaEngine::complete()
         auto blob = t.src->readBlob(t.srcAddr, t.len);
         t.dst->writeBlob(t.dstAddr, blob);
     }
-    bytesMoved_ += t.len;
-    ++transfers_;
+    bytesMoved_.inc(t.len);
+    transfers_.inc();
 
     if (!queue_.empty())
         startNext();

@@ -61,9 +61,9 @@ class DmaEngine : public SimObject
     std::size_t queued() const { return queue_.size(); }
 
     /** Total bytes moved since construction. */
-    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    std::uint64_t bytesMoved() const { return bytesMoved_.value(); }
     /** Total transfers completed. */
-    std::uint64_t transfers() const { return transfers_; }
+    std::uint64_t transfers() const { return transfers_.value(); }
 
   private:
     struct Transfer
@@ -85,8 +85,10 @@ class DmaEngine : public SimObject
     Tick startup_;
     std::deque<Transfer> queue_;
     bool busy_ = false;
-    std::uint64_t bytesMoved_ = 0;
-    std::uint64_t transfers_ = 0;
+    /** Registry-backed so exports and accessors read one cell. */
+    Counter &bytesMoved_;
+    Counter &transfers_;
+    Gauge &queueDepth_;
     EventFunctionWrapper completeEvent_;
 };
 

@@ -1,0 +1,287 @@
+#include "obs/metric_registry.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace bmhive {
+namespace obs {
+
+namespace {
+
+const char *
+kindName(MetricRegistry::Kind k)
+{
+    switch (k) {
+      case MetricRegistry::Kind::Counter:
+        return "counter";
+      case MetricRegistry::Kind::Gauge:
+        return "gauge";
+      case MetricRegistry::Kind::Histogram:
+        return "histogram";
+      case MetricRegistry::Kind::Latency:
+        return "latency";
+    }
+    return "?";
+}
+
+/** Metric names are ASCII identifiers; escape defensively anyway. */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (std::uint8_t(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+}
+
+} // namespace
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+MetricRegistry::Entry &
+MetricRegistry::fetch(const std::string &name, Kind kind)
+{
+    auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        panic_if(it->second.kind != kind, "metric '", name,
+                 "' registered as ", kindName(it->second.kind),
+                 ", requested as ", kindName(kind));
+        return it->second;
+    }
+    Entry e;
+    e.kind = kind;
+    return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    Entry &e = fetch(name, Kind::Counter);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    Entry &e = fetch(name, Kind::Gauge);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name, double lo,
+                          double hi, std::size_t buckets)
+{
+    Entry &e = fetch(name, Kind::Histogram);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+    return *e.histogram;
+}
+
+LatencyRecorder &
+MetricRegistry::latency(const std::string &name)
+{
+    Entry &e = fetch(name, Kind::Latency);
+    if (!e.latency)
+        e.latency = std::make_unique<LatencyRecorder>();
+    return *e.latency;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return metrics_.count(name) != 0;
+}
+
+void
+MetricRegistry::forEach(
+    const std::function<void(const std::string &, Kind)> &fn) const
+{
+    for (const auto &[name, entry] : metrics_)
+        fn(name, entry.kind);
+}
+
+void
+MetricRegistry::appendJsonValue(std::string &out, const Entry &e)
+{
+    switch (e.kind) {
+      case Kind::Counter:
+        appendJsonNumber(out, double(e.counter->value()));
+        break;
+      case Kind::Gauge:
+        out += "{\"value\":";
+        appendJsonNumber(out, e.gauge->value());
+        out += ",\"min\":";
+        appendJsonNumber(out, e.gauge->minWatermark());
+        out += ",\"max\":";
+        appendJsonNumber(out, e.gauge->maxWatermark());
+        out += ",\"updates\":";
+        appendJsonNumber(out, double(e.gauge->updates()));
+        out += '}';
+        break;
+      case Kind::Histogram: {
+        const Histogram &h = *e.histogram;
+        out += "{\"total\":";
+        appendJsonNumber(out, double(h.total()));
+        out += ",\"underflow\":";
+        appendJsonNumber(out, double(h.underflow()));
+        out += ",\"overflow\":";
+        appendJsonNumber(out, double(h.overflow()));
+        out += ",\"buckets\":[";
+        bool first = true;
+        for (std::size_t i = 0; i < h.buckets(); ++i) {
+            if (h.bucketCount(i) == 0)
+                continue;
+            if (!first)
+                out += ',';
+            first = false;
+            out += '[';
+            appendJsonNumber(out, h.bucketLow(i));
+            out += ',';
+            appendJsonNumber(out, h.bucketHigh(i));
+            out += ',';
+            appendJsonNumber(out, double(h.bucketCount(i)));
+            out += ']';
+        }
+        out += "]}";
+        break;
+      }
+      case Kind::Latency: {
+        const LatencyRecorder &l = *e.latency;
+        out += "{\"count\":";
+        appendJsonNumber(out, double(l.count()));
+        out += ",\"mean_us\":";
+        appendJsonNumber(out, l.meanUs());
+        out += ",\"p50_us\":";
+        appendJsonNumber(out, l.p50Us());
+        out += ",\"p99_us\":";
+        appendJsonNumber(out, l.p99Us());
+        out += ",\"p999_us\":";
+        appendJsonNumber(out, l.p999Us());
+        out += ",\"max_us\":";
+        appendJsonNumber(out, l.maxUs());
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, entry] : metrics_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "\n  ";
+        appendJsonString(out, name);
+        out += ": ";
+        appendJsonValue(out, entry);
+    }
+    out += "\n}";
+    return out;
+}
+
+std::string
+MetricRegistry::toText() const
+{
+    std::string out;
+    char buf[160];
+    for (const auto &[name, entry] : metrics_) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                          (unsigned long long)entry.counter->value());
+            break;
+          case Kind::Gauge:
+            std::snprintf(buf, sizeof(buf),
+                          "%s %g min=%g max=%g\n", name.c_str(),
+                          entry.gauge->value(),
+                          entry.gauge->minWatermark(),
+                          entry.gauge->maxWatermark());
+            break;
+          case Kind::Histogram:
+            std::snprintf(buf, sizeof(buf),
+                          "%s total=%llu under=%llu over=%llu\n",
+                          name.c_str(),
+                          (unsigned long long)entry.histogram->total(),
+                          (unsigned long long)
+                              entry.histogram->underflow(),
+                          (unsigned long long)
+                              entry.histogram->overflow());
+            break;
+          case Kind::Latency:
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s count=%llu mean=%.3fus p99=%.3fus\n",
+                name.c_str(),
+                (unsigned long long)entry.latency->count(),
+                entry.latency->meanUs(), entry.latency->p99Us());
+            break;
+        }
+        out += buf;
+    }
+    return out;
+}
+
+void
+MetricRegistry::resetAll()
+{
+    for (auto &[name, entry] : metrics_) {
+        (void)name;
+        switch (entry.kind) {
+          case Kind::Counter:
+            entry.counter->reset();
+            break;
+          case Kind::Gauge:
+            entry.gauge->reset();
+            break;
+          case Kind::Histogram:
+            entry.histogram->reset();
+            break;
+          case Kind::Latency:
+            entry.latency->reset();
+            break;
+        }
+    }
+}
+
+} // namespace obs
+} // namespace bmhive

@@ -1,0 +1,162 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+
+namespace bmhive {
+namespace obs {
+
+void
+TraceSink::enable(std::size_t capacity)
+{
+#if BMHIVE_TRACING
+    capacity_ = capacity ? capacity : 1;
+    ring_.clear();
+    ring_.reserve(capacity_);
+    head_ = 0;
+    wrapped_ = false;
+    dropped_ = 0;
+    enabled_ = true;
+#else
+    (void)capacity; // compiled out: the sink stays disabled
+#endif
+}
+
+std::uint32_t
+TraceSink::lane(const std::string &name)
+{
+    for (std::size_t i = 0; i < lanes_.size(); ++i)
+        if (lanes_[i] == name)
+            return std::uint32_t(i);
+    lanes_.push_back(name);
+    return std::uint32_t(lanes_.size() - 1);
+}
+
+void
+TraceSink::push(Event e)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(e));
+        head_ = ring_.size() % capacity_;
+        return;
+    }
+    ring_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
+    wrapped_ = true;
+    ++dropped_;
+}
+
+void
+TraceSink::recordComplete(const std::string &name,
+                          const std::string &cat, Tick start,
+                          Tick dur, std::uint32_t tid,
+                          std::uint64_t id)
+{
+#if BMHIVE_TRACING
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'X', start, dur, tid, id});
+#else
+    (void)name;
+    (void)cat;
+    (void)start;
+    (void)dur;
+    (void)tid;
+    (void)id;
+#endif
+}
+
+void
+TraceSink::recordInstant(const std::string &name,
+                         const std::string &cat, Tick at,
+                         std::uint32_t tid, std::uint64_t id)
+{
+#if BMHIVE_TRACING
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'i', at, 0, tid, id});
+#else
+    (void)name;
+    (void)cat;
+    (void)at;
+    (void)tid;
+    (void)id;
+#endif
+}
+
+std::size_t
+TraceSink::size() const
+{
+    return ring_.size();
+}
+
+std::vector<TraceSink::Event>
+TraceSink::events() const
+{
+    if (!wrapped_)
+        return ring_;
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::string out = "{\"displayTimeUnit\":\"ns\","
+                      "\"traceEvents\":[";
+    char buf[256];
+    bool first = true;
+    // Lane names as thread_name metadata so viewers label rows.
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":1,\"tid\":%u,"
+                      "\"args\":{\"name\":\"%s\"}}",
+                      first ? "" : ",", unsigned(i),
+                      lanes_[i].c_str());
+        out += buf;
+        first = false;
+    }
+    for (const Event &e : events()) {
+        // Ticks are picoseconds; trace_event "ts" is microseconds.
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+            "\"ts\":%.6f,\"dur\":%.6f,\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"id\":%llu}}",
+            first ? "" : ",", e.name.c_str(), e.cat.c_str(), e.ph,
+            ticksToUs(e.ts), ticksToUs(e.dur), e.tid,
+            (unsigned long long)e.id);
+        out += buf;
+        first = false;
+    }
+    out += "\n]}";
+    return out;
+}
+
+bool
+TraceSink::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string json = toJson();
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+              json.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+void
+TraceSink::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    wrapped_ = false;
+    dropped_ = 0;
+}
+
+} // namespace obs
+} // namespace bmhive

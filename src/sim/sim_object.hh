@@ -11,19 +11,34 @@
 #include <cstdint>
 #include <string>
 
+#include "base/logging.hh"
 #include "base/random.hh"
 #include "base/units.hh"
+#include "obs/metric_registry.hh"
+#include "obs/trace.hh"
 #include "sim/eventq.hh"
 
 namespace bmhive {
 
 /**
  * Owner of simulated time and randomness for one experiment run.
+ * Also owns the run's observability surface: the metric registry
+ * every SimObject registers into and the (off-by-default) Chrome
+ * trace sink. Keeping these per-simulation, not process-global,
+ * means benches that build several testbeds never mix samples.
  */
 class Simulation
 {
   public:
-    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+    explicit Simulation(std::uint64_t seed = 1) : rng_(seed)
+    {
+        // Log lines carry the current simulated time of the most
+        // recently constructed simulation.
+        Logger::global().setTickSource([this] { return now(); },
+                                       this);
+    }
+
+    ~Simulation() { Logger::global().clearTickSource(this); }
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
@@ -32,12 +47,17 @@ class Simulation
     Rng &rng() { return rng_; }
     Tick now() const { return eventq_.curTick(); }
 
+    obs::MetricRegistry &metrics() { return metrics_; }
+    obs::TraceSink &trace() { return trace_; }
+
     /** Run the event loop until empty or @p limit. */
     void run(Tick limit = maxTick) { eventq_.run(limit); }
 
   private:
     EventQueue eventq_;
     Rng rng_;
+    obs::MetricRegistry metrics_;
+    obs::TraceSink trace_;
 };
 
 /**
@@ -59,6 +79,16 @@ class SimObject
     EventQueue &eventq() { return sim_.eventq(); }
     Rng &rng() { return sim_.rng(); }
     Tick curTick() const { return sim_.now(); }
+    obs::MetricRegistry &metrics() { return sim_.metrics(); }
+    obs::TraceSink &traceSink() { return sim_.trace(); }
+
+    /** Debug log attributed to this object (see Logger::debugEnable). */
+    template <typename... Args>
+    void
+    logDebug(Args &&...args) const
+    {
+        bmhive::debug(name_, std::forward<Args>(args)...);
+    }
 
     /** Schedule @p ev at a delay relative to now. */
     void

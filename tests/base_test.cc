@@ -12,6 +12,7 @@
 #include "base/stats.hh"
 #include "base/token_bucket.hh"
 #include "base/units.hh"
+#include "sim/sim_object.hh"
 
 namespace bmhive {
 namespace {
@@ -251,6 +252,144 @@ TEST(RngTest, DistributionsAreSane)
     // Pareto(xm=1, alpha=3) mean = alpha/(alpha-1) = 1.5.
     EXPECT_NEAR(pareto.mean(), 1.5, 0.1);
     EXPECT_GE(pareto.min(), 1.0);
+}
+
+TEST(GaugeTest, TracksLevelAndWatermarks)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(g.updates(), 0u);
+    g.set(4.0);
+    g.add(2.0);
+    g.add(-5.0);
+    EXPECT_EQ(g.value(), 1.0);
+    EXPECT_EQ(g.minWatermark(), 1.0);
+    EXPECT_EQ(g.maxWatermark(), 6.0);
+    EXPECT_EQ(g.updates(), 3u);
+}
+
+TEST(GaugeTest, ResetKeepsLevelRestartsWatermarks)
+{
+    Gauge g;
+    g.set(10.0);
+    g.set(2.0);
+    g.reset();
+    // The queue is still 2 deep; only the extremes restart.
+    EXPECT_EQ(g.value(), 2.0);
+    EXPECT_EQ(g.minWatermark(), 2.0);
+    EXPECT_EQ(g.maxWatermark(), 2.0);
+    g.set(3.0);
+    EXPECT_EQ(g.maxWatermark(), 3.0);
+    EXPECT_EQ(g.minWatermark(), 2.0);
+}
+
+TEST(TimeWeightedAverageTest, WeightsByDuration)
+{
+    TimeWeightedAverage a;
+    // 1.0 for 10 ticks, then 3.0 for 30 ticks:
+    // (1*10 + 3*30) / 40 = 2.5.
+    a.record(1.0, 100);
+    a.record(3.0, 110);
+    EXPECT_DOUBLE_EQ(a.average(140), 2.5);
+    EXPECT_DOUBLE_EQ(a.current(), 3.0);
+}
+
+TEST(TimeWeightedAverageTest, DegenerateCases)
+{
+    TimeWeightedAverage a;
+    EXPECT_DOUBLE_EQ(a.average(50), 0.0); // nothing recorded
+    a.record(7.0, 20);
+    // Zero elapsed time: the average is the held value.
+    EXPECT_DOUBLE_EQ(a.average(20), 7.0);
+    EXPECT_DOUBLE_EQ(a.average(30), 7.0);
+}
+
+TEST_F(DeathAsThrow, TimeWeightedAverageRejectsTimeTravel)
+{
+    TimeWeightedAverage a;
+    a.record(1.0, 100);
+    EXPECT_THROW(a.record(2.0, 99), PanicError);
+}
+
+/** Captures log output and restores the logger's state. */
+class LogCaptureTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Logger::global().setStream(&captured);
+    }
+
+    void
+    TearDown() override
+    {
+        Logger::global().setStream(nullptr);
+        Logger::global().debugClear();
+        Logger::global().clearTickSource(this);
+        Logger::global().setVerbosity(LogLevel::Inform);
+    }
+
+    std::string text() const { return captured.str(); }
+
+    std::ostringstream captured;
+};
+
+TEST_F(LogCaptureTest, LinesCarryTickAndComponentPrefix)
+{
+    Tick now = 12345;
+    Logger::global().setTickSource([&] { return now; }, this);
+    Logger::global().print(LogLevel::Inform, "srv.guest0.iobond",
+                           "chain published");
+    EXPECT_EQ(text(),
+              "info: [12345] srv.guest0.iobond: chain published\n");
+}
+
+TEST_F(LogCaptureTest, SimulationInstallsItsClockOnTheLogger)
+{
+    Simulation sim(1);
+    auto *ev = new OneShotEvent([] { inform("tick check"); }, "e");
+    sim.eventq().schedule(ev, nsToTicks(500));
+    sim.run();
+    EXPECT_NE(text().find("[" + std::to_string(nsToTicks(500)) +
+                          "] "),
+              std::string::npos);
+}
+
+TEST_F(LogCaptureTest, DebugHonorsPerComponentEnableSet)
+{
+    Logger::global().debugEnable("srv.guest0");
+    debug("srv.guest0", "direct hit");
+    debug("srv.guest0.iobond", "child of enabled subtree");
+    debug("srv.guest1", "other guest, filtered");
+    debug("srv.guest01", "prefix but not dot boundary");
+    std::string out = text();
+    EXPECT_NE(out.find("direct hit"), std::string::npos);
+    EXPECT_NE(out.find("child of enabled subtree"),
+              std::string::npos);
+    EXPECT_EQ(out.find("filtered"), std::string::npos);
+    EXPECT_EQ(out.find("dot boundary"), std::string::npos);
+}
+
+TEST_F(LogCaptureTest, DebugFallsBackToVerbosityWhenSetIsEmpty)
+{
+    debug("any.component", "too quiet"); // default: Inform
+    EXPECT_EQ(text(), "");
+    Logger::global().setVerbosity(LogLevel::Debug);
+    debug("any.component", "now audible");
+    EXPECT_NE(text().find("now audible"), std::string::npos);
+}
+
+TEST_F(LogCaptureTest, DebugDisableAndWildcard)
+{
+    Logger::global().debugEnable("a.b");
+    Logger::global().debugDisable("a.b");
+    // Set is empty again: back to the verbosity gate (Inform).
+    debug("a.b", "gone");
+    EXPECT_EQ(text(), "");
+    Logger::global().debugEnable("");
+    debug("anything.at.all", "wildcard on");
+    EXPECT_NE(text().find("wildcard on"), std::string::npos);
 }
 
 } // namespace

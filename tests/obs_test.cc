@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Tests for the observability subsystem: the MetricRegistry
+ * (get-or-create handles, exporters), the Chrome trace sink ring,
+ * the RequestTracer's flow accounting, and — end to end — one net
+ * packet and one block request traced through every layer of the
+ * BM-Hive datapath with per-stage spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "cloud/block_service.hh"
+#include "cloud/vswitch.hh"
+#include "core/bmhive_server.hh"
+#include "obs/metric_registry.hh"
+#include "obs/request_tracer.hh"
+#include "obs/trace.hh"
+#include "virtio/virtio_blk.hh"
+
+namespace bmhive {
+namespace {
+
+using obs::MetricRegistry;
+using obs::RequestTracer;
+using obs::Stage;
+using obs::TraceSink;
+
+TEST(MetricRegistryTest, HandlesAreGetOrCreate)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("x.pkts");
+    Counter &b = reg.counter("x.pkts");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.has("x.pkts"));
+    EXPECT_FALSE(reg.has("x.other"));
+}
+
+TEST(MetricRegistryTest, KindMismatchPanics)
+{
+    Logger::global().setThrowOnDeath(true);
+    MetricRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), PanicError);
+    EXPECT_THROW(reg.latency("x"), PanicError);
+    Logger::global().setThrowOnDeath(false);
+}
+
+TEST(MetricRegistryTest, JsonCarriesEveryKind)
+{
+    MetricRegistry reg;
+    reg.counter("c").inc(7);
+    reg.gauge("g").set(2.5);
+    reg.histogram("h", 0, 10, 5).record(3.0);
+    reg.latency("l").record(usToTicks(12));
+    std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"c\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"g\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean_us\""), std::string::npos);
+    // Balanced braces — cheap structural sanity check.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricRegistryTest, ResetAllClearsValues)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("c");
+    c.inc(5);
+    LatencyRecorder &l = reg.latency("l");
+    l.record(usToTicks(3));
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(l.count(), 0u);
+}
+
+TEST(TraceSinkTest, DisabledSinkRecordsNothing)
+{
+    TraceSink sink;
+    EXPECT_FALSE(sink.enabled());
+    sink.recordComplete("n", "c", 0, 10, sink.lane("l"));
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+#if BMHIVE_TRACING
+TEST(TraceSinkTest, RecordsAndExportsChromeJson)
+{
+    TraceSink sink;
+    sink.enable(16);
+    std::uint32_t lane = sink.lane("guest0.net");
+    sink.recordComplete("shadow_sync", "iobond", usToTicks(1),
+                        usToTicks(2), lane, 42);
+    sink.recordInstant("doorbell", "iobond", usToTicks(1), lane);
+    EXPECT_EQ(sink.size(), 2u);
+    std::string json = sink.toJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"shadow_sync\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("guest0.net"), std::string::npos);
+}
+
+TEST(TraceSinkTest, RingOverwritesOldestAndCountsDrops)
+{
+    TraceSink sink;
+    sink.enable(4);
+    for (int i = 0; i < 10; ++i) {
+        sink.recordInstant("e" + std::to_string(i), "t", Tick(i),
+                           0);
+    }
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    auto events = sink.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first unwrap: the survivors are e6..e9.
+    EXPECT_EQ(events.front().name, "e6");
+    EXPECT_EQ(events.back().name, "e9");
+}
+#endif // BMHIVE_TRACING
+
+TEST(RequestTracerTest, StampsPartitionEndToEndLatency)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.net", reg);
+    std::uint64_t key = RequestTracer::flowKey(0, 1, 7);
+    tracer.stamp(key, Stage::GuestPost, usToTicks(10));
+    tracer.stamp(key, Stage::ShadowSync, usToTicks(14));
+    tracer.stamp(key, Stage::PollPickup, usToTicks(19));
+    tracer.stamp(key, Stage::Service, usToTicks(21));
+    tracer.stamp(key, Stage::CompleteDma, usToTicks(27));
+    tracer.stamp(key, Stage::GuestIrq, usToTicks(30));
+
+    EXPECT_EQ(tracer.started(), 1u);
+    EXPECT_EQ(tracer.completed(), 1u);
+    EXPECT_EQ(tracer.openFlows(), 0u);
+    EXPECT_DOUBLE_EQ(
+        tracer.stageLatency(Stage::ShadowSync).meanUs(), 4.0);
+    EXPECT_DOUBLE_EQ(
+        tracer.stageLatency(Stage::PollPickup).meanUs(), 5.0);
+    EXPECT_DOUBLE_EQ(tracer.stageLatency(Stage::Service).meanUs(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(
+        tracer.stageLatency(Stage::CompleteDma).meanUs(), 6.0);
+    EXPECT_DOUBLE_EQ(tracer.stageLatency(Stage::GuestIrq).meanUs(),
+                     3.0);
+    // Stage deltas sum to the end-to-end latency by construction.
+    EXPECT_DOUBLE_EQ(tracer.totalLatency().meanUs(), 20.0);
+    // Metrics registered under the tracer's path.
+    EXPECT_TRUE(reg.has("g0.net.stage.shadow_sync"));
+    EXPECT_TRUE(reg.has("g0.net.stage.total"));
+    std::string report = tracer.breakdown();
+    EXPECT_NE(report.find("end-to-end"), std::string::npos);
+}
+
+TEST(RequestTracerTest, UnmatchedStampsAreCountedNotRecorded)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.net", reg);
+    // Backend-initiated completion with no opened flow.
+    tracer.stamp(RequestTracer::flowKey(0, 0, 3),
+                 Stage::CompleteDma, usToTicks(5));
+    EXPECT_EQ(tracer.unmatched(), 1u);
+    EXPECT_EQ(tracer.started(), 0u);
+    EXPECT_EQ(tracer.stageLatency(Stage::CompleteDma).count(), 0u);
+}
+
+TEST(RequestTracerTest, RecentKeepsCompletedFlowRecords)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.blk", reg);
+    for (std::uint16_t h = 0; h < 3; ++h) {
+        std::uint64_t key = RequestTracer::flowKey(1, 0, h);
+        tracer.stamp(key, Stage::GuestPost, usToTicks(h * 100));
+        tracer.stamp(key, Stage::GuestIrq,
+                     usToTicks(h * 100 + 50));
+    }
+    ASSERT_EQ(tracer.recent().size(), 3u);
+    const auto &rec = tracer.recent().back();
+    EXPECT_EQ(rec.key, RequestTracer::flowKey(1, 0, 2));
+    EXPECT_TRUE(rec.stageSeen &
+                (1u << unsigned(Stage::GuestPost)));
+    EXPECT_TRUE(rec.stageSeen & (1u << unsigned(Stage::GuestIrq)));
+    EXPECT_FALSE(rec.stageSeen &
+                 (1u << unsigned(Stage::ShadowSync)));
+}
+
+TEST(RequestTracerTest, NonMonotonicStampPanics)
+{
+    Logger::global().setThrowOnDeath(true);
+    MetricRegistry reg;
+    RequestTracer tracer("g0.net", reg);
+    std::uint64_t key = RequestTracer::flowKey(0, 1, 0);
+    tracer.stamp(key, Stage::GuestPost, usToTicks(10));
+    tracer.stamp(key, Stage::ShadowSync, usToTicks(12));
+    EXPECT_THROW(
+        tracer.stamp(key, Stage::PollPickup, usToTicks(11)),
+        PanicError);
+    Logger::global().setThrowOnDeath(false);
+}
+
+/** Full-stack tracing over a provisioned BM-Hive server. */
+class ObsIntegrationTest : public ::testing::Test
+{
+  protected:
+    ObsIntegrationTest()
+        : sim(97), vswitch(sim, "vs"), storage(sim, "st"),
+          server(sim, "srv", vswitch, &storage, params())
+    {
+    }
+
+    static core::BmServerParams
+    params()
+    {
+        core::BmServerParams p;
+        p.maxBoards = 2;
+        return p;
+    }
+
+    static void
+    expectCompleteMonotonicFlow(const RequestTracer &tracer)
+    {
+        ASSERT_EQ(tracer.completed(), 1u);
+        ASSERT_EQ(tracer.recent().size(), 1u);
+        const auto &rec = tracer.recent().front();
+        unsigned last = unsigned(tracer.finalStage());
+        // Every span of the Fig. 6 path up to the flow's final
+        // stage, exactly once...
+        EXPECT_EQ(rec.stageSeen, (1u << (last + 1)) - 1);
+        // ...with non-decreasing timestamps along the path.
+        for (unsigned s = 1; s <= last; ++s)
+            EXPECT_GE(rec.at[s], rec.at[s - 1])
+                << "stage " << s << " precedes stage " << s - 1;
+        // The doorbell really is earlier than the closing event.
+        EXPECT_GT(rec.at[last], rec.at[unsigned(Stage::GuestPost)]);
+        // Per-stage recorders saw exactly this one flow.
+        EXPECT_EQ(tracer.stageLatency(Stage::ShadowSync).count(),
+                  1u);
+        EXPECT_EQ(tracer.stageLatency(Stage(last)).count(), 1u);
+        EXPECT_EQ(tracer.totalLatency().count(), 1u);
+    }
+
+    Simulation sim;
+    cloud::VSwitch vswitch;
+    cloud::BlockService storage;
+    core::BmHiveServer server;
+};
+
+TEST_F(ObsIntegrationTest, OneNetPacketYieldsEverySpanOnce)
+{
+    auto &a = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    auto &b = server.provision(core::InstanceCatalog::evaluated(),
+                               0xB);
+    sim.run(sim.now() + msToTicks(1));
+    a.hypervisor().enableIoTracing();
+
+    unsigned delivered = 0;
+    b.net().setRxHandler(
+        [&](const cloud::Packet &) { ++delivered; });
+    cloud::Packet p;
+    p.src = 0xA;
+    p.dst = 0xB;
+    p.len = 256;
+    ASSERT_TRUE(a.net().sendPacket(p, true, a.os().cpu(1)));
+    sim.run(sim.now() + msToTicks(5));
+    ASSERT_EQ(delivered, 1u);
+
+    auto *tracer = a.hypervisor().netTracer();
+    ASSERT_NE(tracer, nullptr);
+    // Tx completion MSIs are suppressed by the driver, so the flow
+    // ends at the completion DMA.
+    EXPECT_EQ(tracer->finalStage(), Stage::CompleteDma);
+    expectCompleteMonotonicFlow(*tracer);
+    // The tx flow matched; nothing leaked onto other queues.
+    EXPECT_EQ(tracer->openFlows(), 0u);
+}
+
+TEST_F(ObsIntegrationTest, OneBlockRequestYieldsEverySpanOnce)
+{
+    auto &vol = storage.createVolume("v", 16 * MiB);
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA, &vol);
+    sim.run(sim.now() + msToTicks(1));
+    g.hypervisor().enableIoTracing();
+
+    bool done = false;
+    ASSERT_TRUE(g.blk()->read(
+        0, 4 * KiB, g.os().cpu(1), [&](std::uint8_t st, Addr) {
+            EXPECT_EQ(st, virtio::VIRTIO_BLK_S_OK);
+            done = true;
+        }));
+    sim.run(sim.now() + msToTicks(30));
+    ASSERT_TRUE(done);
+
+    auto *tracer = g.hypervisor().blkTracer();
+    ASSERT_NE(tracer, nullptr);
+    // Block completions raise a real MSI: all six spans appear.
+    EXPECT_EQ(tracer->finalStage(), Stage::GuestIrq);
+    expectCompleteMonotonicFlow(*tracer);
+    // The Service stage covers the storage round trip: two fabric
+    // crossings plus SSD service time dominate it.
+    EXPECT_GT(tracer->stageLatency(Stage::Service).meanUs(),
+              2.0 * ticksToUs(
+                        cloud::BlockServiceParams{}.networkLatency));
+}
+
+TEST_F(ObsIntegrationTest, PollLoopUtilizationIsAccounted)
+{
+    auto &vol = storage.createVolume("v", 16 * MiB);
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA, &vol);
+    sim.run(sim.now() + msToTicks(2));
+
+    auto &svc = g.hypervisor().service();
+    // A mostly idle guest: the PMD spins, almost always empty.
+    EXPECT_GT(svc.pollsTotal(), 100u);
+    std::uint64_t busy_before = svc.pollsBusy();
+    EXPECT_LT(svc.pollBusyRatio(), 0.5);
+
+    bool done = false;
+    ASSERT_TRUE(g.blk()->read(0, 4 * KiB, g.os().cpu(1),
+                              [&](std::uint8_t, Addr) {
+                                  done = true;
+                              }));
+    sim.run(sim.now() + msToTicks(30));
+    ASSERT_TRUE(done);
+    EXPECT_GT(svc.pollsBusy(), busy_before);
+    // The poll metrics live in the registry under the service name.
+    EXPECT_TRUE(sim.metrics().has(svc.name() + ".poll.total"));
+    EXPECT_TRUE(sim.metrics().has(svc.name() + ".poll.batch"));
+}
+
+TEST_F(ObsIntegrationTest, PeriodicStatsDumpFiresUntilStopped)
+{
+    server.provision(core::InstanceCatalog::evaluated(), 0xA);
+    // The rollup goes to the log; capture it rather than spamming
+    // the test output.
+    std::ostringstream captured;
+    Logger::global().setStream(&captured);
+    server.startStatsDump(msToTicks(1));
+    sim.run(sim.now() + msToTicks(5) + usToTicks(10));
+    Logger::global().setStream(nullptr);
+    EXPECT_GE(server.statsDumps(), 5u);
+    EXPECT_NE(captured.str().find("guest0"), std::string::npos);
+    EXPECT_NE(captured.str().find("polls="), std::string::npos);
+
+    server.stopStatsDump();
+    std::uint64_t n = server.statsDumps();
+    sim.run(sim.now() + msToTicks(3));
+    EXPECT_EQ(server.statsDumps(), n);
+}
+
+TEST_F(ObsIntegrationTest, ComponentCountersLiveInTheRegistry)
+{
+    auto &a = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    auto &b = server.provision(core::InstanceCatalog::evaluated(),
+                               0xB);
+    sim.run(sim.now() + msToTicks(1));
+    b.net().setRxHandler([](const cloud::Packet &) {});
+    cloud::Packet p;
+    p.src = 0xA;
+    p.dst = 0xB;
+    p.len = 64;
+    ASSERT_TRUE(a.net().sendPacket(p, true, a.os().cpu(1)));
+    sim.run(sim.now() + msToTicks(5));
+
+    // Accessor and registry handle are the same cell.
+    EXPECT_EQ(vswitch.forwarded(),
+              sim.metrics().counter("vs.forwarded").value());
+    EXPECT_GE(vswitch.forwarded(), 1u);
+    EXPECT_EQ(
+        a.hypervisor().service().txPackets(),
+        sim.metrics()
+            .counter(a.hypervisor().service().name() + ".tx_pkts")
+            .value());
+    EXPECT_EQ(a.bond().chainsForwarded(),
+              sim.metrics()
+                  .counter(a.bond().name() + ".chains")
+                  .value());
+}
+
+#if BMHIVE_TRACING
+TEST_F(ObsIntegrationTest, TracedRunEmitsChromeSpans)
+{
+    sim.trace().enable();
+    auto &vol = storage.createVolume("v", 16 * MiB);
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA, &vol);
+    sim.run(sim.now() + msToTicks(1));
+    g.hypervisor().enableIoTracing();
+
+    bool done = false;
+    ASSERT_TRUE(g.blk()->read(0, 4 * KiB, g.os().cpu(1),
+                              [&](std::uint8_t, Addr) {
+                                  done = true;
+                              }));
+    sim.run(sim.now() + msToTicks(30));
+    ASSERT_TRUE(done);
+
+    EXPECT_GT(sim.trace().size(), 0u);
+    std::string json = sim.trace().toJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("shadow_sync"), std::string::npos);
+    EXPECT_NE(json.find("guest_irq"), std::string::npos);
+}
+#else
+TEST_F(ObsIntegrationTest, TracingCompiledOutIsInert)
+{
+    sim.trace().enable();
+    EXPECT_FALSE(sim.trace().enabled());
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    g.hypervisor().enableIoTracing();
+    sim.run(sim.now() + msToTicks(1));
+    EXPECT_EQ(sim.trace().size(), 0u);
+}
+#endif // BMHIVE_TRACING
+
+} // namespace
+} // namespace bmhive
