@@ -10,15 +10,19 @@
 #ifndef BMHIVE_BENCH_COMMON_HH
 #define BMHIVE_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/logging.hh"
 #include "cloud/block_service.hh"
 #include "cloud/vswitch.hh"
 #include "core/bmhive_server.hh"
+#include "fault/fault_injector.hh"
 #include "obs/metric_registry.hh"
 #include "vmsim/vm_guest.hh"
 #include "workloads/guest_iface.hh"
@@ -104,18 +108,29 @@ class Session
   public:
     Session(int &argc, char **argv)
     {
-        const std::string flag = "--metrics-out=";
+        const std::string metrics_flag = "--metrics-out=";
+        const std::string seed_flag = "--fault-seed=";
+        const std::string plan_flag = "--fault-plan=";
         int w = 1;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
-            if (a.rfind(flag, 0) == 0)
-                metricsOut_ = a.substr(flag.size());
+            if (a.rfind(metrics_flag, 0) == 0)
+                metricsOut_ = a.substr(metrics_flag.size());
+            else if (a.rfind(seed_flag, 0) == 0)
+                faultSeed = std::strtoull(
+                    a.c_str() + seed_flag.size(), nullptr, 0);
+            else if (a.rfind(plan_flag, 0) == 0)
+                faultPlan = a.substr(plan_flag.size());
             else
                 argv[w++] = argv[i];
         }
         argc = w;
         argv[argc] = nullptr;
     }
+
+    /** Chaos flags, visible to every Testbed the bench builds. */
+    inline static std::uint64_t faultSeed = 0;
+    inline static std::string faultPlan;
 
     ~Session()
     {
@@ -159,6 +174,16 @@ class Testbed
         static unsigned ordinal = 0;
         MetricsCapture::instance().attach(
             "testbed" + std::to_string(ordinal++), sim.metrics());
+        if (Session::faultSeed != 0 ||
+            !Session::faultPlan.empty()) {
+            chaos = std::make_unique<fault::FaultInjector>(
+                sim, "chaos");
+            if (!Session::faultPlan.empty()) {
+                fatal_if(!chaos->loadPlan(Session::faultPlan),
+                         "cannot load fault plan ",
+                         Session::faultPlan);
+            }
+        }
     }
 
     ~Testbed() { MetricsCapture::instance().detach(sim.metrics()); }
@@ -184,6 +209,7 @@ class Testbed
         auto &g = server.provision(
             core::InstanceCatalog::evaluated(), mac, vol,
             rate_limited);
+        armChaos();
         return workloads::GuestContext::of(g);
     }
 
@@ -207,15 +233,58 @@ class Testbed
         vms.push_back(std::make_unique<vmsim::VmGuest>(
             sim, "vm" + std::to_string(vms.size()), p, vswitch,
             vol ? &storage : nullptr, vol));
-        vms.back()->bringUp();
+        fatal_if(!vms.back()->bringUp(),
+                 "vm guest bring-up failed");
+        armChaos();
         return workloads::GuestContext::of(*vms.back());
+    }
+
+    /**
+     * Arm the chaos plan once guest 0's components exist and start
+     * the server watchdog so hv crashes recover. --fault-plan
+     * entries may target any component; --fault-seed draws a
+     * random schedule over the standard bm-guest-0 targets plus the
+     * shared fabric.
+     */
+    void
+    armChaos()
+    {
+        if (!chaos || chaosArmed_)
+            return;
+        chaosArmed_ = true;
+        if (Session::faultSeed != 0) {
+            std::vector<fault::FaultInjector::RandomTarget> t = {
+                {"server.guest0.iobond",
+                 {fault::FaultKind::LinkFlap,
+                  fault::FaultKind::DropDoorbell}},
+                {"server.guest0.iobond.dma",
+                 {fault::FaultKind::DmaCorrupt,
+                  fault::FaultKind::DmaFail}},
+                {"server.guest0.hv",
+                 {fault::FaultKind::HvStall,
+                  fault::FaultKind::HvCrash}},
+                {"storage",
+                 {fault::FaultKind::BlockLose,
+                  fault::FaultKind::BlockDelay}},
+                {"vswitch", {fault::FaultKind::PortStall}},
+            };
+            chaos->randomPlan(Session::faultSeed, t,
+                              msToTicks(50.0), 24);
+        }
+        chaos->arm();
+        server.startWatchdog(msToTicks(2.0));
     }
 
     Simulation sim;
     cloud::VSwitch vswitch;
     cloud::BlockService storage;
     core::BmHiveServer server;
+    /** Non-null when --fault-seed / --fault-plan was given. */
+    std::unique_ptr<fault::FaultInjector> chaos;
     std::vector<std::unique_ptr<vmsim::VmGuest>> vms;
+
+  private:
+    bool chaosArmed_ = false;
 };
 
 /** Print a bench header in a uniform style. */

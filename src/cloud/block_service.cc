@@ -51,9 +51,37 @@ BlockService::BlockService(Simulation &sim, std::string name,
       completed_(metrics().counter(this->name() + ".completed")),
       reads_(metrics().counter(this->name() + ".reads")),
       writes_(metrics().counter(this->name() + ".writes")),
+      faultLost_(metrics().counter(this->name() + ".fault.lost")),
+      faultDelayed_(
+          metrics().counter(this->name() + ".fault.delayed")),
       serviceLatency_(metrics().latency(this->name() + ".service"))
 {
     panic_if(params.channels == 0, "storage needs >= 1 channel");
+    sim_.faults().add(this->name(), [this](const fault::FaultSpec &s) {
+        return injectFault(s);
+    });
+}
+
+BlockService::~BlockService() { sim_.faults().remove(name()); }
+
+bool
+BlockService::injectFault(const fault::FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case fault::FaultKind::BlockLose:
+        loseBudget_ += spec.count ? spec.count : 1;
+        return true;
+      case fault::FaultKind::BlockDelay:
+        delayBudget_ += spec.count ? spec.count : 1;
+        delayExtra_ =
+            spec.duration
+                ? spec.duration
+                : Tick(double(params_.gcPause) *
+                       std::max(1.0, spec.magnitude));
+        return true;
+      default:
+        return false;
+    }
 }
 
 Volume &
@@ -78,6 +106,13 @@ void
 BlockService::submit(Volume &vol, BlockIo io)
 {
     (void)vol;
+    // An injected fabric loss: the request vanishes and its
+    // completion never fires. Recovery is the submitter's timeout.
+    if (loseBudget_ > 0) {
+        --loseBudget_;
+        faultLost_.inc();
+        return;
+    }
     // Request travels to the storage cluster: latency + wire time
     // of the command (reads) or command+data (writes).
     Bytes to_storage = io.write ? io.len + 64 : 64;
@@ -98,6 +133,13 @@ BlockService::submit(Volume &vol, BlockIo io)
     if (io.len > 4 * KiB) {
         service +=
             params_.streamBandwidth.transferTime(io.len - 4 * KiB);
+    }
+
+    // Injected latency spike (fabric congestion / failover).
+    if (delayBudget_ > 0) {
+        --delayBudget_;
+        faultDelayed_.inc();
+        service += delayExtra_;
     }
 
     Tick done_at_storage = occupyChannel(t, service);

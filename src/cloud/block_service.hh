@@ -98,6 +98,7 @@ class BlockService : public SimObject
     using Params = BlockServiceParams;
 
     BlockService(Simulation &sim, std::string name, Params params = {});
+    ~BlockService() override;
 
     /** Create a volume of @p capacity bytes. */
     Volume &createVolume(const std::string &name, Bytes capacity);
@@ -112,18 +113,29 @@ class BlockService : public SimObject
     std::uint64_t completedIos() const { return completed_.value(); }
     std::uint64_t reads() const { return reads_.value(); }
     std::uint64_t writes() const { return writes_.value(); }
+    /** Requests dropped by injected BlockLose faults. */
+    std::uint64_t lostIos() const { return faultLost_.value(); }
 
   private:
     /** Pick the earliest-free channel and occupy it. */
     Tick occupyChannel(Tick start, Tick service);
+    /** Fault hook: arm request-loss / latency-spike budgets. */
+    bool injectFault(const fault::FaultSpec &spec);
 
     Params params_;
     std::vector<std::unique_ptr<Volume>> volumes_;
     std::vector<Tick> channelFree_;
+    /** Injected-fault budgets: the next N submissions are dropped
+     *  (never complete) or delayed by delayExtra_. */
+    std::uint64_t loseBudget_ = 0;
+    std::uint64_t delayBudget_ = 0;
+    Tick delayExtra_ = 0;
     /** Registry-backed: accessors and exports read the same cell. */
     Counter &completed_;
     Counter &reads_;
     Counter &writes_;
+    Counter &faultLost_;
+    Counter &faultDelayed_;
     /** Cluster-side latency (submit to completion callback). */
     LatencyRecorder &serviceLatency_;
 };

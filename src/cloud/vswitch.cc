@@ -12,8 +12,58 @@ VSwitch::VSwitch(Simulation &sim, std::string name, Params params)
       forwarded_(metrics().counter(this->name() + ".forwarded")),
       dropped_(metrics().counter(this->name() + ".dropped")),
       uplinkTx_(metrics().counter(this->name() + ".uplink_tx")),
-      bytes_(metrics().counter(this->name() + ".bytes_switched"))
+      bytes_(metrics().counter(this->name() + ".bytes_switched")),
+      faultInjected_(
+          metrics().counter(this->name() + ".fault.injected")),
+      faultRecovered_(
+          metrics().counter(this->name() + ".fault.recovered"))
 {
+    sim_.faults().add(this->name(), [this](const fault::FaultSpec &s) {
+        return injectFault(s);
+    });
+}
+
+VSwitch::~VSwitch() { sim_.faults().remove(name()); }
+
+bool
+VSwitch::injectFault(const fault::FaultSpec &spec)
+{
+    if (spec.kind != fault::FaultKind::PortStall)
+        return false;
+    auto id = PortId(spec.magnitude);
+    if (id >= ports_.size())
+        return false;
+    stallPort(id,
+              spec.duration ? spec.duration : usToTicks(100));
+    return true;
+}
+
+void
+VSwitch::stallPort(PortId id, Tick duration)
+{
+    panic_if(id >= ports_.size(), name(), ": bad port ", id);
+    Port &port = ports_[id];
+    Tick until = curTick() + duration;
+    if (until <= port.stallUntil)
+        return; // already stalled at least that long
+    port.stallUntil = until;
+    faultInjected_.inc();
+    auto *ev = new OneShotEvent([this, id] { flushPort(id); },
+                                name() + ".unstall");
+    eventq().schedule(ev, until);
+}
+
+void
+VSwitch::flushPort(PortId id)
+{
+    Port &port = ports_[id];
+    if (curTick() < port.stallUntil)
+        return; // a later stall extended the deadline
+    auto pending = std::move(port.stalled);
+    port.stalled.clear();
+    faultRecovered_.inc();
+    for (const Packet &pkt : pending)
+        deliverTo(id, pkt, curTick());
 }
 
 PortId
@@ -22,7 +72,10 @@ VSwitch::addPort(MacAddr mac, PacketHandler rx)
     panic_if(macTable_.count(mac),
              name(), ": duplicate MAC ", mac);
     auto id = PortId(ports_.size());
-    ports_.push_back(Port{mac, std::move(rx), 0});
+    Port port;
+    port.mac = mac;
+    port.rx = std::move(rx);
+    ports_.push_back(std::move(port));
     macTable_[mac] = id;
     return id;
 }
@@ -60,22 +113,17 @@ VSwitch::forward(const Packet &pkt)
     if (it != macTable_.end()) {
         PortId pid = it->second;
         Port &port = ports_[pid];
-        // Serialize on the destination port link.
-        Tick xfer = params_.portBandwidth.transferTime(pkt.len);
-        Tick depart = std::max(done, port.linkFree);
-        Tick arrive = depart + xfer;
-        port.linkFree = arrive;
-        forwarded_.inc();
-        bytes_.inc(pkt.len);
-        Packet copy = pkt;
-        auto *ev = new OneShotEvent(
-            [this, pid, copy] {
-                Port &p = ports_[pid];
-                if (p.rx)
-                    p.rx(copy);
-            },
-            name() + ".deliver");
-        eventq().schedule(ev, arrive);
+        if (curTick() < port.stallUntil) {
+            // Stalled port: park the frame until the flush (or
+            // drop once the bounded buffer fills, like any switch).
+            if (port.stalled.size() >= stallBufferCap) {
+                dropped_.inc();
+                return;
+            }
+            port.stalled.push_back(pkt);
+            return;
+        }
+        deliverTo(pid, pkt, done);
         return;
     }
 
@@ -95,6 +143,28 @@ VSwitch::forward(const Packet &pkt)
     }
 
     dropped_.inc();
+}
+
+void
+VSwitch::deliverTo(PortId pid, const Packet &pkt, Tick ready)
+{
+    Port &port = ports_[pid];
+    // Serialize on the destination port link.
+    Tick xfer = params_.portBandwidth.transferTime(pkt.len);
+    Tick depart = std::max(ready, port.linkFree);
+    Tick arrive = depart + xfer;
+    port.linkFree = arrive;
+    forwarded_.inc();
+    bytes_.inc(pkt.len);
+    Packet copy = pkt;
+    auto *ev = new OneShotEvent(
+        [this, pid, copy] {
+            Port &p = ports_[pid];
+            if (p.rx)
+                p.rx(copy);
+        },
+        name() + ".deliver");
+    eventq().schedule(ev, arrive);
 }
 
 NetFabric::NetFabric(Simulation &sim, std::string name,

@@ -13,6 +13,7 @@
 #define BMHIVE_CLOUD_VSWITCH_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -48,6 +49,7 @@ class VSwitch : public SimObject
     using Params = VSwitchParams;
 
     VSwitch(Simulation &sim, std::string name, Params params = {});
+    ~VSwitch() override;
 
     /**
      * Attach a port for @p mac; @p rx is invoked for every frame
@@ -76,6 +78,13 @@ class VSwitch : public SimObject
         uplink_ = std::move(uplink);
     }
 
+    /**
+     * Stall a port: frames destined to it buffer (bounded; overflow
+     * drops) until @p duration elapses, then flush in order. Models
+     * a wedged backend PMD / paused guest.
+     */
+    void stallPort(PortId id, Tick duration);
+
     std::uint64_t forwarded() const { return forwarded_.value(); }
     std::uint64_t dropped() const { return dropped_.value(); }
     std::uint64_t uplinkTx() const { return uplinkTx_.value(); }
@@ -86,11 +95,22 @@ class VSwitch : public SimObject
     {
         MacAddr mac;
         PacketHandler rx;
-        Tick linkFree = 0; ///< when the port link is next idle
+        Tick linkFree = 0;   ///< when the port link is next idle
+        Tick stallUntil = 0; ///< injected stall deadline
+        std::deque<Packet> stalled;
     };
+
+    /** Stalled frames held per port before overflow drops. */
+    static constexpr std::size_t stallBufferCap = 4096;
 
     /** Serialize on the switch core, then deliver. */
     void forward(const Packet &pkt);
+    /** Serialize @p pkt on port @p pid's link and deliver it. */
+    void deliverTo(PortId pid, const Packet &pkt, Tick ready);
+    /** Stall expired: replay the buffered frames in order. */
+    void flushPort(PortId id);
+    /** Fault hook: PortStall with magnitude = port id. */
+    bool injectFault(const fault::FaultSpec &spec);
 
     Params params_;
     std::vector<Port> ports_;
@@ -103,6 +123,8 @@ class VSwitch : public SimObject
     Counter &dropped_;
     Counter &uplinkTx_;
     Counter &bytes_;
+    Counter &faultInjected_;
+    Counter &faultRecovered_;
 };
 
 /**

@@ -59,8 +59,18 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
     : SimObject(sim, std::move(name)), params_(params),
       vswitch_(vswitch), storage_(storage),
       statsDumps_(metrics().counter(this->name() + ".stats_dumps")),
+      watchdogChecks_(
+          metrics().counter(this->name() + ".watchdog.checks")),
+      watchdogRespawns_(
+          metrics().counter(this->name() + ".watchdog.respawns")),
+      provisionFailures_(
+          metrics().counter(this->name() + ".provision_failures")),
+      recoveryTicks_(metrics().latency(
+          this->name() + ".watchdog.recovery_ticks")),
       statsEvent_([this] { dumpStats(); },
-                  this->name() + ".stats_dump")
+                  this->name() + ".stats_dump"),
+      watchdogEvent_([this] { watchdogCheck(); },
+                     this->name() + ".watchdog")
 {
     fatal_if(params_.maxBoards == 0 ||
                  params_.maxBoards > paper::maxComputeBoards,
@@ -79,6 +89,56 @@ BmHiveServer::~BmHiveServer()
 {
     if (statsEvent_.scheduled())
         eventq().deschedule(&statsEvent_);
+    if (watchdogEvent_.scheduled())
+        eventq().deschedule(&watchdogEvent_);
+}
+
+void
+BmHiveServer::startWatchdog(Tick period)
+{
+    panic_if(period == 0, name(), ": watchdog needs a period");
+    watchdogPeriod_ = period;
+    eventq().reschedule(&watchdogEvent_, curTick() + period);
+}
+
+void
+BmHiveServer::stopWatchdog()
+{
+    watchdogPeriod_ = 0;
+    if (watchdogEvent_.scheduled())
+        eventq().deschedule(&watchdogEvent_);
+}
+
+void
+BmHiveServer::watchdogCheck()
+{
+    watchdogChecks_.inc();
+    heartbeat_.resize(guests_.size(), 0);
+    for (unsigned i = 0; i < guests_.size(); ++i) {
+        hv::BmHypervisor &hv = guests_[i]->hypervisor();
+        if (!hv.connected()) {
+            heartbeat_[i] = 0;
+            continue;
+        }
+        std::uint64_t beat = hv.service().pollsTotal();
+        // The poll loop runs every few microseconds when healthy,
+        // so an unchanged counter over a whole watchdog period
+        // means the process is dead or wedged.
+        if (hv.crashed() || beat == heartbeat_[i]) {
+            Tick down_since = hv.crashed()
+                                  ? hv.crashedAt()
+                                  : curTick() - watchdogPeriod_;
+            warn(name(), ": guest", i,
+                 " backend heartbeat lost; respawning");
+            hv.respawn();
+            watchdogRespawns_.inc();
+            recoveryTicks_.record(curTick() - down_since);
+        }
+        // Snapshot the (possibly fresh) service's counter.
+        heartbeat_[i] = hv.service().pollsTotal();
+    }
+    if (watchdogPeriod_ > 0)
+        scheduleIn(&watchdogEvent_, watchdogPeriod_);
 }
 
 void
@@ -118,6 +178,16 @@ BmHiveServer::freeSlots() const
 BmGuest &
 BmHiveServer::provision(const InstanceType &type, cloud::MacAddr mac,
                         cloud::Volume *vol, bool rate_limited)
+{
+    BmGuest *g = tryProvision(type, mac, vol, rate_limited);
+    fatal_if(g == nullptr, name(), ": backend connection failed");
+    return *g;
+}
+
+BmGuest *
+BmHiveServer::tryProvision(const InstanceType &type,
+                           cloud::MacAddr mac, cloud::Volume *vol,
+                           bool rate_limited)
 {
     fatal_if(usedSlots_ >= params_.maxBoards,
              name(), ": no free board slots");
@@ -182,12 +252,21 @@ BmHiveServer::provision(const InstanceType &type, cloud::MacAddr mac,
     g->console_ = std::make_unique<guest::ConsoleDriver>(*g->os_, 5);
     g->console_->start();
 
-    bool ok = g->hv_->connectBackends();
-    panic_if(!ok, name(), ": backend connection failed");
+    if (!g->hv_->connectBackends()) {
+        // No shadow vring came up (driver never reached DRIVER_OK,
+        // or the function list is empty): recoverable. Roll the
+        // partial bring-up back so the slot can be reused.
+        warn(name(), ": backend connection failed for mac 0x",
+             std::hex, mac, std::dec, "; rolling back");
+        vswitch_.removePort(g->hv_->port());
+        g->hv_->powerOffGuest();
+        provisionFailures_.inc();
+        return nullptr;
+    }
 
     ++usedSlots_;
     guests_.push_back(std::move(g));
-    return *guests_.back();
+    return guests_.back().get();
 }
 
 void

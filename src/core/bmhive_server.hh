@@ -95,6 +95,18 @@ class BmHiveServer : public SimObject
                        cloud::Volume *vol = nullptr,
                        bool rate_limited = true);
 
+    /**
+     * Like provision(), but a backend-connection failure is
+     * recoverable: the board is powered back off, the vSwitch port
+     * released, and nullptr returned (counted under
+     * "<name>.provision_failures") so a fleet controller can retry
+     * or place the guest elsewhere.
+     */
+    BmGuest *tryProvision(const InstanceType &type,
+                          cloud::MacAddr mac,
+                          cloud::Volume *vol = nullptr,
+                          bool rate_limited = true);
+
     /** Power a guest off and release its board slot. */
     void release(BmGuest &g);
 
@@ -117,9 +129,33 @@ class BmHiveServer : public SimObject
     void stopStatsDump();
     std::uint64_t statsDumps() const { return statsDumps_.value(); }
 
+    /**
+     * Watch every guest's backend poll loop: the poll counter is
+     * the process heartbeat. A guest whose hypervisor crashed, or
+     * whose heartbeat did not advance over a whole period, is
+     * respawned and its shadow-vring state re-adopted. The outage
+     * duration (crash until the replacement is polling) lands in
+     * "<name>.watchdog.recovery_ticks".
+     */
+    void startWatchdog(Tick period);
+    void stopWatchdog();
+    std::uint64_t
+    watchdogRespawns() const
+    {
+        return watchdogRespawns_.value();
+    }
+    std::uint64_t
+    provisionFailures() const
+    {
+        return provisionFailures_.value();
+    }
+
   private:
     /** One periodic rollup over all provisioned guests. */
     void dumpStats();
+
+    /** One watchdog sweep over all provisioned guests. */
+    void watchdogCheck();
 
     BmServerParams params_;
     cloud::VSwitch &vswitch_;
@@ -130,8 +166,15 @@ class BmHiveServer : public SimObject
     Addr nextShadowRegion_ = 0;
     unsigned nextCore_ = 0;
     Tick statsPeriod_ = 0; ///< 0: periodic dump disabled
+    Tick watchdogPeriod_ = 0; ///< 0: watchdog disabled
+    std::vector<std::uint64_t> heartbeat_;
     Counter &statsDumps_;
+    Counter &watchdogChecks_;
+    Counter &watchdogRespawns_;
+    Counter &provisionFailures_;
+    LatencyRecorder &recoveryTicks_;
     EventFunctionWrapper statsEvent_;
+    EventFunctionWrapper watchdogEvent_;
 };
 
 } // namespace core

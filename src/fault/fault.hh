@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fault-injection core types. FaultHookRegistry lives on the
+ * Simulation (like the metric registry) and maps dotted component
+ * paths to injection hooks; components that support fault
+ * injection register a hook under their SimObject name at
+ * construction and remove it at destruction. The FaultInjector
+ * SimObject (fault/fault_injector.hh) delivers FaultSpecs from a
+ * declarative plan through this registry, so injection sites and
+ * schedules stay decoupled.
+ *
+ * Header-only and dependency-free below base/ so Simulation can
+ * own a registry without a library cycle.
+ */
+
+#ifndef BMHIVE_FAULT_FAULT_HH
+#define BMHIVE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "base/units.hh"
+
+namespace bmhive {
+namespace fault {
+
+/**
+ * The fault taxonomy (DESIGN.md section 10). Each kind is handled
+ * by the component class named in the comment; delivering a kind
+ * to a component that does not model it is counted by the
+ * injector as unmatched and otherwise ignored.
+ */
+enum class FaultKind : unsigned {
+    DmaCorrupt,   ///< mem::DmaEngine: payload bytes flipped
+    DmaFail,      ///< mem::DmaEngine: transfer dropped, error raised
+    LinkFlap,     ///< iobond::IoBond: PCIe link down for `duration`
+    DropDoorbell, ///< iobond::IoBond: next `count` doorbells lost
+    FunctionFail, ///< iobond::IoBond: function `magnitude` is dead
+    BlockLose,    ///< cloud::BlockService: requests never complete
+    BlockDelay,   ///< cloud::BlockService: latency spike
+    PortStall,    ///< cloud::VSwitch: port `magnitude` stalls
+    HvStall,      ///< hv::BmHypervisor: poll loop stops for a while
+    HvCrash,      ///< hv::BmHypervisor: process dies
+};
+
+/** One scheduled fault. Fields are kind-specific knobs. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::DmaCorrupt;
+    /** How many operations the fault applies to (budgeted kinds). */
+    std::uint64_t count = 1;
+    /** How long the fault condition lasts (flap/stall kinds). */
+    Tick duration = 0;
+    /** Kind-specific scalar (function index, port, delay scale). */
+    double magnitude = 0.0;
+};
+
+/**
+ * Name -> hook table. A hook receives the spec and returns true if
+ * the component modeled the fault (false = kind unsupported).
+ */
+class FaultHookRegistry
+{
+  public:
+    using Hook = std::function<bool(const FaultSpec &)>;
+
+    /** Register @p hook under the component path @p name. */
+    void add(const std::string &name, Hook hook)
+    {
+        hooks_[name] = std::move(hook);
+    }
+
+    /** Remove the hook (call from the component's destructor). */
+    void remove(const std::string &name) { hooks_.erase(name); }
+
+    bool has(const std::string &name) const
+    {
+        return hooks_.count(name) != 0;
+    }
+
+    /**
+     * Deliver @p spec to the component at @p name. Returns false
+     * when no component is registered under that path or the
+     * component does not model the kind.
+     */
+    bool
+    deliver(const std::string &name, const FaultSpec &spec) const
+    {
+        auto it = hooks_.find(name);
+        if (it == hooks_.end())
+            return false;
+        return it->second(spec);
+    }
+
+  private:
+    std::map<std::string, Hook> hooks_;
+};
+
+} // namespace fault
+} // namespace bmhive
+
+#endif // BMHIVE_FAULT_FAULT_HH

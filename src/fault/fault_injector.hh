@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FaultInjector: schedules faults from a declarative plan and
+ * delivers them through the simulation's FaultHookRegistry.
+ *
+ * A plan is a time-ordered list of (tick, target, spec) entries,
+ * built programmatically (at()), parsed from a plan file
+ * (loadPlan()), or generated from a seed (randomPlan()). The
+ * random generator is the injector's own Rng, independent of the
+ * simulation's stream, so the fault schedule for a given seed is
+ * identical no matter which workload runs — the determinism
+ * guarantee DESIGN.md section 10 documents.
+ *
+ * Plan file grammar (one entry per line, '#' comments):
+ *
+ *   <time_us> <target> <kind> [count=N] [dur_us=X] [mag=X]
+ *
+ * e.g.  1500 server.guest0.iobond link_flap dur_us=80
+ */
+
+#ifndef BMHIVE_FAULT_FAULT_INJECTOR_HH
+#define BMHIVE_FAULT_FAULT_INJECTOR_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "fault/fault.hh"
+#include "sim/sim_object.hh"
+
+namespace bmhive {
+namespace fault {
+
+class FaultInjector : public SimObject
+{
+  public:
+    struct PlanEntry
+    {
+        Tick at = 0;
+        std::string target;
+        FaultSpec spec;
+    };
+
+    /** A target eligible for randomPlan, with the kinds it models. */
+    struct RandomTarget
+    {
+        std::string name;
+        std::vector<FaultKind> kinds;
+    };
+
+    FaultInjector(Simulation &sim, std::string name);
+
+    /** Append one planned fault at absolute tick @p when. */
+    void at(Tick when, std::string target, FaultSpec spec);
+
+    /**
+     * Parse a plan file (grammar above) and append its entries.
+     * Returns false (with the plan unchanged) on a malformed line
+     * or unreadable file.
+     */
+    bool loadPlan(const std::string &path);
+
+    /**
+     * Append @p events faults drawn deterministically from
+     * @p seed: uniform times in [0, horizon), uniform choice of
+     * target and kind, kind-appropriate knobs.
+     */
+    void randomPlan(std::uint64_t seed,
+                    const std::vector<RandomTarget> &targets,
+                    Tick horizon, unsigned events);
+
+    /**
+     * Schedule every not-yet-armed plan entry on the event queue.
+     * Entries in the past fire immediately (next event-loop turn).
+     */
+    void arm();
+
+    const std::vector<PlanEntry> &plan() const { return plan_; }
+
+    /** Faults accepted by a component hook. */
+    std::uint64_t injected() const { return injected_.value(); }
+    /** Faults with no registered/matching component. */
+    std::uint64_t unmatched() const { return unmatched_.value(); }
+
+    static const char *kindName(FaultKind k);
+    static std::optional<FaultKind>
+    kindFromName(const std::string &s);
+
+  private:
+    void deliver(const PlanEntry &e);
+
+    std::vector<PlanEntry> plan_;
+    std::size_t armed_ = 0; ///< plan_ entries already scheduled
+    Counter &injected_;
+    Counter &unmatched_;
+};
+
+} // namespace fault
+} // namespace bmhive
+
+#endif // BMHIVE_FAULT_FAULT_INJECTOR_HH

@@ -14,9 +14,10 @@ BlkDriver::BlkDriver(GuestOs &os, int slot) : VirtioDriver(os, slot)
 void
 BlkDriver::start(std::uint16_t queue_size, Bytes max_io)
 {
-    initialize(VIRTIO_BLK_F_SEG_MAX | VIRTIO_BLK_F_FLUSH |
-                   VIRTIO_RING_F_INDIRECT_DESC,
-               queue_size);
+    wanted_ = VIRTIO_BLK_F_SEG_MAX | VIRTIO_BLK_F_FLUSH |
+              VIRTIO_RING_F_INDIRECT_DESC;
+    queueSize_ = queue_size;
+    initialize(wanted_, queue_size);
     maxIo_ = max_io;
 
     std::uint16_t n = queue(0).layout().size();
@@ -110,8 +111,39 @@ BlkDriver::submitIo(std::uint32_t type, std::uint64_t sector,
 }
 
 void
+BlkDriver::resetAndReinit()
+{
+    // Whatever was in flight on the old ring is gone. Reinitialize
+    // first so the failure callbacks fired below can resubmit onto
+    // the fresh ring.
+    std::vector<std::pair<IoCallback, Addr>> failed;
+    for (auto &s : slots_) {
+        if (s.cb) {
+            failed.emplace_back(std::move(s.cb), s.data);
+            s.cb = nullptr;
+        }
+    }
+    teardownForReset();
+    initialize(wanted_, queueSize_);
+    slotOfHead_.assign(queue(0).layout().size(), 0);
+    freeSlots_.clear();
+    for (std::uint16_t i = 0; i < slots_.size(); ++i)
+        freeSlots_.push_back(i);
+    resets_.inc();
+    for (auto &[cb, data] : failed) {
+        errors_.inc();
+        done_.inc();
+        cb(VIRTIO_BLK_S_IOERR, data);
+    }
+}
+
+void
 BlkDriver::completionInterrupt()
 {
+    if (deviceNeedsReset()) {
+        resetAndReinit();
+        return;
+    }
     for (const auto &c : queue(0).collectUsed()) {
         std::uint16_t slot = slotOfHead_[c.head];
         Slot &s = slots_[slot];

@@ -54,6 +54,7 @@ class BlkDriver : public VirtioDriver
 
     std::uint64_t completed() const { return done_.value(); }
     std::uint64_t errors() const { return errors_.value(); }
+    std::uint64_t resets() const { return resets_.value(); }
 
   private:
     struct Slot
@@ -69,12 +70,23 @@ class BlkDriver : public VirtioDriver
                   hw::CpuExecutor &cpu_ctx, IoCallback cb);
     void completionInterrupt();
 
+    /**
+     * DEVICE_NEEDS_RESET recovery: fail every outstanding request
+     * with VIRTIO_BLK_S_IOERR (each callback fires exactly once)
+     * and bring the device back up through the full virtio init
+     * dance on fresh rings. The bounce arenas are reused.
+     */
+    void resetAndReinit();
+
     std::vector<Slot> slots_;
     std::vector<std::uint16_t> freeSlots_;
     std::vector<std::uint16_t> slotOfHead_;
     Bytes maxIo_ = 0;
+    std::uint64_t wanted_ = 0;
+    std::uint16_t queueSize_ = 0;
     Counter done_;
     Counter errors_;
+    Counter resets_;
 };
 
 } // namespace guest

@@ -15,29 +15,50 @@ NetDriver::NetDriver(GuestOs &os, int slot, cloud::MacAddr mac)
 void
 NetDriver::start(std::uint16_t queue_size)
 {
-    initialize(VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
-                   VIRTIO_RING_F_INDIRECT_DESC,
-               queue_size);
+    wanted_ = VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
+              VIRTIO_RING_F_INDIRECT_DESC;
+    queueSize_ = queue_size;
+    initialize(wanted_, queue_size);
     panic_if(numQueues() < 2, "virtio-net needs rx+tx queues");
 
     std::uint16_t rxn = queue(NET_RXQ).layout().size();
     std::uint16_t txn = queue(NET_TXQ).layout().size();
     rxArena_ = os_.allocator().alloc(Bytes(rxn) * bufBytes, 4096);
     txArena_ = os_.allocator().alloc(Bytes(txn) * bufBytes, 4096);
-    txSlotOfHead_.assign(txn, 0);
-    rxSlotOfHead_.assign(rxn, 0);
-    txFreeSlots_.clear();
-    for (std::uint16_t i = 0; i < txn; ++i)
-        txFreeSlots_.push_back(i);
 
     onQueueInterrupt(NET_RXQ, [this] { rxInterrupt(); });
     onQueueInterrupt(NET_TXQ, [this] { txInterrupt(); });
+
+    setupRings();
+}
+
+void
+NetDriver::setupRings()
+{
+    txSlotOfHead_.assign(queue(NET_TXQ).layout().size(), 0);
+    rxSlotOfHead_.assign(queue(NET_RXQ).layout().size(), 0);
+    txFreeSlots_.clear();
+    for (std::uint16_t i = 0; i < txSlotOfHead_.size(); ++i)
+        txFreeSlots_.push_back(i);
     // Like Linux virtio-net, run tx without completion interrupts:
     // buffers are reaped opportunistically in the xmit path.
     queue(NET_TXQ).setNoInterrupt(true);
 
     fillRx();
     kickNow(NET_RXQ);
+}
+
+void
+NetDriver::resetAndReinit()
+{
+    napiActive_ = false;
+    teardownForReset();
+    initialize(wanted_, queueSize_);
+    // Deliveries from here on count against the fresh, zeroed
+    // used index.
+    rxDoneBase_ = rxDone_.value();
+    resets_.inc();
+    setupRings();
 }
 
 Addr
@@ -126,6 +147,10 @@ NetDriver::txSpace() const
 void
 NetDriver::txInterrupt()
 {
+    if (deviceNeedsReset()) {
+        resetAndReinit();
+        return;
+    }
     for (const auto &c : queue(NET_TXQ).collectUsed()) {
         txFreeSlots_.push_back(std::uint16_t(c.cookie));
         txDone_.inc();
@@ -135,6 +160,10 @@ NetDriver::txInterrupt()
 void
 NetDriver::rxInterrupt()
 {
+    if (deviceNeedsReset()) {
+        resetAndReinit();
+        return;
+    }
     // NAPI: mask further rx interrupts and switch to polling until
     // the ring runs dry; one interrupt can serve a long burst.
     if (napiActive_)
@@ -147,6 +176,10 @@ NetDriver::rxInterrupt()
 void
 NetDriver::napiPoll()
 {
+    if (deviceNeedsReset()) {
+        resetAndReinit();
+        return;
+    }
     auto &rxq = queue(NET_RXQ);
     unsigned drained = 0;
     for (const auto &c : rxq.collectUsed()) {
@@ -194,8 +227,9 @@ std::uint16_t
 NetDriver::rxUsedShadow()
 {
     // The driver's consumed-used counter equals delivered packets
-    // modulo 2^16 (single-buffer completions only on this queue).
-    return std::uint16_t(rxDone_.value());
+    // modulo 2^16 (single-buffer completions only on this queue),
+    // counted from when the current rings came up.
+    return std::uint16_t(rxDone_.value() - rxDoneBase_);
 }
 
 } // namespace guest

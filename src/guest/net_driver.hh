@@ -67,6 +67,7 @@ class NetDriver : public VirtioDriver
 
     std::uint64_t txCompleted() const { return txDone_.value(); }
     std::uint64_t rxDelivered() const { return rxDone_.value(); }
+    std::uint64_t resets() const { return resets_.value(); }
 
   private:
     void fillRx();
@@ -74,6 +75,17 @@ class NetDriver : public VirtioDriver
     void rxInterrupt();
     void napiPoll();
     std::uint16_t rxUsedShadow();
+
+    /** Slot bookkeeping + rx ring fill, shared by start and reset. */
+    void setupRings();
+
+    /**
+     * DEVICE_NEEDS_RESET recovery: in-flight tx frames and posted
+     * rx buffers died with the old rings; reinitialize on fresh
+     * rings (arenas are reused — the ring sizes match) and refill
+     * rx. Lost frames are the network's problem, as on real NICs.
+     */
+    void resetAndReinit();
 
     /** Per-descriptor-slot buffer base (2 KiB each). */
     Addr txBuf(std::uint16_t slot) const;
@@ -88,6 +100,12 @@ class NetDriver : public VirtioDriver
     std::vector<std::uint16_t> rxSlotOfHead_;
     Counter txDone_;
     Counter rxDone_;
+    Counter resets_;
+    std::uint64_t wanted_ = 0;
+    std::uint16_t queueSize_ = 0;
+    /// rxDone_ value when the current rings came up; rxUsedShadow()
+    /// is relative to this so it matches the fresh used index.
+    std::uint64_t rxDoneBase_ = 0;
     Tick rxCost_ = 0;
     unsigned rxWorkers_ = 1;
     unsigned rxNext_ = 0;

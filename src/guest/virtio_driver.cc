@@ -144,5 +144,11 @@ VirtioDriver::onQueueInterrupt(unsigned q, std::function<void()> fn)
     os_.registerIrq(slot_, q, std::move(fn));
 }
 
+bool
+VirtioDriver::deviceNeedsReset()
+{
+    return cfgRead(COMMON_STATUS, 1) & STATUS_NEEDS_RESET;
+}
+
 } // namespace guest
 } // namespace bmhive

@@ -60,10 +60,25 @@ class VirtioDriver
     /** Register a handler run when queue @p q's MSI fires. */
     void onQueueInterrupt(unsigned q, std::function<void()> fn);
 
+    /**
+     * DEVICE_NEEDS_RESET is set: the device hit an unrecoverable
+     * error and is dead until the driver resets and reinitializes
+     * it. Interrupt handlers check this before touching rings.
+     */
+    bool deviceNeedsReset();
+
     int slot() const { return slot_; }
     Addr bar0() const { return bar0_; }
 
   protected:
+    /**
+     * Drop all queue state so initialize() can run again after
+     * DEVICE_NEEDS_RESET. Old ring/indirect arenas stay allocated
+     * in the bump-allocated guest heap (bounded by reset count);
+     * a real guest would return pages to its allocator.
+     */
+    void teardownForReset() { queues_.clear(); }
+
     std::uint32_t cfgRead(Addr off, unsigned size);
     void cfgWrite(Addr off, std::uint32_t v, unsigned size);
 

@@ -18,7 +18,10 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
                            cloud::Volume *volume, bool rate_limited)
     : SimObject(sim, std::move(name)), board_(board), bond_(bond),
       vswitch_(vswitch), mac_(mac), storage_(storage),
-      volume_(volume), rateLimited_(rate_limited)
+      volume_(volume), rateLimited_(rate_limited),
+      faultInjected_(
+          metrics().counter(this->name() + ".fault.injected")),
+      respawns_(metrics().counter(this->name() + ".respawns"))
 {
     IoServiceParams params;
     params.pollPeriod = paper::bmPollPeriod;
@@ -38,6 +41,81 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
     port_ = vswitch_.addPort(mac, [this](const cloud::Packet &pkt) {
         service_->enqueueRx(pkt);
     });
+
+    bond_.setReadyCallback(
+        [this](unsigned fn) { onFunctionReady(fn); });
+    sim_.faults().add(this->name(),
+                      [this](const fault::FaultSpec &s) {
+                          return injectFault(s);
+                      });
+}
+
+BmHypervisor::~BmHypervisor()
+{
+    sim_.faults().remove(name());
+    bond_.setReadyCallback(nullptr);
+}
+
+bool
+BmHypervisor::injectFault(const fault::FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case fault::FaultKind::HvStall:
+        service_->stall(spec.duration ? spec.duration
+                                      : usToTicks(200));
+        faultInjected_.inc();
+        return true;
+      case fault::FaultKind::HvCrash:
+        crash();
+        faultInjected_.inc();
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+BmHypervisor::crash()
+{
+    service_->markDead();
+    crashed_ = true;
+    crashedAt_ = curTick();
+    logDebug("bm-hypervisor process crashed");
+}
+
+void
+BmHypervisor::respawn()
+{
+    panic_if(!connected_, name(), ": respawn before first connect");
+    if (service_->alive())
+        service_->markDead();
+    // Republish whatever the dead process had picked up but not
+    // completed, in original submission order; the fresh device
+    // views below resume from the rings' live indices and re-serve
+    // exactly those chains.
+    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn) {
+        for (unsigned q = 0; q < bond_.function(fn).numQueues();
+             ++q) {
+            if (bond_.shadowReady(fn, q))
+                bond_.recoverQueue(fn, q);
+        }
+    }
+    ++respawnCount_;
+    auto next = std::make_unique<VirtioIoService>(
+        sim_, name() + ".svc.r" + std::to_string(respawnCount_),
+        *core_, serviceParams_);
+    retired_.push_back(std::move(service_));
+    service_ = std::move(next);
+    netFn_ = -1;
+    blkFn_ = -1;
+    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn)
+        attachFunction(fn);
+    wireTracers();
+    service_->start();
+    respawns_.inc();
+    crashed_ = false;
+    logDebug("bm-hypervisor respawned (generation ",
+             respawnCount_, ")");
 }
 
 void
@@ -55,65 +133,85 @@ BmHypervisor::powerOffGuest()
 }
 
 bool
+BmHypervisor::attachFunction(unsigned fn)
+{
+    auto type = bond_.function(fn).deviceType();
+    if (type == virtio::DeviceType::Net) {
+        if (!bond_.shadowReady(fn, virtio::NET_RXQ) ||
+            !bond_.shadowReady(fn, virtio::NET_TXQ))
+            return false;
+        auto limiter =
+            rateLimited_
+                ? cloud::InstanceLimits::cloudNetwork()
+                : cloud::DualRateLimiter::unlimited();
+        service_->attachNet(
+            bond_.baseMemory(),
+            bond_.shadowLayout(fn, virtio::NET_RXQ),
+            bond_.shadowLayout(fn, virtio::NET_TXQ),
+            [this, fn] {
+                bond_.backendCompleted(fn, virtio::NET_RXQ);
+            },
+            [this, fn] {
+                bond_.backendCompleted(fn, virtio::NET_TXQ);
+            },
+            vswitch_, port_, limiter);
+        netFn_ = int(fn);
+        return true;
+    }
+    if (type == virtio::DeviceType::Console) {
+        if (!bond_.shadowReady(fn, 0) || !bond_.shadowReady(fn, 1))
+            return false;
+        service_->attachConsole(
+            bond_.baseMemory(), bond_.shadowLayout(fn, 0),
+            bond_.shadowLayout(fn, 1),
+            [this, fn] { bond_.backendCompleted(fn, 0); },
+            [this, fn] { bond_.backendCompleted(fn, 1); },
+            [this](const std::string &text) {
+                if (consoleSink_)
+                    consoleSink_(text);
+            });
+        return true;
+    }
+    if (type == virtio::DeviceType::Block) {
+        if (!bond_.shadowReady(fn, 0))
+            return false;
+        panic_if(storage_ == nullptr || volume_ == nullptr,
+                 name(), ": blk function without storage backing");
+        auto limiter =
+            rateLimited_
+                ? cloud::InstanceLimits::cloudStorage()
+                : cloud::DualRateLimiter::unlimited();
+        service_->attachBlk(
+            bond_.baseMemory(), bond_.shadowLayout(fn, 0),
+            [this, fn] { bond_.backendCompleted(fn, 0); },
+            *storage_, *volume_, limiter);
+        blkFn_ = int(fn);
+        return true;
+    }
+    return false;
+}
+
+void
+BmHypervisor::onFunctionReady(unsigned fn)
+{
+    // Initial bring-up goes through connectBackends, and a dead
+    // process cannot react (respawn re-attaches everything).
+    if (!connected_ || !service_->alive())
+        return;
+    // The guest driver reinitialized after DEVICE_NEEDS_RESET: its
+    // rings moved, so the backend views must be rebuilt on the new
+    // shadow layouts.
+    if (attachFunction(fn))
+        wireTracers();
+}
+
+bool
 BmHypervisor::connectBackends()
 {
     panic_if(connected_, name(), ": backends already connected");
     bool any = false;
-    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn) {
-        auto type = bond_.function(fn).deviceType();
-        if (type == virtio::DeviceType::Net) {
-            if (!bond_.shadowReady(fn, virtio::NET_RXQ) ||
-                !bond_.shadowReady(fn, virtio::NET_TXQ))
-                continue;
-            auto limiter =
-                rateLimited_
-                    ? cloud::InstanceLimits::cloudNetwork()
-                    : cloud::DualRateLimiter::unlimited();
-            service_->attachNet(
-                bond_.baseMemory(),
-                bond_.shadowLayout(fn, virtio::NET_RXQ),
-                bond_.shadowLayout(fn, virtio::NET_TXQ),
-                [this, fn] {
-                    bond_.backendCompleted(fn, virtio::NET_RXQ);
-                },
-                [this, fn] {
-                    bond_.backendCompleted(fn, virtio::NET_TXQ);
-                },
-                vswitch_, port_, limiter);
-            netFn_ = int(fn);
-            any = true;
-        } else if (type == virtio::DeviceType::Console) {
-            if (!bond_.shadowReady(fn, 0) ||
-                !bond_.shadowReady(fn, 1))
-                continue;
-            service_->attachConsole(
-                bond_.baseMemory(), bond_.shadowLayout(fn, 0),
-                bond_.shadowLayout(fn, 1),
-                [this, fn] { bond_.backendCompleted(fn, 0); },
-                [this, fn] { bond_.backendCompleted(fn, 1); },
-                [this](const std::string &text) {
-                    if (consoleSink_)
-                        consoleSink_(text);
-                });
-            any = true;
-        } else if (type == virtio::DeviceType::Block) {
-            if (!bond_.shadowReady(fn, 0))
-                continue;
-            panic_if(storage_ == nullptr || volume_ == nullptr,
-                     name(),
-                     ": blk function without storage backing");
-            auto limiter =
-                rateLimited_
-                    ? cloud::InstanceLimits::cloudStorage()
-                    : cloud::DualRateLimiter::unlimited();
-            service_->attachBlk(
-                bond_.baseMemory(), bond_.shadowLayout(fn, 0),
-                [this, fn] { bond_.backendCompleted(fn, 0); },
-                *storage_, *volume_, limiter);
-            blkFn_ = int(fn);
-            any = true;
-        }
-    }
+    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn)
+        any = attachFunction(fn) || any;
     if (any) {
         connected_ = true;
         wireTracers();

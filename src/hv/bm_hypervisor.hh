@@ -50,6 +50,7 @@ class BmHypervisor : public SimObject
                  cloud::BlockService *storage = nullptr,
                  cloud::Volume *volume = nullptr,
                  bool rate_limited = true);
+    ~BmHypervisor() override;
 
     /** Power the compute board on (PCIe power control). */
     void powerOnGuest();
@@ -105,6 +106,28 @@ class BmHypervisor : public SimObject
     obs::RequestTracer *netTracer() { return netTracer_.get(); }
     obs::RequestTracer *blkTracer() { return blkTracer_.get(); }
 
+    /**
+     * The bm-hypervisor process dies: polling stops and everything
+     * it had in flight is invalidated. Per-guest blast radius only
+     * — other guests' processes are untouched (the paper's
+     * one-process-per-guest isolation argument).
+     */
+    void crash();
+
+    /**
+     * Start a replacement process after a crash: republish the
+     * dead process's unfinished shadow-vring work via IO-Bond's
+     * recovery path, then attach a fresh service whose device
+     * views resume from the rings' live indices. The watchdog in
+     * BmHiveServer calls this when a guest's heartbeat stops.
+     */
+    void respawn();
+
+    bool crashed() const { return crashed_; }
+    unsigned respawns() const { return respawnCount_; }
+    /** When the last crash happened (recovery-time accounting). */
+    Tick crashedAt() const { return crashedAt_; }
+
     /** Completed live upgrades. */
     unsigned upgrades() const { return upgrades_; }
 
@@ -131,6 +154,11 @@ class BmHypervisor : public SimObject
     IoServiceParams serviceParams_;
     bool connected_ = false;
     unsigned upgrades_ = 0;
+    bool crashed_ = false;
+    Tick crashedAt_ = 0;
+    unsigned respawnCount_ = 0;
+    Counter &faultInjected_;
+    Counter &respawns_;
 
     // Request tracing (enableIoTracing).
     std::unique_ptr<obs::RequestTracer> netTracer_;
@@ -145,6 +173,16 @@ class BmHypervisor : public SimObject
 
     /** Point bond and service at the tracers (post-connect). */
     void wireTracers();
+
+    /** Attach one function's role to service_ if its shadow
+     *  vrings are ready. */
+    bool attachFunction(unsigned fn);
+
+    /** A guest driver (re)initialized function @p fn: rebuild the
+     *  backend's views on the new shadow layouts. */
+    void onFunctionReady(unsigned fn);
+
+    bool injectFault(const fault::FaultSpec &spec);
 };
 
 } // namespace hv

@@ -23,6 +23,13 @@ VirtioIoService::VirtioIoService(Simulation &sim, std::string name,
       rxDropped_(metrics().counter(this->name() + ".rx_dropped")),
       pollsTotal_(metrics().counter(this->name() + ".poll.total")),
       pollsBusy_(metrics().counter(this->name() + ".poll.busy")),
+      blkTimeouts_(
+          metrics().counter(this->name() + ".blk.timeouts")),
+      blkRetries_(metrics().counter(this->name() + ".blk.retries")),
+      blkDupDone_(
+          metrics().counter(this->name() + ".blk.dup_completions")),
+      blkFailures_(
+          metrics().counter(this->name() + ".blk.io_failures")),
       pollBatch_(
           metrics().histogram(this->name() + ".poll.batch", 0, 64, 16))
 {
@@ -72,6 +79,12 @@ VirtioIoService::attachBlk(GuestMemory &ring_mem,
     blkLimiter_ = limiter;
     if (params_.suppressGuestNotify)
         blk_->setNoNotify(true);
+    // A (re)attach invalidates anything the previous incarnation of
+    // these rings had in flight: completions and timers carrying an
+    // older generation are ignored.
+    ++blkGen_;
+    blkPending_.clear();
+    blkInflight_ = 0;
 }
 
 void
@@ -138,6 +151,10 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     rxPkts_.inc(old.rxPkts_.value());
     blkIos_.inc(old.blkIos_.value());
     rxDropped_.inc(old.rxDropped_.value());
+    blkTimeouts_.inc(old.blkTimeouts_.value());
+    blkRetries_.inc(old.blkRetries_.value());
+    blkDupDone_.inc(old.blkDupDone_.value());
+    blkFailures_.inc(old.blkFailures_.value());
     // Suppression flags follow the new flavour.
     if (netRx_ && params_.suppressGuestNotify) {
         netRx_->setNoNotify(true);
@@ -172,6 +189,23 @@ VirtioIoService::stop()
 }
 
 void
+VirtioIoService::stall(Tick duration)
+{
+    stallUntil_ = std::max(stallUntil_, curTick() + duration);
+    if (running_)
+        eventq().reschedule(&pollEvent_, stallUntil_);
+}
+
+void
+VirtioIoService::markDead()
+{
+    stop();
+    ++blkGen_;
+    blkPending_.clear();
+    blkInflight_ = 0;
+}
+
+void
 VirtioIoService::scheduleNext()
 {
     if (!running_)
@@ -179,6 +213,8 @@ VirtioIoService::scheduleNext()
     Tick next = curTick() + params_.pollPeriod;
     if (core_.busyUntil() > next)
         next = core_.busyUntil();
+    if (stallUntil_ > next)
+        next = stallUntil_;
     eventq().reschedule(&pollEvent_, next);
 }
 
@@ -383,91 +419,173 @@ VirtioIoService::pollBlk()
         }
 
         bool is_write = hdr.type == VIRTIO_BLK_T_OUT;
-        Bytes len = data.len;
-        std::uint16_t head = chain->head;
-        std::uint64_t lba = hdr.sector;
-        Addr data_addr = data.addr;
-        Addr status_addr = status.addr;
 
         if (is_write) {
             // Data already sits in ring memory; persist it now.
-            vol_->writeData(lba, blkMem_->readBlob(data_addr, len));
+            vol_->writeData(hdr.sector,
+                            blkMem_->readBlob(data.addr, data.len));
         }
 
-        cloud::BlockIo io;
-        io.write = is_write;
-        io.lba = lba;
-        io.len = len;
-        io.done = [this, is_write, lba, len, data_addr, status_addr,
-                   head] {
-            // The storage round trip ends here: everything from
-            // poll pickup until now is the Service span.
-            if (blkTracer_)
-                blkTracer_->stamp(blkKeyBase_ | head,
-                                  obs::Stage::Service, curTick());
-            // Completion handling runs on the iothread; if that
-            // thread is preempted, every in-flight I/O behind it
-            // waits — the mechanism behind the vm's latency tail.
-            hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
-            Tick cost = params_.blkTouchCost +
-                        params_.completionRegisterCost;
-            if (!is_write && params_.blkCopyBytesPerSec > 0.0) {
-                cost += Tick(double(len) /
+        PendingBlk p;
+        p.write = is_write;
+        p.lba = hdr.sector;
+        p.len = data.len;
+        p.dataAddr = data.addr;
+        p.statusAddr = status.addr;
+        p.head = chain->head;
+        std::uint64_t seq = blkNextSeq_++;
+        blkPending_.emplace(seq, p);
+        ++blkInflight_;
+
+        Tick copy_cost = 0;
+        if (is_write && params_.blkCopyBytesPerSec > 0.0) {
+            copy_cost = Tick(double(data.len) /
                              params_.blkCopyBytesPerSec *
                              double(tickSec));
-            }
-            core->run(cost, [this, is_write, lba, len, data_addr,
-                             status_addr, head] {
-                if (!is_write) {
-                    blkMem_->writeBlob(data_addr,
-                                       vol_->readData(lba, len));
-                }
-                blkMem_->write8(status_addr, VIRTIO_BLK_S_OK);
-                blk_->pushUsed(head,
-                               is_write ? 1
-                                        : std::uint32_t(len) + 1);
-                blkIos_.inc();
+        }
+        submitBlkAttempt(seq, copy_cost);
+    }
+    return picked;
+}
+
+void
+VirtioIoService::submitBlkAttempt(std::uint64_t seq, Tick copy_cost)
+{
+    const PendingBlk &p = blkPending_.at(seq);
+    std::uint64_t gen = blkGen_;
+
+    cloud::BlockIo io;
+    io.write = p.write;
+    io.lba = p.lba;
+    io.len = p.len;
+    io.done = [this, seq, gen] { onBlkServiceDone(seq, gen); };
+    auto io_box = std::make_shared<cloud::BlockIo>(std::move(io));
+
+    if (params_.blkTimeout > 0) {
+        // Bounded exponential backoff: every resubmission doubles
+        // the wait before the next one.
+        Tick wait = params_.blkTimeout << p.attempt;
+        auto *tev = new OneShotEvent(
+            [this, seq, gen, attempt = p.attempt] {
+                onBlkTimeout(seq, gen, attempt);
+            },
+            name() + ".blk_timeout");
+        eventq().schedule(tev, curTick() + wait);
+    }
+
+    // The submission path: CPU work (touch + payload copy)
+    // occupies the iothread — a preempted or copy-saturated
+    // iothread throttles every I/O behind it — while the rest
+    // of the host software path (blkExtraCost) adds latency
+    // without consuming the thread.
+    hw::CpuExecutor *score = blkCore_ ? blkCore_ : &core_;
+    Bytes len = p.len;
+    score->run(
+        params_.blkTouchCost + copy_cost,
+        [this, io_box, len, gen] {
+            if (gen != blkGen_)
+                return; // rings torn down since submission
+            Tick when = blkLimiter_.admit(
+                curTick() + params_.blkExtraCost, len);
+            auto *svc = blkSvc_;
+            auto *vol = vol_;
+            auto *ev = new OneShotEvent(
+                [svc, vol, io_box] {
+                    svc->submit(*vol, std::move(*io_box));
+                },
+                name() + ".blk_submit");
+            eventq().schedule(
+                ev, std::max(when, curTick() +
+                                       params_.blkExtraCost));
+        });
+}
+
+void
+VirtioIoService::onBlkServiceDone(std::uint64_t seq,
+                                  std::uint64_t gen)
+{
+    if (gen != blkGen_)
+        return; // completion from before a reattach or crash
+    auto it = blkPending_.find(seq);
+    if (it == blkPending_.end()) {
+        // A timed-out attempt we already retried (or failed) came
+        // back after all. The sequence tag makes completion
+        // idempotent: the guest never sees a request twice.
+        blkDupDone_.inc();
+        return;
+    }
+    PendingBlk p = it->second;
+    blkPending_.erase(it);
+
+    // The storage round trip ends here: everything from poll
+    // pickup until now is the Service span.
+    if (blkTracer_)
+        blkTracer_->stamp(blkKeyBase_ | p.head, obs::Stage::Service,
+                          curTick());
+    // Completion handling runs on the iothread; if that thread is
+    // preempted, every in-flight I/O behind it waits — the
+    // mechanism behind the vm's latency tail.
+    hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
+    Tick cost =
+        params_.blkTouchCost + params_.completionRegisterCost;
+    if (!p.write && params_.blkCopyBytesPerSec > 0.0) {
+        cost += Tick(double(p.len) / params_.blkCopyBytesPerSec *
+                     double(tickSec));
+    }
+    core->run(cost, [this, p, gen] {
+        if (gen != blkGen_)
+            return; // the rings this head refers to are gone
+        if (!p.write) {
+            blkMem_->writeBlob(p.dataAddr,
+                               vol_->readData(p.lba, p.len));
+        }
+        blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_OK);
+        blk_->pushUsed(p.head,
+                       p.write ? 1 : std::uint32_t(p.len) + 1);
+        blkIos_.inc();
+        panic_if(blkInflight_ == 0, name(), ": inflight underflow");
+        --blkInflight_;
+        if (blkDone_)
+            blkDone_();
+    });
+}
+
+void
+VirtioIoService::onBlkTimeout(std::uint64_t seq, std::uint64_t gen,
+                              unsigned attempt)
+{
+    if (gen != blkGen_)
+        return;
+    auto it = blkPending_.find(seq);
+    if (it == blkPending_.end())
+        return; // completed in time
+    if (it->second.attempt != attempt)
+        return; // superseded by a newer attempt's timer
+    blkTimeouts_.inc();
+    if (it->second.attempt >= params_.blkMaxRetries) {
+        // Retries exhausted: fail toward the guest, exactly once.
+        PendingBlk p = it->second;
+        blkPending_.erase(it);
+        blkFailures_.inc();
+        hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
+        core->run(
+            params_.blkTouchCost + params_.completionRegisterCost,
+            [this, p, gen] {
+                if (gen != blkGen_)
+                    return;
+                blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_IOERR);
+                blk_->pushUsed(p.head, 1);
                 panic_if(blkInflight_ == 0,
                          name(), ": inflight underflow");
                 --blkInflight_;
                 if (blkDone_)
                     blkDone_();
             });
-        };
-
-        // The submission path: CPU work (touch + payload copy)
-        // occupies the iothread — a preempted or copy-saturated
-        // iothread throttles every I/O behind it — while the rest
-        // of the host software path (blkExtraCost) adds latency
-        // without consuming the thread.
-        hw::CpuExecutor *score = blkCore_ ? blkCore_ : &core_;
-        auto io_box =
-            std::make_shared<cloud::BlockIo>(std::move(io));
-        Tick copy_cost = 0;
-        if (is_write && params_.blkCopyBytesPerSec > 0.0) {
-            copy_cost = Tick(double(len) /
-                             params_.blkCopyBytesPerSec *
-                             double(tickSec));
-        }
-        ++blkInflight_;
-        score->run(
-            params_.blkTouchCost + copy_cost,
-            [this, io_box, len] {
-                Tick when = blkLimiter_.admit(
-                    curTick() + params_.blkExtraCost, len);
-                auto *svc = blkSvc_;
-                auto *vol = vol_;
-                auto *ev = new OneShotEvent(
-                    [svc, vol, io_box] {
-                        svc->submit(*vol, std::move(*io_box));
-                    },
-                    name() + ".blk_submit");
-                eventq().schedule(
-                    ev, std::max(when, curTick() +
-                                           params_.blkExtraCost));
-            });
+        return;
     }
-    return picked;
+    ++it->second.attempt;
+    blkRetries_.inc();
+    submitBlkAttempt(seq, 0);
 }
 
 } // namespace hv

@@ -21,8 +21,8 @@
 #define BMHIVE_HV_IO_SERVICE_HH
 
 #include <deque>
-#include <string>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +67,14 @@ struct IoServiceParams
     bool suppressGuestNotify = false;
     /** Backend rx buffering (socket backlog analog). */
     std::size_t rxPendingMax = 4096;
+    /**
+     * Block-fabric request timeout: a request not completed within
+     * this window is resubmitted with exponential backoff (each
+     * attempt doubles the wait). 0 disables the timeout path.
+     */
+    Tick blkTimeout = msToTicks(10.0);
+    /** Resubmissions before a request fails with IOERR. */
+    unsigned blkMaxRetries = 4;
 };
 
 /**
@@ -150,6 +158,38 @@ class VirtioIoService : public SimObject
     /** Stop polling (guest powered off / destroyed). */
     void stop();
 
+    /**
+     * The poll core is preempted (bm-hypervisor stall fault): no
+     * poll iteration runs until @p duration elapses. Stalls extend
+     * monotonically; in-flight timers keep running, so a stall long
+     * enough trips the block timeout path.
+     */
+    void stall(Tick duration);
+
+    /**
+     * The backend process died (bm-hypervisor crash fault): polling
+     * stops and everything in flight is invalidated — late storage
+     * completions carry a stale generation and never reach the
+     * guest, so the respawned service can re-serve those requests
+     * without double completion.
+     */
+    void markDead();
+
+    bool alive() const { return running_; }
+
+    std::uint64_t blkTimeouts() const { return blkTimeouts_.value(); }
+    std::uint64_t blkRetries() const { return blkRetries_.value(); }
+    std::uint64_t
+    blkDupCompletions() const
+    {
+        return blkDupDone_.value();
+    }
+    std::uint64_t
+    blkIoFailures() const
+    {
+        return blkFailures_.value();
+    }
+
     std::uint64_t txPackets() const { return txPkts_.value(); }
     std::uint64_t rxPackets() const { return rxPkts_.value(); }
     std::uint64_t blkIos() const { return blkIos_.value(); }
@@ -193,12 +233,34 @@ class VirtioIoService : public SimObject
     virtio::VirtQueueDevice *blkQueue() { return blk_.get(); }
 
   private:
+    /**
+     * One guest block request, tracked from poll pickup until its
+     * exactly-once completion toward the guest. Keyed by a sequence
+     * tag; retries share the tag, so whichever attempt finishes
+     * first completes the request and later arrivals are recognized
+     * as duplicates and dropped.
+     */
+    struct PendingBlk
+    {
+        bool write = false;
+        std::uint64_t lba = 0;
+        Bytes len = 0;
+        Addr dataAddr = 0;
+        Addr statusAddr = 0;
+        std::uint16_t head = 0;
+        unsigned attempt = 0;
+    };
+
     void poll();
     unsigned pollNetTx();
     unsigned pollNetRx();
     unsigned pollBlk();
     unsigned pollConsole();
     void scheduleNext();
+    void submitBlkAttempt(std::uint64_t seq, Tick copy_cost);
+    void onBlkServiceDone(std::uint64_t seq, std::uint64_t gen);
+    void onBlkTimeout(std::uint64_t seq, std::uint64_t gen,
+                      unsigned attempt);
 
     hw::CpuExecutor &core_;
     hw::CpuExecutor *blkCore_ = nullptr; ///< defaults to &core_
@@ -236,6 +298,12 @@ class VirtioIoService : public SimObject
 
     bool running_ = false;
     std::uint64_t blkInflight_ = 0;
+    std::map<std::uint64_t, PendingBlk> blkPending_;
+    std::uint64_t blkNextSeq_ = 0;
+    /** Bumped on every (re)attach and on markDead: completions and
+     *  timers carrying an older generation are ignored. */
+    std::uint64_t blkGen_ = 0;
+    Tick stallUntil_ = 0;
     EventFunctionWrapper pollEvent_;
     /** Registry-backed: accessors and exports read the same cell. */
     Counter &txPkts_;
@@ -244,6 +312,10 @@ class VirtioIoService : public SimObject
     Counter &rxDropped_;
     Counter &pollsTotal_;
     Counter &pollsBusy_;
+    Counter &blkTimeouts_;
+    Counter &blkRetries_;
+    Counter &blkDupDone_;
+    Counter &blkFailures_;
     Histogram &pollBatch_; ///< work items per poll iteration
 
     // Request tracing (optional, wired by the platform glue).

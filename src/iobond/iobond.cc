@@ -70,12 +70,103 @@ IoBond::IoBond(Simulation &sim, std::string name,
       notifies_(metrics().counter(this->name() + ".notifies")),
       chains_(metrics().counter(this->name() + ".chains")),
       completions_(metrics().counter(this->name() + ".completions")),
-      bad_(metrics().counter(this->name() + ".malformed"))
+      bad_(metrics().counter(this->name() + ".malformed")),
+      faultInjected_(
+          metrics().counter(this->name() + ".fault.injected")),
+      faultRecovered_(
+          metrics().counter(this->name() + ".fault.recovered")),
+      droppedDoorbells_(metrics().counter(
+          this->name() + ".fault.dropped_doorbells"))
 {
     panic_if(shadow_region_base + 4 * MiB +
                      params.shadowArenaBytes >
                  base_memory.size(),
              this->name(), ": shadow region exceeds base memory");
+    sim_.faults().add(this->name(), [this](const fault::FaultSpec &s) {
+        return injectFault(s);
+    });
+    dma_.setErrorHandler([this] { onDmaError(); });
+}
+
+IoBond::~IoBond() { sim_.faults().remove(name()); }
+
+bool
+IoBond::injectFault(const fault::FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case fault::FaultKind::LinkFlap: {
+        Tick dur = spec.duration ? spec.duration : usToTicks(50);
+        Tick until = curTick() + dur;
+        if (until > linkDownUntil_)
+            linkDownUntil_ = until;
+        faultInjected_.inc();
+        trace(name() + ": PCIe link down for " +
+              std::to_string(ticksToUs(dur)) + "us");
+        // When the link comes back, sweep every ready queue: any
+        // doorbell lost during the outage is recovered here.
+        auto *ev = new OneShotEvent(
+            [this] {
+                if (curTick() >= linkDownUntil_)
+                    rescanReady();
+            },
+            name() + ".linkup");
+        eventq().schedule(ev, linkDownUntil_);
+        return true;
+      }
+      case fault::FaultKind::DropDoorbell: {
+        dropDoorbells_ += spec.count ? spec.count : 1;
+        faultInjected_.inc();
+        // The mailbox-timeout resync sweep bounds how long a lost
+        // notification can strand queued work.
+        auto *ev = new OneShotEvent([this] { rescanReady(); },
+                                    name() + ".resync");
+        scheduleIn(ev, spec.duration ? spec.duration
+                                     : usToTicks(100));
+        return true;
+      }
+      case fault::FaultKind::FunctionFail: {
+        auto fn = unsigned(spec.magnitude);
+        if (fn >= functions_.size())
+            return false;
+        faultInjected_.inc();
+        failFunction(fn);
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+void
+IoBond::onDmaError()
+{
+    // The engine is shared by all functions; attribute the failed
+    // transfer to the one most recently active on the datapath.
+    if (lastActiveFn_ >= 0 &&
+        unsigned(lastActiveFn_) < functions_.size())
+        failFunction(unsigned(lastActiveFn_));
+}
+
+void
+IoBond::failFunction(unsigned fn)
+{
+    panic_if(fn >= functions_.size(), name(), ": bad function ", fn);
+    trace(name() + ": function " + std::to_string(fn) +
+          " failed, raising DEVICE_NEEDS_RESET");
+    functionReset(*functions_[fn]);
+    functions_[fn]->markNeedsReset();
+}
+
+void
+IoBond::rescanReady()
+{
+    unsigned recovered = 0;
+    for (unsigned fi = 0; fi < functions_.size(); ++fi)
+        for (unsigned q = 0; q < shadow_[fi].size(); ++q)
+            if (shadow_[fi][q].ready)
+                recovered += syncAvail(fi, q);
+    if (recovered > 0)
+        faultRecovered_.inc(recovered);
 }
 
 IoBondFunction &
@@ -173,10 +264,14 @@ IoBond::driverReady(IoBondFunction &fn)
         sq.shadowLayout.setUsedIdx(baseMem_, 0);
         sq.syncedAvail = sq.shadowAvail = 0;
         sq.syncedUsed = sq.guestUsed = 0;
+        sq.nextSeq = 0;
+        ++sq.epoch; // orphan any completion still in the DMA queue
         sq.ready = true;
         trace(name() + ": shadow vring ready fn=" +
               std::to_string(fi) + " q=" + std::to_string(q));
     }
+    if (readyCb_)
+        readyCb_(fi);
 }
 
 void
@@ -192,6 +287,9 @@ IoBond::functionReset(IoBondFunction &fn)
         }
         sq.inflight.clear();
         sq.ready = false;
+        // In-flight DMA completions for this queue must not touch
+        // the rings (or re-free the blocks just released above).
+        ++sq.epoch;
     }
 }
 
@@ -208,8 +306,19 @@ void
 IoBond::guestNotified(IoBondFunction &fn, unsigned q)
 {
     notifies_.inc();
-    shadow_[fn.index()][q].lastDoorbell = curTick();
     unsigned fi = fn.index();
+    shadow_[fi][q].lastDoorbell = curTick();
+    lastActiveFn_ = int(fi);
+    if (curTick() < linkDownUntil_ || dropDoorbells_ > 0) {
+        // Injected loss: the notification never crosses the link.
+        // The flap-end / resync sweep picks the work up later.
+        if (dropDoorbells_ > 0)
+            --dropDoorbells_;
+        droppedDoorbells_.inc();
+        trace(name() + ": doorbell fn=" + std::to_string(fi) +
+              " q=" + std::to_string(q) + " dropped (fault)");
+        return;
+    }
     trace(name() + ": doorbell fn=" + std::to_string(fi) +
           " q=" + std::to_string(q));
     // The notification crosses to the mailbox side of the FPGA
@@ -219,20 +328,23 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
     scheduleIn(ev, params_.mailboxAccess);
 }
 
-void
+unsigned
 IoBond::syncAvail(unsigned fn, unsigned q)
 {
     ShadowQueue &sq = shadow_[fn][q];
     if (!sq.ready)
-        return;
+        return 0;
     GuestMemory &gmem = board_.memory();
     std::uint16_t gavail = sq.guestLayout.availIdx(gmem);
+    unsigned picked = 0;
     while (sq.syncedAvail != gavail) {
         std::uint16_t head = sq.guestLayout.availRing(
             gmem, sq.syncedAvail % sq.guestLayout.size());
         ++sq.syncedAvail;
+        ++picked;
         mirrorChain(fn, q, head);
     }
+    return picked;
 }
 
 bool
@@ -248,8 +360,11 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
         // descriptors are reclaimed; a hostile guest cannot wedge
         // the bridge.
         VringUsedElem elem{head, 0};
-        dma_.accountOnly(8, [this, fn, q, elem] {
+        std::uint64_t epoch = sq.epoch;
+        dma_.accountOnly(8, [this, fn, q, elem, epoch] {
             ShadowQueue &s = shadow_[fn][q];
+            if (s.epoch != epoch)
+                return; // reset raced with the completion
             GuestMemory &gm = board_.memory();
             s.guestLayout.setUsedRing(
                 gm, s.guestUsed % s.guestLayout.size(), elem);
@@ -339,6 +454,7 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
         desc_count = std::uint16_t(walk.path.size());
     }
 
+    cs.seq = sq.nextSeq++;
     sq.inflight[head] = std::move(cs);
 
     // The request's life begins at the doorbell that announced it,
@@ -351,10 +467,11 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
     // the chain is published on the shadow ring (and the head
     // register bumped) only when everything has landed.
     Bytes meta = Bytes(desc_count) * vringDescSize + 2;
-    dma_.accountOnly(meta, [this, fn, q, head, dma_bytes] {
+    std::uint64_t epoch = sq.epoch;
+    dma_.accountOnly(meta, [this, fn, q, head, dma_bytes, epoch] {
         ShadowQueue &s = shadow_[fn][q];
-        if (!s.ready)
-            return; // reset raced with the sync
+        if (!s.ready || s.epoch != epoch)
+            return; // reset or crash recovery raced with the sync
         s.shadowLayout.setAvailRing(
             baseMem_, s.shadowAvail % s.shadowLayout.size(), head);
         ++s.shadowAvail;
@@ -397,6 +514,7 @@ IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
                     bool fire_msi)
 {
     ShadowQueue &sq = shadow_[fn][q];
+    lastActiveFn_ = int(fn);
     auto it = sq.inflight.find(std::uint16_t(elem.id));
     if (it == sq.inflight.end()) {
         warn(name(), ": backend completed unknown head ", elem.id);
@@ -425,18 +543,23 @@ IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
     Addr ind_block = cs.indirectBlock;
     sq.inflight.erase(it);
 
+    std::uint64_t epoch = sq.epoch;
     dma_.accountOnly(8, [this, fn, q, elem, buf_block, ind_block,
-                         fire_msi] {
+                         fire_msi, epoch] {
         ShadowQueue &s = shadow_[fn][q];
         GuestMemory &gm = board_.memory();
-        s.guestLayout.setUsedRing(
-            gm, s.guestUsed % s.guestLayout.size(), elem);
-        ++s.guestUsed;
-        s.guestLayout.setUsedIdx(gm, s.guestUsed);
+        // The chain left `inflight` above, so a racing reset did
+        // not free its blocks; always release them here.
         if (buf_block != PoolAllocator::nullAddr)
             pool_.free(buf_block);
         if (ind_block != PoolAllocator::nullAddr)
             pool_.free(ind_block);
+        if (s.epoch != epoch)
+            return; // function reset/re-init while in flight
+        s.guestLayout.setUsedRing(
+            gm, s.guestUsed % s.guestLayout.size(), elem);
+        ++s.guestUsed;
+        s.guestLayout.setUsedIdx(gm, s.guestUsed);
         completions_.inc();
         if (s.reqTracer)
             s.reqTracer->stamp(
@@ -472,6 +595,51 @@ IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
             functions_[fn]->notifyGuest(q);
         }
     });
+}
+
+unsigned
+IoBond::recoverQueue(unsigned fn, unsigned q)
+{
+    panic_if(fn >= shadow_.size() || q >= shadow_[fn].size(),
+             name(), ": bad shadow queue (", fn, ",", q, ")");
+    ShadowQueue &sq = shadow_[fn][q];
+    if (!sq.ready)
+        return 0;
+
+    // Completions the dead backend already pushed survive in the
+    // shadow used ring: return them to the guest first.
+    backendCompleted(fn, q);
+
+    // The shadow avail ring's window [syncedUsed, shadowAvail)
+    // holds the published-but-unfinished chains. Rewrite it from
+    // the inflight table in submission order, so the window is
+    // exactly right even if a crashed write half-landed; chains
+    // whose publish DMA is still queued will append after it.
+    std::uint16_t window =
+        std::uint16_t(sq.shadowAvail - sq.syncedUsed);
+    std::vector<std::pair<std::uint64_t, std::uint16_t>> order;
+    for (const auto &[head, cs] : sq.inflight)
+        order.emplace_back(cs.seq, head);
+    std::sort(order.begin(), order.end());
+    if (order.size() < window) {
+        warn(name(), ": recovery found ", order.size(),
+             " inflight chains for a ", window, "-entry window");
+        window = std::uint16_t(order.size());
+    }
+    for (std::uint16_t i = 0; i < window; ++i) {
+        sq.shadowLayout.setAvailRing(
+            baseMem_,
+            std::uint16_t(sq.syncedUsed + i) %
+                sq.shadowLayout.size(),
+            order[i].second);
+    }
+    sq.shadowLayout.setAvailIdx(baseMem_, sq.shadowAvail);
+    if (window > 0)
+        faultRecovered_.inc(window);
+    trace(name() + ": recovered fn=" + std::to_string(fn) +
+          " q=" + std::to_string(q) + ", " +
+          std::to_string(window) + " chains republished");
+    return window;
 }
 
 void

@@ -108,6 +108,7 @@ class IoBond : public SimObject
     IoBond(Simulation &sim, std::string name, hw::ComputeBoard &board,
            GuestMemory &base_memory, Addr shadow_region_base,
            IoBondParams params = {});
+    ~IoBond() override;
 
     /** Add a virtio-net function at @p guest_slot on the board. */
     IoBondFunction &addNetFunction(int guest_slot,
@@ -140,6 +141,34 @@ class IoBond : public SimObject
      * guest. The 0.8 us register-write cost is the caller's.
      */
     void backendCompleted(unsigned fn, unsigned q);
+
+    /**
+     * Re-adopt shadow-vring state after a backend crash: drain
+     * completions that already landed on the shadow used ring,
+     * then republish every still-inflight chain (in original
+     * submission order) so a freshly attached backend re-executes
+     * exactly the work the dead one had picked up but not
+     * finished. Returns the number of chains republished.
+     */
+    unsigned recoverQueue(unsigned fn, unsigned q);
+
+    /**
+     * Invoked (with the function index) whenever a guest driver
+     * finishes feature negotiation and the function's shadow
+     * vrings become ready — the hook the hypervisor uses to
+     * re-attach a function after DEVICE_NEEDS_RESET recovery.
+     */
+    void setReadyCallback(std::function<void(unsigned)> cb)
+    {
+        readyCb_ = std::move(cb);
+    }
+
+    /**
+     * Unrecoverable function error: drop its in-flight chains,
+     * mark the shadow vrings not-ready, and raise
+     * DEVICE_NEEDS_RESET toward the guest driver.
+     */
+    void failFunction(unsigned fn);
 
     /** The guest requested a device reset while chains were in
      *  flight; the backend acknowledges via this. */
@@ -185,6 +214,8 @@ class IoBond : public SimObject
         std::vector<Seg> segs;
         Addr bufBlock = PoolAllocator::nullAddr;
         Addr indirectBlock = PoolAllocator::nullAddr;
+        /** Submission order, for crash-recovery replay. */
+        std::uint64_t seq = 0;
     };
 
     struct ShadowQueue
@@ -198,6 +229,10 @@ class IoBond : public SimObject
         std::uint16_t guestUsed = 0;   ///< published to the guest
         bool irqPending = false;       ///< batch needs an MSI
         Tick lastDoorbell = 0;         ///< latest guest notify
+        /** Bumped on reset/recovery; DMA completions scheduled
+         *  under an older epoch must not touch the rings. */
+        std::uint64_t epoch = 0;
+        std::uint64_t nextSeq = 0; ///< next ChainShadow::seq
         obs::RequestTracer *reqTracer = nullptr;
         std::map<std::uint16_t, ChainShadow> inflight;
     };
@@ -207,14 +242,22 @@ class IoBond : public SimObject
     void driverReady(IoBondFunction &fn);
     void functionReset(IoBondFunction &fn);
 
-    /** Mirror new avail entries of (fn, q) into the shadow ring. */
-    void syncAvail(unsigned fn, unsigned q);
+    /** Mirror new avail entries of (fn, q) into the shadow ring;
+     *  returns how many chains were picked up. */
+    unsigned syncAvail(unsigned fn, unsigned q);
     /** Mirror one chain; false if malformed or out of arena. */
     bool mirrorChain(unsigned fn, unsigned q, std::uint16_t head);
     /** Return one completed chain to the guest; the MSI fires
      *  only with the last chain of a completion batch. */
     void returnChain(unsigned fn, unsigned q,
                      virtio::VringUsedElem elem, bool fire_msi);
+
+    /** Fault hook: link flaps, dropped doorbells, function death. */
+    bool injectFault(const fault::FaultSpec &spec);
+    /** DMA engine dropped a transfer: fail the active function. */
+    void onDmaError();
+    /** Re-scan every ready queue (post-flap / resync sweep). */
+    void rescanReady();
 
     void trace(const std::string &msg);
 
@@ -228,11 +271,22 @@ class IoBond : public SimObject
     /** [fn][q] shadow state. */
     std::vector<std::vector<ShadowQueue>> shadow_;
     Tracer tracer_;
+    std::function<void(unsigned)> readyCb_;
+    /** Injected PCIe link outage: doorbells are lost until then. */
+    Tick linkDownUntil_ = 0;
+    /** Injected doorbell-loss budget. */
+    std::uint64_t dropDoorbells_ = 0;
+    /** Function of the most recent guest/backend activity — the
+     *  one a failed internal DMA transfer is attributed to. */
+    int lastActiveFn_ = -1;
     /** Registry-backed: accessors and exports read the same cell. */
     Counter &notifies_;
     Counter &chains_;
     Counter &completions_;
     Counter &bad_;
+    Counter &faultInjected_;
+    Counter &faultRecovered_;
+    Counter &droppedDoorbells_;
 };
 
 } // namespace iobond

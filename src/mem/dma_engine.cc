@@ -12,16 +12,37 @@ DmaEngine::DmaEngine(Simulation &sim, std::string name,
       startup_(startup),
       bytesMoved_(metrics().counter(this->name() + ".bytes_moved")),
       transfers_(metrics().counter(this->name() + ".transfers")),
+      faultInjected_(
+          metrics().counter(this->name() + ".fault.injected")),
       queueDepth_(metrics().gauge(this->name() + ".queue_depth")),
       completeEvent_([this] { complete(); }, this->name() + ".complete")
 {
     panic_if(!bandwidth.valid(), "DMA engine needs positive bandwidth");
+    sim_.faults().add(this->name(), [this](const fault::FaultSpec &s) {
+        return injectFault(s);
+    });
 }
 
 DmaEngine::~DmaEngine()
 {
+    sim_.faults().remove(name());
     if (completeEvent_.scheduled())
         eventq().deschedule(&completeEvent_);
+}
+
+bool
+DmaEngine::injectFault(const fault::FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case fault::FaultKind::DmaCorrupt:
+        corruptBudget_ += spec.count ? spec.count : 1;
+        return true;
+      case fault::FaultKind::DmaFail:
+        failBudget_ += spec.count ? spec.count : 1;
+        return true;
+      default:
+        return false;
+    }
 }
 
 void
@@ -66,11 +87,29 @@ DmaEngine::complete()
     queueDepth_.set(double(queue_.size()));
     busy_ = false;
 
+    bool failed = false;
     if (t.src != nullptr) {
-        // Perform the actual copy at completion time so readers
-        // never observe half-finished transfers.
-        auto blob = t.src->readBlob(t.srcAddr, t.len);
-        t.dst->writeBlob(t.dstAddr, blob);
+        bool corrupted = false;
+        if (failBudget_ > 0) {
+            --failBudget_;
+            failed = true;
+        } else if (corruptBudget_ > 0) {
+            --corruptBudget_;
+            corrupted = true;
+        }
+        if (!failed) {
+            // Perform the actual copy at completion time so readers
+            // never observe half-finished transfers.
+            auto blob = t.src->readBlob(t.srcAddr, t.len);
+            if (corrupted) {
+                // Deterministic bit rot: every 64th byte flipped.
+                for (std::size_t i = 0; i < blob.size(); i += 64)
+                    blob[i] ^= 0xA5;
+            }
+            t.dst->writeBlob(t.dstAddr, blob);
+        }
+        if (failed || corrupted)
+            faultInjected_.inc();
     }
     bytesMoved_.inc(t.len);
     transfers_.inc();
@@ -78,8 +117,12 @@ DmaEngine::complete()
     if (!queue_.empty())
         startNext();
 
+    // The completion callback still runs on failure: the engine's
+    // timing pipeline is unaffected, only the data never landed.
     if (t.done)
         t.done();
+    if (failed && errorHandler_)
+        errorHandler_();
 }
 
 } // namespace bmhive

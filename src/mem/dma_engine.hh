@@ -65,6 +65,19 @@ class DmaEngine : public SimObject
     /** Total transfers completed. */
     std::uint64_t transfers() const { return transfers_.value(); }
 
+    /**
+     * Called when an injected DmaFail drops a transfer, after the
+     * (data-less) completion ran. The owner decides what a failed
+     * internal transfer means (IO-Bond fails the active function).
+     */
+    void setErrorHandler(Callback h) { errorHandler_ = std::move(h); }
+
+    /** Injected faults consumed so far (corruptions + failures). */
+    std::uint64_t faultsInjected() const
+    {
+        return faultInjected_.value();
+    }
+
   private:
     struct Transfer
     {
@@ -80,14 +93,23 @@ class DmaEngine : public SimObject
     void startNext();
     /** Finish the in-flight transfer. */
     void complete();
+    /** Fault hook: arm corruption/failure budgets. */
+    bool injectFault(const fault::FaultSpec &spec);
 
     Bandwidth bandwidth_;
     Tick startup_;
     std::deque<Transfer> queue_;
     bool busy_ = false;
+    /** Injected-fault budgets: the next N data transfers are
+     *  corrupted / dropped. Account-only transfers (pure ring
+     *  bookkeeping) are never faulted. */
+    std::uint64_t corruptBudget_ = 0;
+    std::uint64_t failBudget_ = 0;
+    Callback errorHandler_;
     /** Registry-backed so exports and accessors read one cell. */
     Counter &bytesMoved_;
     Counter &transfers_;
+    Counter &faultInjected_;
     Gauge &queueDepth_;
     EventFunctionWrapper completeEvent_;
 };

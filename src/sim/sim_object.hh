@@ -14,6 +14,7 @@
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "base/units.hh"
+#include "fault/fault.hh"
 #include "obs/metric_registry.hh"
 #include "obs/trace.hh"
 #include "sim/eventq.hh"
@@ -49,6 +50,7 @@ class Simulation
 
     obs::MetricRegistry &metrics() { return metrics_; }
     obs::TraceSink &trace() { return trace_; }
+    fault::FaultHookRegistry &faults() { return faults_; }
 
     /** Run the event loop until empty or @p limit. */
     void run(Tick limit = maxTick) { eventq_.run(limit); }
@@ -58,6 +60,7 @@ class Simulation
     Rng rng_;
     obs::MetricRegistry metrics_;
     obs::TraceSink trace_;
+    fault::FaultHookRegistry faults_;
 };
 
 /**
@@ -81,6 +84,7 @@ class SimObject
     Tick curTick() const { return sim_.now(); }
     obs::MetricRegistry &metrics() { return sim_.metrics(); }
     obs::TraceSink &traceSink() { return sim_.trace(); }
+    fault::FaultHookRegistry &faults() { return sim_.faults(); }
 
     /** Debug log attributed to this object (see Logger::debugEnable). */
     template <typename... Args>

@@ -1,5 +1,6 @@
 #include "virtio/virtio_pci.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/logging.hh"
@@ -46,6 +47,29 @@ VirtioPciDevice::notifyGuest(unsigned q)
 {
     isr_ |= 1;
     raiseMsi(queueState(q).msixVector);
+}
+
+void
+VirtioPciDevice::markNeedsReset()
+{
+    if (status_ & STATUS_NEEDS_RESET)
+        return; // already pending; the driver will get there
+    status_ |= STATUS_NEEDS_RESET;
+    if (!driverOk())
+        return; // no driver to interrupt yet
+    // Kick every enabled queue's vector (deduplicated) so the
+    // driver observes the condition from any interrupt handler.
+    isr_ |= 1;
+    std::vector<std::uint16_t> raised;
+    for (const auto &q : queues_) {
+        if (!q.enabled)
+            continue;
+        if (std::find(raised.begin(), raised.end(),
+                      q.msixVector) != raised.end())
+            continue;
+        raised.push_back(q.msixVector);
+        raiseMsi(q.msixVector);
+    }
 }
 
 std::uint32_t

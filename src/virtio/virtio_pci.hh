@@ -142,6 +142,14 @@ class VirtioPciDevice : public pci::PciDevice
     /** Raise the configured MSI vector for queue @p q. */
     void notifyGuest(unsigned q);
 
+    /**
+     * Device-fatal error (virtio 1.0 section 2.1.2): set
+     * DEVICE_NEEDS_RESET and interrupt the driver so it notices.
+     * The driver's only way out is a full reset + reinit.
+     */
+    void markNeedsReset();
+    bool needsReset() const { return status_ & STATUS_NEEDS_RESET; }
+
   protected:
     /** Driver wrote the doorbell for queue @p q. */
     virtual void onQueueNotify(unsigned q) = 0;

@@ -216,6 +216,14 @@ VirtQueueDevice::VirtQueueDevice(GuestMemory &mem,
     : mem_(mem), layout_(layout), eventIdx_(event_idx)
 {
     panic_if(!layout.valid(), "device created on an invalid ring");
+    // Resume from what the ring says rather than assuming zero: a
+    // device view attached over a live ring (backend respawn after
+    // a crash) must continue where its predecessor stopped. The
+    // republished avail window starts at the used index. Fresh
+    // rings are zeroed by their creator, so this is 0 for them.
+    usedIdx_ = layout_.usedIdx(mem_);
+    lastAvail_ = usedIdx_;
+    lastIntrUsed_ = usedIdx_;
 }
 
 bool
@@ -256,8 +264,18 @@ walkDescChain(const GuestMemory &mem, const VringLayout &layout,
                 return w;
             w.indirect = true;
             w.indirectAddr = d.addr;
-            for (std::uint16_t i = 0; i < n; ++i) {
-                Addr a = d.addr + Addr(i) * vringDescSize;
+            // Follow the table's next pointers with the same
+            // containment as the direct walk: a hostile guest can
+            // write a self-referencing or cyclic table, and the
+            // step bound is what keeps the walk finite.
+            std::uint16_t idx = 0;
+            unsigned ind_steps = 0;
+            while (true) {
+                if (idx >= n)
+                    return w; // next points outside the table
+                if (++ind_steps > n)
+                    return w; // cyclic indirect table
+                Addr a = d.addr + Addr(idx) * vringDescSize;
                 VringDesc ind;
                 ind.addr = mem.read64(a);
                 ind.len = mem.read32(a + 8);
@@ -271,8 +289,7 @@ walkDescChain(const GuestMemory &mem, const VringLayout &layout,
                 ++w.indirectCount;
                 if (!(ind.flags & VRING_DESC_F_NEXT))
                     break;
-                if (ind.next >= n)
-                    return w;
+                idx = ind.next;
             }
             w.ok = true;
             return w;

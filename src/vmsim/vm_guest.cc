@@ -108,7 +108,7 @@ VmGuest::VmGuest(Simulation &sim, std::string name,
         });
 }
 
-void
+bool
 VmGuest::bringUp()
 {
     os_->enumeratePci();
@@ -119,8 +119,11 @@ VmGuest::bringUp()
         blkDrv_ = std::make_unique<guest::BlkDriver>(*os_, blkSlot);
         blkDrv_->start();
     }
-    bool ok = connectBackends();
-    panic_if(!ok, name(), ": vhost backend connection failed");
+    if (!connectBackends()) {
+        warn(name(), ": vhost backend connection failed");
+        return false;
+    }
+    return true;
 }
 
 hw::CpuExecutor &

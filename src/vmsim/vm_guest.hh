@@ -126,9 +126,11 @@ class VmGuest : public SimObject
     /**
      * Full bring-up: enumerate the virtual PCI bus, start the
      * virtio drivers (the same driver code a bm-guest runs), and
-     * connect the vhost backend.
+     * connect the vhost backend. Returns false — recoverable, the
+     * caller may retry or tear the guest down — if no backend
+     * could be connected.
      */
-    void bringUp();
+    bool bringUp();
 
     guest::NetDriver &net() { return *netDrv_; }
     guest::BlkDriver *blk() { return blkDrv_.get(); }

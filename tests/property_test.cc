@@ -306,5 +306,116 @@ TEST_P(EndToEndDelivery, ExactlyOnceInOrderContentIntact)
 INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndDelivery,
                          ::testing::Values(1u, 2u, 3u));
 
+class FaultScheduleFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FaultScheduleFuzz, TokensConservedIndicesMonotonic)
+{
+    bench::Testbed bed(900 + GetParam());
+    auto g = bed.bmGuest(0xC, 16);
+    bed.sim.run(bed.sim.now() + msToTicks(1.0));
+    ASSERT_NE(g.blk, nullptr);
+
+    fault::FaultInjector chaos(bed.sim, "chaos");
+    std::vector<fault::FaultInjector::RandomTarget> targets = {
+        {"server.guest0.iobond",
+         {fault::FaultKind::LinkFlap,
+          fault::FaultKind::DropDoorbell}},
+        {"server.guest0.iobond.dma",
+         {fault::FaultKind::DmaCorrupt,
+          fault::FaultKind::DmaFail}},
+        {"server.guest0.hv",
+         {fault::FaultKind::HvStall, fault::FaultKind::HvCrash}},
+        {"storage",
+         {fault::FaultKind::BlockLose,
+          fault::FaultKind::BlockDelay}},
+        {"vswitch", {fault::FaultKind::PortStall}},
+    };
+    chaos.randomPlan(GetParam(), targets, msToTicks(30.0), 14);
+    chaos.arm();
+    bed.server.startWatchdog(msToTicks(1.0));
+
+    // Token conservation: every block request issued must complete
+    // exactly once — OK or IOERR — no matter what the schedule
+    // injects (losses retry, crashes respawn, resets fail-fast).
+    const unsigned total = 160;
+    std::vector<unsigned> completions(total, 0);
+    unsigned issued = 0, finished = 0;
+    Rng rng(77 + GetParam());
+    std::function<void()> pump = [&] {
+        unsigned burst = unsigned(rng.uniformInt(1, 6));
+        for (unsigned i = 0; i < burst && issued < total; ++i) {
+            unsigned id = issued;
+            bool ok = g.blk->read(
+                rng.uniformInt(0, 1000) * 8, 4096, g.cpu(0),
+                [&completions, &finished, id](std::uint8_t,
+                                              Addr) {
+                    ++completions[id];
+                    ++finished;
+                });
+            if (!ok)
+                break;
+            ++issued;
+        }
+        if (issued < total) {
+            auto *ev = new OneShotEvent(pump, "pump");
+            bed.sim.eventq().schedule(
+                ev, bed.sim.now() +
+                        Tick(rng.uniformInt(10000, 400000)));
+        }
+    };
+    pump();
+
+    // Index monotonicity: the guest-visible avail and used indices
+    // of the blk ring only move forward (mod 2^16) within a device
+    // generation; a DEVICE_NEEDS_RESET reinit legitimately starts
+    // a fresh ring at zero.
+    const Tick stop_at = bed.sim.now() + msToTicks(40.0);
+    std::uint16_t last_avail = 0, last_used = 0;
+    std::uint64_t last_gen = ~std::uint64_t(0);
+    std::uint64_t violations = 0;
+    std::function<void()> sample = [&] {
+        if (g.blk->initialized()) {
+            if (g.blk->resets() != last_gen) {
+                last_gen = g.blk->resets();
+                last_avail = 0;
+                last_used = 0;
+            }
+            GuestMemory &m = g.os->memory();
+            const auto &lay = g.blk->queue(0).layout();
+            std::uint16_t a = lay.availIdx(m);
+            std::uint16_t u = lay.usedIdx(m);
+            if (std::uint16_t(a - last_avail) >= 0x8000)
+                ++violations;
+            if (std::uint16_t(u - last_used) >= 0x8000)
+                ++violations;
+            last_avail = a;
+            last_used = u;
+        }
+        if (bed.sim.now() < stop_at) {
+            auto *ev = new OneShotEvent(sample, "sample");
+            bed.sim.eventq().schedule(
+                ev, bed.sim.now() + usToTicks(20.0));
+        }
+    };
+    sample();
+
+    bed.sim.run(stop_at);
+    // Let retries, watchdog respawns, and reset recovery settle.
+    for (int spin = 0; spin < 200 && finished < issued; ++spin)
+        bed.sim.run(bed.sim.now() + msToTicks(1.0));
+
+    EXPECT_EQ(issued, total);
+    EXPECT_EQ(finished, issued);
+    for (unsigned i = 0; i < issued; ++i)
+        EXPECT_EQ(completions[i], 1u) << "request " << i;
+    EXPECT_EQ(violations, 0u);
+    EXPECT_GT(chaos.injected(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
 } // namespace
 } // namespace bmhive
