@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hostile noisy-neighbor bench: one adversarial tenant fires a
+ * seeded attack stream at its own IO-Bond functions (malformed
+ * rings, doorbell storms, register abuse) while honest victims
+ * measure network PPS and storage IOPS on the same server.
+ *
+ * Claim under test: every attack is contained as a GuestFault and
+ * at worst quarantines the attacker; the victims keep >= 95% of
+ * their baseline throughput. The attack stream is a pure function
+ * of the seed, so the whole bench is deterministic.
+ */
+
+#include <memory>
+
+#include "bench/common.hh"
+#include "workloads/adversarial.hh"
+#include "workloads/fio.hh"
+#include "workloads/net_perf.hh"
+
+using namespace bmhive;
+using namespace bmhive::bench;
+using namespace bmhive::workloads;
+
+namespace {
+
+struct ScenarioResult
+{
+    double pps = 0.0;
+    double iops = 0.0;
+    std::uint64_t attacks = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t quarantineDrops = 0;
+};
+
+ScenarioResult
+runScenario(std::uint64_t seed, bool hostile)
+{
+    Testbed bed(seed);
+    // Guest 0 is the (potential) attacker; 1..3 are the victims.
+    bed.bmGuest(0x0a, 0);
+    auto v1 = bed.bmGuest(0x01, 0);
+    auto v2 = bed.bmGuest(0x02, 0);
+    auto v3 = bed.bmGuest(0x03, 64);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+
+    std::unique_ptr<AdversarialGuest> adv;
+    if (hostile) {
+        AdversarialGuestParams ap;
+        ap.seed = Session::faultSeed ? Session::faultSeed : 42;
+        adv = std::make_unique<AdversarialGuest>(
+            bed.sim, "attacker", bed.server.guest(0).board(), ap);
+        adv->start();
+    }
+
+    ScenarioResult r;
+    {
+        PacketFloodParams p;
+        p.warmup = msToTicks(5);
+        p.window = msToTicks(40);
+        PacketFlood flood(bed.sim, "flood", v1, v2, p);
+        r.pps = flood.run().pps;
+    }
+    {
+        FioParams p;
+        p.warmup = msToTicks(5);
+        p.window = msToTicks(40);
+        FioRunner fio(bed.sim, "fio", v3, p);
+        r.iops = fio.run().iops;
+    }
+    if (adv) {
+        adv->stop();
+        r.attacks = adv->attacks();
+    }
+    r.faults = bed.server.guest(0).bond().guestFaultsTotal();
+    r.quarantines = bed.server.quarantines();
+    r.quarantineDrops = bed.server.guest(0).bond().quarantineDrops();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Session session(argc, argv);
+    banner("hostile", "noisy-neighbor containment: victim "
+                      "throughput vs an adversarial co-tenant");
+
+    const std::uint64_t seed = 2020;
+    auto baseline = runScenario(seed, false);
+    auto hostile = runScenario(seed, true);
+
+    double pps_ret = baseline.pps > 0
+                         ? 100.0 * hostile.pps / baseline.pps
+                         : 0.0;
+    double iops_ret = baseline.iops > 0
+                          ? 100.0 * hostile.iops / baseline.iops
+                          : 0.0;
+
+    std::printf("  %-18s %14s %14s %10s\n", "scenario", "net PPS",
+                "blk IOPS", "faults");
+    std::printf("  %-18s %14.0f %14.0f %10llu\n", "baseline",
+                baseline.pps, baseline.iops,
+                (unsigned long long)baseline.faults);
+    std::printf("  %-18s %14.0f %14.0f %10llu\n", "under attack",
+                hostile.pps, hostile.iops,
+                (unsigned long long)hostile.faults);
+    std::printf("  attacker: %llu attacks -> %llu contained "
+                "faults, %llu quarantines, %llu doorbells "
+                "swallowed\n",
+                (unsigned long long)hostile.attacks,
+                (unsigned long long)hostile.faults,
+                (unsigned long long)hostile.quarantines,
+                (unsigned long long)hostile.quarantineDrops);
+    std::printf("  victim retention: %.1f%% PPS, %.1f%% IOPS "
+                "(target >= 95%%)\n",
+                pps_ret, iops_ret);
+    note("attacks only cost the attacker its own device; the "
+         "bridge never panics");
+
+    bool ok = pps_ret >= 95.0 && iops_ret >= 95.0 &&
+              hostile.faults > 0;
+    if (!ok) {
+        std::printf("  FAILED: containment target missed\n");
+        return 1;
+    }
+    return 0;
+}

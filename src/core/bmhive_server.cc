@@ -1,5 +1,6 @@
 #include "core/bmhive_server.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 #include <utility>
@@ -31,6 +32,14 @@ BmGuest::statsReport() const
        << " completions=" << bond_->completionsReturned()
        << " malformed=" << bond_->malformedChains()
        << " dma_bytes=" << bond_->dma().bytesMoved() << "\n";
+    if (bond_->guestFaultsTotal() > 0 ||
+        bond_->quarantineDrops() > 0) {
+        os << "  containment: guest_faults="
+           << bond_->guestFaultsTotal()
+           << " quarantine_drops=" << bond_->quarantineDrops()
+           << (bond_->quarantined() ? " [QUARANTINED]" : "")
+           << "\n";
+    }
     std::uint64_t polls = hv_->service().pollsTotal();
     os << "  backend: polls=" << polls
        << " busy=" << hv_->service().pollsBusy();
@@ -65,8 +74,15 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
           metrics().counter(this->name() + ".watchdog.respawns")),
       provisionFailures_(
           metrics().counter(this->name() + ".provision_failures")),
+      guestFaultEvents_(
+          metrics().counter(this->name() + ".guest.fault_events")),
+      suspects_(metrics().counter(this->name() + ".guest.suspects")),
+      quarantines_(
+          metrics().counter(this->name() + ".guest.quarantines")),
       recoveryTicks_(metrics().latency(
           this->name() + ".watchdog.recovery_ticks")),
+      quarantineDwell_(metrics().latency(
+          this->name() + ".guest.quarantine_dwell")),
       statsEvent_([this] { dumpStats(); },
                   this->name() + ".stats_dump"),
       watchdogEvent_([this] { watchdogCheck(); },
@@ -216,6 +232,14 @@ BmHiveServer::tryProvision(const InstanceType &type,
         sim_, base_name + ".iobond", *g->board_, base_->memory(),
         nextShadowRegion_, params_.bondParams);
     nextShadowRegion_ += params_.shadowRegionPerGuest;
+    // Containment scoring: every fault the bridge classifies feeds
+    // this guest's leaky bucket. Faults fired before the guest is
+    // committed (rollback path) are ignored by the idx guard in
+    // onGuestFault.
+    g->bond_->setGuestFaultCallback(
+        [this, idx](fault::GuestFaultKind k) {
+            onGuestFault(idx, k);
+        });
 
     // Emulated virtio functions on the board's bus. Every guest
     // gets a console (the paper's VGA-equivalent access path).
@@ -266,7 +290,96 @@ BmHiveServer::tryProvision(const InstanceType &type,
 
     ++usedSlots_;
     guests_.push_back(std::move(g));
+    containment_.emplace_back();
     return guests_.back().get();
+}
+
+GuestHealth
+BmHiveServer::guestHealth(unsigned i) const
+{
+    panic_if(i >= containment_.size(), name(), ": bad guest ", i);
+    return containment_[i].state;
+}
+
+double
+BmHiveServer::guestScore(unsigned i) const
+{
+    panic_if(i >= containment_.size(), name(), ": bad guest ", i);
+    const Containment &c = containment_[i];
+    double elapsed_ms = ticksToMs(curTick() - c.lastLeak);
+    return std::max(0.0, c.score - params_.containment.leakPerMs *
+                                       elapsed_ms);
+}
+
+void
+BmHiveServer::onGuestFault(unsigned idx, fault::GuestFaultKind k)
+{
+    guestFaultEvents_.inc();
+    if (!params_.containment.enabled || idx >= containment_.size())
+        return;
+    Containment &c = containment_[idx];
+    if (c.state == GuestHealth::Quarantined)
+        return; // already parked; drops are counted at the bridge
+    // Leaky bucket: clean time drains the score before the new
+    // fault adds its point, so sporadic faults never escalate.
+    c.score = guestScore(idx);
+    c.lastLeak = curTick();
+    if (c.state == GuestHealth::Suspect &&
+        c.score <= params_.containment.suspectScore / 2)
+        c.state = GuestHealth::Healthy;
+    c.score += 1.0;
+    if (c.score >= params_.containment.quarantineScore) {
+        warn(name(), ": guest", idx, " containment score ",
+             c.score, " after ", fault::guestFaultName(k),
+             "; quarantining");
+        quarantineGuest(idx);
+    } else if (c.score >= params_.containment.suspectScore &&
+               c.state == GuestHealth::Healthy) {
+        c.state = GuestHealth::Suspect;
+        suspects_.inc();
+        warn(name(), ": guest", idx, " suspect (score ", c.score,
+             ", last fault ", fault::guestFaultName(k), ")");
+    }
+}
+
+void
+BmHiveServer::quarantineGuest(unsigned i)
+{
+    panic_if(i >= guests_.size(), name(), ": bad guest ", i);
+    Containment &c = containment_[i];
+    if (c.state == GuestHealth::Quarantined)
+        return;
+    c.state = GuestHealth::Quarantined;
+    c.quarantinedAt = curTick();
+    guests_[i]->bond().setQuarantined(true);
+    quarantines_.inc();
+    auto *ev = new OneShotEvent(
+        [this, i] { releaseQuarantine(i); },
+        name() + ".quarantine_release");
+    scheduleIn(ev, params_.containment.quarantineDwell);
+}
+
+void
+BmHiveServer::releaseQuarantine(unsigned i)
+{
+    if (i >= guests_.size())
+        return;
+    Containment &c = containment_[i];
+    if (c.state != GuestHealth::Quarantined)
+        return;
+    quarantineDwell_.record(curTick() - c.quarantinedAt);
+    iobond::IoBond &bond = guests_[i]->bond();
+    // The guest re-enters service through a clean reinit: reset
+    // every function while the doorbells are still swallowed, then
+    // lift the quarantine — the driver's recovery (MSI-driven, so
+    // strictly after this call) renegotiates onto fresh rings.
+    for (unsigned fn = 0; fn < bond.numFunctions(); ++fn)
+        bond.failFunction(fn);
+    bond.setQuarantined(false);
+    c.state = GuestHealth::Healthy;
+    c.score = 0.0;
+    c.lastLeak = curTick();
+    inform(name(), ": guest", i, " quarantine released");
 }
 
 void

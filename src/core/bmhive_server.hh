@@ -35,6 +35,26 @@
 namespace bmhive {
 namespace core {
 
+/**
+ * Adversarial-tenant containment policy (leaky-bucket scoring).
+ * Every contained guest fault IO-Bond classifies adds one point; a
+ * clean guest's score drains at @c leakPerMs. Crossing
+ * @c suspectScore flags the guest; crossing @c quarantineScore
+ * parks it off the bridge for @c quarantineDwell, after which it
+ * re-enters service through a full function reset and reinit.
+ */
+struct ContainmentParams
+{
+    bool enabled = true;
+    double suspectScore = 8.0;
+    double quarantineScore = 32.0;
+    double leakPerMs = 100.0;
+    Tick quarantineDwell = msToTicks(2.0);
+};
+
+/** Containment state of one provisioned guest. */
+enum class GuestHealth { Healthy, Suspect, Quarantined };
+
 struct BmServerParams
 {
     /** Physical board slots (paper: at most 16). */
@@ -43,6 +63,8 @@ struct BmServerParams
     Bytes shadowRegionPerGuest = 24 * MiB;
     /** IO-Bond timing (FPGA by default; asic() for section 6). */
     iobond::IoBondParams bondParams = {};
+    /** Hostile-tenant escalation policy. */
+    ContainmentParams containment = {};
 };
 
 /** Everything belonging to one provisioned bm-guest. */
@@ -150,12 +172,53 @@ class BmHiveServer : public SimObject
         return provisionFailures_.value();
     }
 
+    // --- Adversarial-tenant containment ---
+
+    /** Containment state of guest @p i. */
+    GuestHealth guestHealth(unsigned i) const;
+    /** Current containment score of guest @p i (decayed lazily). */
+    double guestScore(unsigned i) const;
+
+    /**
+     * Park guest @p i off the bridge: IO-Bond swallows its
+     * doorbells until releaseQuarantine(). Scheduled automatically
+     * when the score crosses the policy threshold; public so an
+     * operator action can do the same.
+     */
+    void quarantineGuest(unsigned i);
+    /**
+     * Lift the quarantine of guest @p i: its functions are reset
+     * (the driver renegotiates onto clean rings) and the dwell
+     * time lands in "<name>.guest.quarantine_dwell".
+     */
+    void releaseQuarantine(unsigned i);
+
+    std::uint64_t quarantines() const { return quarantines_.value(); }
+    std::uint64_t suspects() const { return suspects_.value(); }
+    std::uint64_t
+    guestFaultEvents() const
+    {
+        return guestFaultEvents_.value();
+    }
+
   private:
     /** One periodic rollup over all provisioned guests. */
     void dumpStats();
 
     /** One watchdog sweep over all provisioned guests. */
     void watchdogCheck();
+
+    /** Leaky-bucket containment score of one guest. */
+    struct Containment
+    {
+        GuestHealth state = GuestHealth::Healthy;
+        double score = 0.0;
+        Tick lastLeak = 0;     ///< last score decay
+        Tick quarantinedAt = 0;
+    };
+
+    /** IO-Bond classified one contained fault of guest @p idx. */
+    void onGuestFault(unsigned idx, fault::GuestFaultKind k);
 
     BmServerParams params_;
     cloud::VSwitch &vswitch_;
@@ -168,11 +231,16 @@ class BmHiveServer : public SimObject
     Tick statsPeriod_ = 0; ///< 0: periodic dump disabled
     Tick watchdogPeriod_ = 0; ///< 0: watchdog disabled
     std::vector<std::uint64_t> heartbeat_;
+    std::vector<Containment> containment_;
     Counter &statsDumps_;
     Counter &watchdogChecks_;
     Counter &watchdogRespawns_;
     Counter &provisionFailures_;
+    Counter &guestFaultEvents_;
+    Counter &suspects_;
+    Counter &quarantines_;
     LatencyRecorder &recoveryTicks_;
+    LatencyRecorder &quarantineDwell_;
     EventFunctionWrapper statsEvent_;
     EventFunctionWrapper watchdogEvent_;
 };

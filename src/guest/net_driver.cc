@@ -54,9 +54,6 @@ NetDriver::resetAndReinit()
     napiActive_ = false;
     teardownForReset();
     initialize(wanted_, queueSize_);
-    // Deliveries from here on count against the fresh, zeroed
-    // used index.
-    rxDoneBase_ = rxDone_.value();
     resets_.inc();
     setupRings();
 }
@@ -215,21 +212,16 @@ NetDriver::napiPoll()
         os_.eventq().schedule(ev, os_.curTick() + usToTicks(2));
         return;
     }
-    // Ring dry: unmask interrupts and close the race window.
+    // Ring dry: unmask interrupts and close the race window. The
+    // comparison must use the queue's own consumption cursor, not
+    // a delivered-packet count: a faulty device completion (bad
+    // id, unowned head) advances used->idx without delivering a
+    // packet, and counting deliveries would re-arm forever.
     napiActive_ = false;
     queue(NET_RXQ).setNoInterrupt(false);
-    if (rxq.layout().usedIdx(os_.memory()) != rxUsedShadow()) {
+    if (rxq.layout().usedIdx(os_.memory()) != rxq.usedIdxSeen()) {
         rxInterrupt();
     }
-}
-
-std::uint16_t
-NetDriver::rxUsedShadow()
-{
-    // The driver's consumed-used counter equals delivered packets
-    // modulo 2^16 (single-buffer completions only on this queue),
-    // counted from when the current rings came up.
-    return std::uint16_t(rxDone_.value() - rxDoneBase_);
 }
 
 } // namespace guest

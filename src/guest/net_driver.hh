@@ -74,7 +74,6 @@ class NetDriver : public VirtioDriver
     void txInterrupt();
     void rxInterrupt();
     void napiPoll();
-    std::uint16_t rxUsedShadow();
 
     /** Slot bookkeeping + rx ring fill, shared by start and reset. */
     void setupRings();
@@ -103,9 +102,6 @@ class NetDriver : public VirtioDriver
     Counter resets_;
     std::uint64_t wanted_ = 0;
     std::uint16_t queueSize_ = 0;
-    /// rxDone_ value when the current rings came up; rxUsedShadow()
-    /// is relative to this so it matches the fresh used index.
-    std::uint64_t rxDoneBase_ = 0;
     Tick rxCost_ = 0;
     unsigned rxWorkers_ = 1;
     unsigned rxNext_ = 0;

@@ -30,6 +30,8 @@ VirtioIoService::VirtioIoService(Simulation &sim, std::string name,
           metrics().counter(this->name() + ".blk.dup_completions")),
       blkFailures_(
           metrics().counter(this->name() + ".blk.io_failures")),
+      blkRangeErrors_(
+          metrics().counter(this->name() + ".blk.range_errors")),
       pollBatch_(
           metrics().histogram(this->name() + ".poll.batch", 0, 64, 16))
 {
@@ -155,6 +157,7 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     blkRetries_.inc(old.blkRetries_.value());
     blkDupDone_.inc(old.blkDupDone_.value());
     blkFailures_.inc(old.blkFailures_.value());
+    blkRangeErrors_.inc(old.blkRangeErrors_.value());
     // Suppression flags follow the new flavour.
     if (netRx_ && params_.suppressGuestNotify) {
         netRx_->setNoNotify(true);
@@ -413,6 +416,20 @@ VirtioIoService::pollBlk()
             hdr.type != VIRTIO_BLK_T_OUT) {
             blkMem_->write8(status.addr, VIRTIO_BLK_S_UNSUPP);
             blk_->pushUsed(chain->head, 1);
+            if (blkDone_)
+                blkDone_();
+            continue;
+        }
+
+        // The header content is guest-authored (IO-Bond shadows it
+        // verbatim): a hostile sector/length must become an I/O
+        // error toward the guest, never a storage-fabric panic.
+        if (hdr.sector > vol_->capacity() / 512 ||
+            Bytes(data.len) >
+                vol_->capacity() - hdr.sector * 512) {
+            blkMem_->write8(status.addr, VIRTIO_BLK_S_IOERR);
+            blk_->pushUsed(chain->head, 1);
+            blkRangeErrors_.inc();
             if (blkDone_)
                 blkDone_();
             continue;

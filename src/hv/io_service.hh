@@ -189,6 +189,13 @@ class VirtioIoService : public SimObject
     {
         return blkFailures_.value();
     }
+    /** Guest-authored LBA/length outside the volume (contained
+     *  as VIRTIO_BLK_S_IOERR toward the guest). */
+    std::uint64_t
+    blkRangeErrors() const
+    {
+        return blkRangeErrors_.value();
+    }
 
     std::uint64_t txPackets() const { return txPkts_.value(); }
     std::uint64_t rxPackets() const { return rxPkts_.value(); }
@@ -316,6 +323,7 @@ class VirtioIoService : public SimObject
     Counter &blkRetries_;
     Counter &blkDupDone_;
     Counter &blkFailures_;
+    Counter &blkRangeErrors_;
     Histogram &pollBatch_; ///< work items per poll iteration
 
     // Request tracing (optional, wired by the platform glue).

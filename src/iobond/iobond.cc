@@ -76,12 +76,20 @@ IoBond::IoBond(Simulation &sim, std::string name,
       faultRecovered_(
           metrics().counter(this->name() + ".fault.recovered")),
       droppedDoorbells_(metrics().counter(
-          this->name() + ".fault.dropped_doorbells"))
+          this->name() + ".fault.dropped_doorbells")),
+      guestFaultsTotal_(metrics().counter(
+          this->name() + ".guest.faults_total")),
+      quarantineDrops_(metrics().counter(
+          this->name() + ".guest.quarantine_drops"))
 {
     panic_if(shadow_region_base + 4 * MiB +
                      params.shadowArenaBytes >
                  base_memory.size(),
              this->name(), ": shadow region exceeds base memory");
+    for (std::size_t k = 0; k < fault::guestFaultKinds; ++k)
+        guestFaultCounters_[k] = &metrics().counter(
+            this->name() + ".guest.faults." +
+            fault::guestFaultName(fault::GuestFaultKind(k)));
     sim_.faults().add(this->name(), [this](const fault::FaultSpec &s) {
         return injectFault(s);
     });
@@ -158,8 +166,34 @@ IoBond::failFunction(unsigned fn)
 }
 
 void
+IoBond::guestFault(fault::GuestFaultKind k)
+{
+    guestFaultCounters_[std::size_t(k)]->inc();
+    guestFaultsTotal_.inc();
+    trace(name() + ": guest fault " + fault::guestFaultName(k));
+    if (guestFaultCb_)
+        guestFaultCb_(k);
+}
+
+void
+IoBond::setQuarantined(bool on)
+{
+    if (quarantined_ == on)
+        return;
+    quarantined_ = on;
+    trace(name() + (on ? ": quarantined"
+                       : ": quarantine released"));
+    // On release, sweep the ready queues: doorbells swallowed
+    // during the quarantine must not strand queued work forever.
+    if (!on)
+        rescanReady();
+}
+
+void
 IoBond::rescanReady()
 {
+    if (quarantined_)
+        return; // swept again at release
     unsigned recovered = 0;
     for (unsigned fi = 0; fi < functions_.size(); ++fi)
         for (unsigned q = 0; q < shadow_[fi].size(); ++q)
@@ -183,6 +217,8 @@ IoBond::addNetFunction(int guest_slot, std::uint64_t mac)
         cfg[i] = std::uint8_t(mac >> (8 * i));
     cfg[6] = 1; // VIRTIO_NET_S_LINK_UP
     fn->setDeviceCfgBytes(std::move(cfg));
+    fn->setGuestFaultHandler(
+        [this](fault::GuestFaultKind k) { guestFault(k); });
     board_.pciBus().attach(*fn, guest_slot);
     functions_.push_back(std::move(fn));
     shadow_.emplace_back(2);
@@ -203,6 +239,8 @@ IoBond::addBlkFunction(int guest_slot, std::uint64_t capacity_sectors)
     for (int i = 0; i < 8; ++i)
         cfg[i] = std::uint8_t(capacity_sectors >> (8 * i));
     fn->setDeviceCfgBytes(std::move(cfg));
+    fn->setGuestFaultHandler(
+        [this](fault::GuestFaultKind k) { guestFault(k); });
     board_.pciBus().attach(*fn, guest_slot);
     functions_.push_back(std::move(fn));
     shadow_.emplace_back(1);
@@ -216,6 +254,8 @@ IoBond::addConsoleFunction(int guest_slot)
     auto fn = std::make_unique<IoBondFunction>(
         sim_, name() + ".console" + std::to_string(idx), *this, idx,
         DeviceType::Console, 2, VIRTIO_RING_F_INDIRECT_DESC);
+    fn->setGuestFaultHandler(
+        [this](fault::GuestFaultKind k) { guestFault(k); });
     board_.pciBus().attach(*fn, guest_slot);
     functions_.push_back(std::move(fn));
     shadow_.emplace_back(2);
@@ -249,15 +289,33 @@ void
 IoBond::driverReady(IoBondFunction &fn)
 {
     unsigned fi = fn.index();
+    bool any_ready = false;
     for (unsigned q = 0; q < fn.numQueues(); ++q) {
         const QueueState &qs = fn.queueState(q);
         if (!qs.enabled)
             continue;
         ShadowQueue &sq = shadow_[fi][q];
         sq.guestLayout = qs.layout();
-        Addr base = shadowRings_.alloc(
-            VringLayout::bytesNeeded(qs.size), 4096);
-        sq.shadowLayout = VringLayout::contiguous(qs.size, base);
+        // The ring areas are guest-programmed addresses in guest
+        // memory; a layout pointing outside it is a contained
+        // fault, not a bridge crash — the queue simply never
+        // becomes ready and the driver is told to reset.
+        if (!sq.guestLayout.fitsIn(board_.memory().size())) {
+            sq.ready = false;
+            guestFault(fault::GuestFaultKind::BadRingAddress);
+            fn.markNeedsReset();
+            continue;
+        }
+        // One shadow-ring block per queue, sized for the device
+        // maximum: a guest renegotiating in a loop must reuse its
+        // block, not bleed the bump arena dry.
+        if (!sq.ringAllocated) {
+            sq.ringBlock = shadowRings_.alloc(
+                VringLayout::bytesNeeded(qs.sizeMax), 4096);
+            sq.ringAllocated = true;
+        }
+        sq.shadowLayout =
+            VringLayout::contiguous(qs.size, sq.ringBlock);
         sq.shadowLayout.setAvailFlags(baseMem_, 0);
         sq.shadowLayout.setAvailIdx(baseMem_, 0);
         sq.shadowLayout.setUsedFlags(baseMem_, 0);
@@ -265,12 +323,16 @@ IoBond::driverReady(IoBondFunction &fn)
         sq.syncedAvail = sq.shadowAvail = 0;
         sq.syncedUsed = sq.guestUsed = 0;
         sq.nextSeq = 0;
+        sq.doorbells =
+            TokenBucket(params_.doorbellRate, params_.doorbellBurst);
+        sq.stormResync = false;
         ++sq.epoch; // orphan any completion still in the DMA queue
         sq.ready = true;
+        any_ready = true;
         trace(name() + ": shadow vring ready fn=" +
               std::to_string(fi) + " q=" + std::to_string(q));
     }
-    if (readyCb_)
+    if (any_ready && readyCb_)
         readyCb_(fi);
 }
 
@@ -307,8 +369,15 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
 {
     notifies_.inc();
     unsigned fi = fn.index();
-    shadow_[fi][q].lastDoorbell = curTick();
+    ShadowQueue &sq = shadow_[fi][q];
+    sq.lastDoorbell = curTick();
     lastActiveFn_ = int(fi);
+    if (quarantined_) {
+        // Containment: the bridge swallows the doorbell entirely.
+        // Queued work is swept up at release.
+        quarantineDrops_.inc();
+        return;
+    }
     if (curTick() < linkDownUntil_ || dropDoorbells_ > 0) {
         // Injected loss: the notification never crosses the link.
         // The flap-end / resync sweep picks the work up later.
@@ -317,6 +386,29 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
         droppedDoorbells_.inc();
         trace(name() + ": doorbell fn=" + std::to_string(fi) +
               " q=" + std::to_string(q) + " dropped (fault)");
+        return;
+    }
+    if (!sq.doorbells.tryConsume(curTick(), 1.0)) {
+        // Doorbell storm: the notification is dropped, but queued
+        // work is not lost — one deferred sweep per throttle
+        // window picks it up when tokens return.
+        guestFault(fault::GuestFaultKind::DoorbellStorm);
+        if (!sq.stormResync) {
+            sq.stormResync = true;
+            Tick at = std::max<Tick>(
+                sq.doorbells.nextAvailable(curTick(), 1.0),
+                curTick() + 1);
+            auto *ev = new OneShotEvent(
+                [this, fi, q] {
+                    ShadowQueue &s = shadow_[fi][q];
+                    s.stormResync = false;
+                    if (!quarantined_ && s.ready &&
+                        s.doorbells.tryConsume(curTick(), 1.0))
+                        syncAvail(fi, q);
+                },
+                name() + ".storm_resync");
+            eventq().schedule(ev, at);
+        }
         return;
     }
     trace(name() + ": doorbell fn=" + std::to_string(fi) +
@@ -336,6 +428,16 @@ IoBond::syncAvail(unsigned fn, unsigned q)
         return 0;
     GuestMemory &gmem = board_.memory();
     std::uint16_t gavail = sq.guestLayout.availIdx(gmem);
+    // The avail index is guest-authored. A jump wider than the
+    // ring cannot describe real work (at most `size` chains can
+    // be outstanding) — it would make the mirror loop walk
+    // garbage ring slots. Contain it and force a reinit.
+    std::uint16_t pending = std::uint16_t(gavail - sq.syncedAvail);
+    if (pending > sq.guestLayout.size()) {
+        guestFault(fault::GuestFaultKind::AvailIdxJump);
+        failFunction(fn);
+        return 0;
+    }
     unsigned picked = 0;
     while (sq.syncedAvail != gavail) {
         std::uint16_t head = sq.guestLayout.availRing(
@@ -375,12 +477,20 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
         return false;
     };
 
-    if (!walk.ok)
+    if (!walk.ok) {
+        guestFault(walk.fault);
         return fail_chain();
+    }
 
     Bytes total = 0;
     for (const auto &s : walk.chain.segs)
         total += s.len;
+    if (total > params_.maxChainBytes) {
+        // Arithmetically valid but absurd: one chain must not pin
+        // a neighbour-starving share of the shadow arena.
+        guestFault(fault::GuestFaultKind::DescLenOversized);
+        return fail_chain();
+    }
 
     ChainShadow cs;
     if (total > 0) {

@@ -28,6 +28,7 @@
 #ifndef BMHIVE_IOBOND_IOBOND_HH
 #define BMHIVE_IOBOND_IOBOND_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -37,6 +38,8 @@
 
 #include "base/paper_constants.hh"
 #include "base/stats.hh"
+#include "base/token_bucket.hh"
+#include "fault/guest_fault.hh"
 #include "hw/compute_board.hh"
 #include "mem/dma_engine.hh"
 #include "mem/pool_allocator.hh"
@@ -60,6 +63,24 @@ struct IoBondParams
     Bandwidth dmaBandwidth = Bandwidth::gbps(paper::ioBondDmaGbps);
     /** Shadow buffer arena carved from base memory. */
     Bytes shadowArenaBytes = 16 * MiB;
+
+    /**
+     * Doorbell-storm throttle, per virtqueue: a hostile guest
+     * hammering the notify register must not monopolize the
+     * FPGA's mailbox path. ~2M doorbells/s is an order of
+     * magnitude above what an honest driver generates through a
+     * 0.8 us PCI access; the burst absorbs legitimate batches.
+     */
+    double doorbellRate = 2.0e6;
+    double doorbellBurst = 4096;
+
+    /**
+     * Upper bound on the payload bytes one chain may pin in the
+     * shadow arena. A guest describing absurd buffers gets a
+     * contained DescLenOversized fault instead of starving its
+     * neighbours' arena allocations.
+     */
+    Bytes maxChainBytes = 4 * MiB;
 
     /** FPGA timing (default). ASIC variant for the section 6
      *  ablation: both hops drop to 0.2 us. */
@@ -198,6 +219,43 @@ class IoBond : public SimObject
     }
     std::uint64_t malformedChains() const { return bad_.value(); }
 
+    // --- Adversarial-tenant containment ---
+
+    /**
+     * Observe classified guest faults (the containment state
+     * machine in BmHiveServer scores and escalates them).
+     */
+    using GuestFaultCallback =
+        std::function<void(fault::GuestFaultKind)>;
+    void setGuestFaultCallback(GuestFaultCallback cb)
+    {
+        guestFaultCb_ = std::move(cb);
+    }
+
+    /**
+     * Quarantine: every guest doorbell is swallowed at the bridge
+     * (counted in .guest.quarantine_drops) until released. Shadow
+     * state and in-flight work are untouched — release plus a
+     * function reset restores service.
+     */
+    void setQuarantined(bool on);
+    bool quarantined() const { return quarantined_; }
+
+    /** Per-kind and total contained-guest-fault counts. */
+    std::uint64_t
+    guestFaults(fault::GuestFaultKind k) const
+    {
+        return guestFaultCounters_[std::size_t(k)]->value();
+    }
+    std::uint64_t guestFaultsTotal() const
+    {
+        return guestFaultsTotal_.value();
+    }
+    std::uint64_t quarantineDrops() const
+    {
+        return quarantineDrops_.value();
+    }
+
   private:
     friend class IoBondFunction;
 
@@ -229,6 +287,15 @@ class IoBond : public SimObject
         std::uint16_t guestUsed = 0;   ///< published to the guest
         bool irqPending = false;       ///< batch needs an MSI
         Tick lastDoorbell = 0;         ///< latest guest notify
+        /** Doorbell-storm throttle (armed at driver-ready). */
+        TokenBucket doorbells = TokenBucket::unlimited();
+        /** A post-throttle resync sweep is already scheduled. */
+        bool stormResync = false;
+        /** Shadow-ring block, allocated once per queue at the
+         *  device maximum so renegotiation cannot exhaust the
+         *  bump arena. */
+        Addr ringBlock = 0;
+        bool ringAllocated = false;
         /** Bumped on reset/recovery; DMA completions scheduled
          *  under an older epoch must not touch the rings. */
         std::uint64_t epoch = 0;
@@ -259,6 +326,9 @@ class IoBond : public SimObject
     /** Re-scan every ready queue (post-flap / resync sweep). */
     void rescanReady();
 
+    /** Count + trace + escalate one contained guest fault. */
+    void guestFault(fault::GuestFaultKind k);
+
     void trace(const std::string &msg);
 
     hw::ComputeBoard &board_;
@@ -287,6 +357,12 @@ class IoBond : public SimObject
     Counter &faultInjected_;
     Counter &faultRecovered_;
     Counter &droppedDoorbells_;
+    /** One counter per GuestFaultKind (".guest.faults.<kind>"). */
+    std::array<Counter *, fault::guestFaultKinds> guestFaultCounters_{};
+    Counter &guestFaultsTotal_;
+    Counter &quarantineDrops_;
+    GuestFaultCallback guestFaultCb_;
+    bool quarantined_ = false;
 };
 
 } // namespace iobond

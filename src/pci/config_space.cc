@@ -67,9 +67,12 @@ ConfigSpace::addCapability(std::uint8_t cap_id, std::uint8_t len)
 std::uint32_t
 ConfigSpace::read(std::uint16_t offset, unsigned size) const
 {
-    panic_if(size != 1 && size != 2 && size != 4,
-             "bad config read size: ", size);
-    panic_if(offset + size > data_.size(), "config read out of range");
+    if ((size != 1 && size != 2 && size != 4) ||
+        offset + size > data_.size()) {
+        if (violation_)
+            violation_();
+        return 0xffffffffu; // master abort: all-ones
+    }
     std::uint32_t v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= std::uint32_t(data_[offset + i]) << (8 * i);
@@ -80,9 +83,12 @@ void
 ConfigSpace::write(std::uint16_t offset, std::uint32_t value,
                    unsigned size)
 {
-    panic_if(size != 1 && size != 2 && size != 4,
-             "bad config write size: ", size);
-    panic_if(offset + size > data_.size(), "config write out of range");
+    if ((size != 1 && size != 2 && size != 4) ||
+        offset + size > data_.size()) {
+        if (violation_)
+            violation_();
+        return; // dropped, like a write to nowhere
+    }
 
     // BAR writes: implement size probing. A 32-bit write of
     // 0xffffffff returns the size mask on the next read.

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "base/units.hh"
@@ -88,9 +89,22 @@ class ConfigSpace
      */
     std::uint8_t addCapability(std::uint8_t cap_id, std::uint8_t len);
 
-    /** Config accesses; @p size in {1, 2, 4}. */
+    /**
+     * Config accesses; @p size in {1, 2, 4}. Accesses with a bad
+     * size or crossing the 256-byte boundary are contained, not
+     * fatal — the initiator is the (untrusted) guest: reads return
+     * all-ones like a master abort, writes are dropped, and the
+     * violation handler (if any) is told.
+     */
     std::uint32_t read(std::uint16_t offset, unsigned size) const;
     void write(std::uint16_t offset, std::uint32_t value, unsigned size);
+
+    /** Observe malformed config accesses (guest-fault accounting). */
+    void
+    setViolationHandler(std::function<void()> h)
+    {
+        violation_ = std::move(h);
+    }
 
     /** Programmed base address of a BAR (masked to its size). */
     Addr barBase(int bar) const;
@@ -113,6 +127,7 @@ class ConfigSpace
   private:
     std::array<std::uint8_t, 256> data_{};
     std::array<Bytes, 6> barSize_{};
+    std::function<void()> violation_;
     std::uint8_t capTail_ = 0;   ///< offset of last capability header
     std::uint8_t capNext_ = 0x40; ///< next free capability offset
 };

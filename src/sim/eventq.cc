@@ -81,7 +81,17 @@ EventQueue::step()
     Entry e = heap_.top();
     heap_.pop();
     panic_if(e.when < curTick_, "time went backwards");
-    curTick_ = e.when;
+    if (e.when != curTick_) {
+        curTick_ = e.when;
+        sameTickCount_ = 0;
+    }
+    // A zero-latency event cycle would freeze simulated time while
+    // burning host CPU forever. No legitimate model comes close to
+    // this many events in one tick; treat it as a modelling bug.
+    panic_if(++sameTickCount_ > sameTickLimit,
+             "event livelock: ", sameTickLimit,
+             " events at tick ", curTick_, "; last: '",
+             e.ev->name(), "'");
     e.ev->scheduled_ = false;
     --liveCount_;
     ++processed_;

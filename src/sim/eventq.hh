@@ -158,6 +158,9 @@ class EventQueue
     /** Total events processed since construction. */
     std::uint64_t processedCount() const { return processed_; }
 
+    /** Same-tick events after which step() declares a livelock. */
+    static constexpr std::uint64_t sameTickLimit = 2'000'000;
+
   private:
     struct Entry
     {
@@ -185,6 +188,7 @@ class EventQueue
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
+    std::uint64_t sameTickCount_ = 0;
     std::size_t liveCount_ = 0;
 };
 

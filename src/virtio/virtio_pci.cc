@@ -26,6 +26,9 @@ VirtioPciDevice::VirtioPciDevice(Simulation &sim, std::string name,
     // model but the list structure is real (probe-able).
     config().addCapability(pci::CAP_ID_VENDOR, 16);
     config().addCapability(pci::CAP_ID_MSI, 12);
+    config().setViolationHandler([this]() {
+        reportGuestFault(fault::GuestFaultKind::BadConfigAccess);
+    });
 }
 
 QueueState &
@@ -101,7 +104,11 @@ VirtioPciDevice::barWrite(int bar, Addr offset, std::uint32_t value,
     }
     if (offset >= notifyRegionOffset && offset < isrOffset) {
         unsigned q = value;
-        if (q < queues_.size() && queues_[q].enabled)
+        if (q >= queues_.size()) {
+            reportGuestFault(fault::GuestFaultKind::BadQueueIndex);
+            return;
+        }
+        if (queues_[q].enabled)
             onQueueNotify(q);
         return;
     }
@@ -112,9 +119,13 @@ VirtioPciDevice::barWrite(int bar, Addr offset, std::uint32_t value,
 std::uint32_t
 VirtioPciDevice::commonRead(Addr offset, unsigned size)
 {
-    QueueState &qs = queues_[queueSelect_ < queues_.size()
-                                 ? queueSelect_
-                                 : 0];
+    // queueSelect_ is guest-controlled and may point past the last
+    // queue. Per the spec the device then reports Q_SIZE = 0
+    // ("queue unavailable"); probing is legitimate, so reads of the
+    // per-queue registers return zero rather than fault.
+    QueueState *qs = queueSelect_ < queues_.size()
+                         ? &queues_[queueSelect_]
+                         : nullptr;
     switch (offset) {
       case COMMON_DFSELECT:
         return dfSelect_;
@@ -133,25 +144,25 @@ VirtioPciDevice::commonRead(Addr offset, unsigned size)
       case COMMON_Q_SELECT:
         return queueSelect_;
       case COMMON_Q_SIZE:
-        return qs.size;
+        return qs ? qs->size : 0;
       case COMMON_Q_MSIX:
-        return qs.msixVector;
+        return qs ? qs->msixVector : 0;
       case COMMON_Q_ENABLE:
-        return qs.enabled ? 1 : 0;
+        return (qs && qs->enabled) ? 1 : 0;
       case COMMON_Q_NOFF:
         return queueSelect_;
       case COMMON_Q_DESCLO:
-        return std::uint32_t(qs.descAddr);
+        return qs ? std::uint32_t(qs->descAddr) : 0;
       case COMMON_Q_DESCHI:
-        return std::uint32_t(qs.descAddr >> 32);
+        return qs ? std::uint32_t(qs->descAddr >> 32) : 0;
       case COMMON_Q_AVAILLO:
-        return std::uint32_t(qs.availAddr);
+        return qs ? std::uint32_t(qs->availAddr) : 0;
       case COMMON_Q_AVAILHI:
-        return std::uint32_t(qs.availAddr >> 32);
+        return qs ? std::uint32_t(qs->availAddr >> 32) : 0;
       case COMMON_Q_USEDLO:
-        return std::uint32_t(qs.usedAddr);
+        return qs ? std::uint32_t(qs->usedAddr) : 0;
       case COMMON_Q_USEDHI:
-        return std::uint32_t(qs.usedAddr >> 32);
+        return qs ? std::uint32_t(qs->usedAddr >> 32) : 0;
       default:
         (void)size;
         return 0;
@@ -163,9 +174,17 @@ VirtioPciDevice::commonWrite(Addr offset, std::uint32_t value,
                              unsigned size)
 {
     (void)size;
-    QueueState &qs = queues_[queueSelect_ < queues_.size()
-                                 ? queueSelect_
-                                 : 0];
+    // Guest-controlled select: writes to per-queue registers with
+    // an out-of-range selector are a contained guest fault (reads
+    // are probing and stay silent, see commonRead).
+    QueueState *qs = queueSelect_ < queues_.size()
+                         ? &queues_[queueSelect_]
+                         : nullptr;
+    auto select_ok = [this, qs]() {
+        if (!qs)
+            reportGuestFault(fault::GuestFaultKind::BadQueueIndex);
+        return qs != nullptr;
+    };
     auto set_lo = [](std::uint64_t &r, std::uint32_t v) {
         r = (r & 0xffffffff00000000ull) | v;
     };
@@ -181,6 +200,12 @@ VirtioPciDevice::commonWrite(Addr offset, std::uint32_t value,
         gfSelect_ = value & 1;
         break;
       case COMMON_GF: {
+        if (status_ & STATUS_FEATURES_OK) {
+            // Renegotiating after FEATURES_OK is a spec violation;
+            // freeze the negotiated set and flag the driver.
+            reportGuestFault(fault::GuestFaultKind::BadFeatureWrite);
+            break;
+        }
         std::uint64_t mask = 0xffffffffull << (32 * gfSelect_);
         std::uint64_t bits = std::uint64_t(value) << (32 * gfSelect_);
         // The driver may only accept offered features.
@@ -188,46 +213,75 @@ VirtioPciDevice::commonWrite(Addr offset, std::uint32_t value,
             (guestFeatures_ & ~mask) | (bits & deviceFeatures_);
         break;
       }
-      case COMMON_STATUS:
+      case COMMON_STATUS: {
         if (value == 0) {
             resetDevice();
             break;
         }
-        status_ = std::uint8_t(value);
+        std::uint8_t v = std::uint8_t(value);
+        // NEEDS_RESET is device-owned: only a full reset clears it.
+        v |= status_ & STATUS_NEEDS_RESET;
+        if ((v & STATUS_FEATURES_OK) &&
+            !(status_ & STATUS_FEATURES_OK) &&
+            !(guestFeatures_ & VIRTIO_F_VERSION_1)) {
+            // A modern device must reject FEATURES_OK unless
+            // VERSION_1 was accepted (virtio 1.0 section 6.1); the
+            // driver reads back status to discover the refusal.
+            reportGuestFault(fault::GuestFaultKind::BadFeatureWrite);
+            v &= std::uint8_t(~STATUS_FEATURES_OK);
+        }
+        status_ = v;
         if (status_ & STATUS_DRIVER_OK)
             onDriverOk();
         break;
+      }
       case COMMON_Q_SELECT:
         queueSelect_ = std::uint16_t(value);
         break;
       case COMMON_Q_SIZE:
-        if (value > 0 && value <= qs.sizeMax &&
+        if (!select_ok())
+            break;
+        if (value > 0 && value <= qs->sizeMax &&
             (value & (value - 1)) == 0)
-            qs.size = std::uint16_t(value);
+            qs->size = std::uint16_t(value);
         break;
       case COMMON_Q_MSIX:
-        qs.msixVector = std::uint16_t(value);
+        if (!select_ok())
+            break;
+        if (value >= msiTableSize()) {
+            reportGuestFault(fault::GuestFaultKind::BadMsiVector);
+            break;
+        }
+        qs->msixVector = std::uint16_t(value);
         break;
       case COMMON_Q_ENABLE:
-        qs.enabled = (value != 0);
+        if (!select_ok())
+            break;
+        qs->enabled = (value != 0);
         break;
       case COMMON_Q_DESCLO:
-        set_lo(qs.descAddr, value);
+        if (select_ok())
+            set_lo(qs->descAddr, value);
         break;
       case COMMON_Q_DESCHI:
-        set_hi(qs.descAddr, value);
+        if (select_ok())
+            set_hi(qs->descAddr, value);
         break;
       case COMMON_Q_AVAILLO:
-        set_lo(qs.availAddr, value);
+        if (select_ok())
+            set_lo(qs->availAddr, value);
         break;
       case COMMON_Q_AVAILHI:
-        set_hi(qs.availAddr, value);
+        if (select_ok())
+            set_hi(qs->availAddr, value);
         break;
       case COMMON_Q_USEDLO:
-        set_lo(qs.usedAddr, value);
+        if (select_ok())
+            set_lo(qs->usedAddr, value);
         break;
       case COMMON_Q_USEDHI:
-        set_hi(qs.usedAddr, value);
+        if (select_ok())
+            set_hi(qs->usedAddr, value);
         break;
       default:
         break;

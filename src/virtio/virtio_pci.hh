@@ -20,9 +20,11 @@
 #define BMHIVE_VIRTIO_VIRTIO_PCI_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "fault/guest_fault.hh"
 #include "pci/pci_device.hh"
 #include "virtio/vring.hh"
 
@@ -139,6 +141,26 @@ class VirtioPciDevice : public pci::PciDevice
     QueueState &queueState(unsigned q);
     const QueueState &queueState(unsigned q) const;
 
+    /**
+     * MSI vector table size: one vector per queue plus the config
+     * vector. Guest writes of Q_MSIX beyond this are contained as
+     * BadMsiVector guest faults.
+     */
+    unsigned msiTableSize() const { return unsigned(queues_.size()) + 1; }
+
+    /**
+     * Observe contained guest faults on this function's register
+     * interface (malformed doorbells, config accesses, feature
+     * writes...). The transport never panics on them; the owner —
+     * IO-Bond in the bridged topology — accounts and escalates.
+     */
+    using GuestFaultHandler = std::function<void(fault::GuestFaultKind)>;
+    void
+    setGuestFaultHandler(GuestFaultHandler h)
+    {
+        guestFaultHandler_ = std::move(h);
+    }
+
     /** Raise the configured MSI vector for queue @p q. */
     void notifyGuest(unsigned q);
 
@@ -163,6 +185,14 @@ class VirtioPciDevice : public pci::PciDevice
     virtual void deviceCfgWrite(Addr offset, std::uint32_t value,
                                 unsigned size);
 
+    /** Record a contained guest fault (forwards to the handler). */
+    void
+    reportGuestFault(fault::GuestFaultKind k)
+    {
+        if (guestFaultHandler_)
+            guestFaultHandler_(k);
+    }
+
   private:
     std::uint32_t commonRead(Addr offset, unsigned size);
     void commonWrite(Addr offset, std::uint32_t value, unsigned size);
@@ -177,6 +207,7 @@ class VirtioPciDevice : public pci::PciDevice
     std::uint8_t isr_ = 0;
     std::uint16_t queueSelect_ = 0;
     std::vector<QueueState> queues_;
+    GuestFaultHandler guestFaultHandler_;
 };
 
 } // namespace virtio

@@ -137,7 +137,10 @@ VirtQueueDriver::freeChain(std::uint16_t head)
         warn("virtqueue: device returned unowned head ", head);
         return false;
     }
-    // Walk the direct chain to recover all ids.
+    // Walk the direct chain to recover all ids. The descriptor
+    // table lives in ring memory, so the next pointers may have
+    // been scribbled since submission; a corrupted link must not
+    // index outside the table (Linux virtio's BAD_RING stance).
     std::uint16_t id = head;
     std::uint16_t remaining = chainLen_[head];
     chainLen_[head] = 0;
@@ -146,6 +149,11 @@ VirtQueueDriver::freeChain(std::uint16_t head)
         VringDesc d = layout_.readDesc(mem_, id);
         if (!(d.flags & VRING_DESC_F_NEXT))
             break;
+        if (d.next >= layout_.size()) {
+            warn("virtqueue: corrupted chain link ", d.next,
+                 " from desc ", id);
+            break;
+        }
         id = d.next;
     }
     return true;
@@ -236,16 +244,47 @@ ChainWalk
 walkDescChain(const GuestMemory &mem, const VringLayout &layout,
               std::uint16_t head)
 {
+    using fault::GuestFaultKind;
     ChainWalk w;
     w.chain.head = head;
+
+    auto fail = [&w](GuestFaultKind k) -> ChainWalk & {
+        w.fault = k;
+        return w;
+    };
+    // Every buffer segment — direct or from an indirect table — is
+    // attacker-controlled: the address must fall inside guest
+    // memory (with overflow checked), the length must be non-zero,
+    // and device-readable segments must precede device-writable
+    // ones (virtio 1.0 section 2.4.4.2).
+    bool seen_write = false;
+    auto check_seg = [&](const VringDesc &d,
+                         GuestFaultKind &k) -> bool {
+        if (d.len == 0) {
+            k = GuestFaultKind::DescLenZero;
+            return false;
+        }
+        if (d.addr + d.len < d.addr ||
+            d.addr + d.len > mem.size()) {
+            k = GuestFaultKind::DescAddrRange;
+            return false;
+        }
+        bool write = d.flags & VRING_DESC_F_WRITE;
+        if (!write && seen_write) {
+            k = GuestFaultKind::DescWriteOrder;
+            return false;
+        }
+        seen_write = seen_write || write;
+        return true;
+    };
 
     std::uint16_t id = head;
     unsigned steps = 0;
     while (true) {
         if (id >= layout.size())
-            return w; // out-of-range index
+            return fail(GuestFaultKind::DescIndexRange);
         if (++steps > layout.size())
-            return w; // loop
+            return fail(GuestFaultKind::DescLoop);
         VringDesc d = layout.readDesc(mem, id);
         w.path.push_back(id);
 
@@ -253,15 +292,16 @@ walkDescChain(const GuestMemory &mem, const VringLayout &layout,
             // Indirect must be the sole descriptor (spec: a driver
             // MUST NOT set both INDIRECT and NEXT) and well-formed.
             if (d.flags & VRING_DESC_F_NEXT)
-                return w;
+                return fail(GuestFaultKind::IndirectMalformed);
             if (steps != 1)
-                return w;
+                return fail(GuestFaultKind::IndirectMalformed);
             if (d.len == 0 || d.len % vringDescSize != 0)
-                return w;
+                return fail(GuestFaultKind::IndirectMalformed);
             auto n =
                 std::uint16_t(d.len / std::uint32_t(vringDescSize));
-            if (d.addr + d.len > mem.size())
-                return w;
+            if (d.addr + d.len < d.addr ||
+                d.addr + d.len > mem.size())
+                return fail(GuestFaultKind::IndirectMalformed);
             w.indirect = true;
             w.indirectAddr = d.addr;
             // Follow the table's next pointers with the same
@@ -272,9 +312,11 @@ walkDescChain(const GuestMemory &mem, const VringLayout &layout,
             unsigned ind_steps = 0;
             while (true) {
                 if (idx >= n)
-                    return w; // next points outside the table
+                    // next points outside the table
+                    return fail(GuestFaultKind::IndirectMalformed);
                 if (++ind_steps > n)
-                    return w; // cyclic indirect table
+                    // cyclic indirect table
+                    return fail(GuestFaultKind::DescLoop);
                 Addr a = d.addr + Addr(idx) * vringDescSize;
                 VringDesc ind;
                 ind.addr = mem.read64(a);
@@ -282,7 +324,11 @@ walkDescChain(const GuestMemory &mem, const VringLayout &layout,
                 ind.flags = mem.read16(a + 12);
                 ind.next = mem.read16(a + 14);
                 if (ind.flags & VRING_DESC_F_INDIRECT)
-                    return w; // nesting forbidden by the spec
+                    // nesting forbidden by the spec
+                    return fail(GuestFaultKind::IndirectMalformed);
+                GuestFaultKind k;
+                if (!check_seg(ind, k))
+                    return fail(k);
                 w.chain.segs.push_back(
                     {ind.addr, ind.len,
                      bool(ind.flags & VRING_DESC_F_WRITE)});
@@ -295,6 +341,9 @@ walkDescChain(const GuestMemory &mem, const VringLayout &layout,
             return w;
         }
 
+        GuestFaultKind k;
+        if (!check_seg(d, k))
+            return fail(k);
         w.chain.segs.push_back(
             {d.addr, d.len, bool(d.flags & VRING_DESC_F_WRITE)});
 

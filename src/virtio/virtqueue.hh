@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "fault/guest_fault.hh"
 #include "mem/guest_memory.hh"
 #include "virtio/vring.hh"
 
@@ -73,13 +74,16 @@ struct ChainWalk
     bool indirect = false;
     Addr indirectAddr = 0;
     std::uint16_t indirectCount = 0;
+    /** Violation classification; meaningful only when !ok. */
+    fault::GuestFaultKind fault = fault::GuestFaultKind::kCount;
 };
 
 /**
  * Walk the chain starting at @p head. Handles fully-direct chains
  * and single-indirect-descriptor chains (the two forms virtio 1.0
- * drivers produce); malformed input (loops, range errors, nested
- * indirect) yields ok == false.
+ * drivers produce); malformed input (loops, range errors, buffers
+ * outside guest memory, zero-length or misordered segments, nested
+ * indirect) yields ok == false with `fault` naming the violation.
  */
 ChainWalk walkDescChain(const GuestMemory &mem,
                         const VringLayout &layout,
@@ -143,6 +147,8 @@ class VirtQueueDriver
 
     const VringLayout &layout() const { return layout_; }
     std::uint16_t availIdxShadow() const { return availIdx_; }
+    /** used->idx value collectUsed() has consumed up to. */
+    std::uint16_t usedIdxSeen() const { return lastUsed_; }
 
   private:
     GuestMemory &mem_;

@@ -34,6 +34,17 @@ VringLayout::bytesNeeded(std::uint16_t size)
     return l.usedAddr() + l.usedBytes();
 }
 
+bool
+VringLayout::fitsIn(Bytes mem_size) const
+{
+    auto area_ok = [mem_size](Addr base, Bytes len) {
+        return base + len >= base && base + len <= mem_size;
+    };
+    return valid() && area_ok(desc_, descBytes()) &&
+           area_ok(avail_, availBytes()) &&
+           area_ok(used_, usedBytes());
+}
+
 VringDesc
 VringLayout::readDesc(const GuestMemory &m, std::uint16_t i) const
 {

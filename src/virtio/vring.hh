@@ -99,6 +99,14 @@ class VringLayout
     Addr usedAddr() const { return used_; }
     bool valid() const { return size_ != 0; }
 
+    /**
+     * True if all three ring areas lie inside a memory of
+     * @p mem_size bytes (overflow-safe). The area addresses are
+     * guest-programmed and must be validated before any accessor
+     * touches memory through this layout.
+     */
+    bool fitsIn(Bytes mem_size) const;
+
     // --- Descriptor table ---
     VringDesc readDesc(const GuestMemory &m, std::uint16_t i) const;
     void writeDesc(GuestMemory &m, std::uint16_t i,

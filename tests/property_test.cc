@@ -21,6 +21,7 @@
 #include "hw/compute_board.hh"
 #include "iobond/iobond.hh"
 #include "virtio/virtqueue.hh"
+#include "workloads/adversarial.hh"
 
 namespace bmhive {
 namespace {
@@ -416,6 +417,118 @@ TEST_P(FaultScheduleFuzz, TokensConservedIndicesMonotonic)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+class HostileNeighbor : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HostileNeighbor, HonestTenantsKeepTheirInvariants)
+{
+    // One adversarial tenant, three honest ones. The attacker may
+    // cost itself its own devices (quarantine, resets); the honest
+    // guests' exactly-once and in-order invariants must hold as if
+    // it were not there.
+    bench::Testbed bed(700 + GetParam());
+    bed.bmGuest(0xE, 0); // attacker, guest 0
+    auto a = bed.bmGuest(0xA, 0);
+    auto b = bed.bmGuest(0xB, 0);
+    auto c = bed.bmGuest(0xC, 16);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    ASSERT_NE(c.blk, nullptr);
+
+    workloads::AdversarialGuestParams ap;
+    ap.seed = 40 + GetParam();
+    ap.period = usToTicks(1.0);
+    workloads::AdversarialGuest adv(
+        bed.sim, "adv", bed.server.guest(0).board(), ap);
+    adv.start();
+
+    // Honest net pair: exactly-once, in-order a -> b.
+    Rng rng(33 + GetParam());
+    std::vector<std::uint64_t> seqs;
+    b.net->setRxHandler(
+        [&](const cloud::Packet &p) { seqs.push_back(p.seq); });
+    const unsigned total_pkts = 300;
+    unsigned sent = 0;
+    std::function<void()> net_pump = [&] {
+        unsigned burst = unsigned(rng.uniformInt(1, 16));
+        for (unsigned i = 0; i < burst && sent < total_pkts; ++i) {
+            cloud::Packet p;
+            p.src = 0xA;
+            p.dst = 0xB;
+            p.len = cloud::udpFrameBytes(rng.uniformInt(1, 1300));
+            p.seq = sent;
+            p.created = bed.sim.now();
+            if (!a.net->sendPacket(p, false, a.cpu(1)))
+                break;
+            ++sent;
+        }
+        a.net->kickTx(a.cpu(1));
+        if (sent < total_pkts) {
+            auto *ev = new OneShotEvent(net_pump, "net_pump");
+            bed.sim.eventq().schedule(
+                ev, bed.sim.now() +
+                        Tick(rng.uniformInt(1000, 100000)));
+        }
+    };
+    net_pump();
+
+    // Honest blk tenant: every request completes exactly once.
+    const unsigned total_reqs = 120;
+    std::vector<unsigned> completions(total_reqs, 0);
+    unsigned issued = 0, finished = 0;
+    std::function<void()> blk_pump = [&] {
+        unsigned burst = unsigned(rng.uniformInt(1, 6));
+        for (unsigned i = 0; i < burst && issued < total_reqs;
+             ++i) {
+            unsigned id = issued;
+            bool ok = c.blk->read(
+                rng.uniformInt(0, 1000) * 8, 4096, c.cpu(0),
+                [&completions, &finished, id](std::uint8_t,
+                                              Addr) {
+                    ++completions[id];
+                    ++finished;
+                });
+            if (!ok)
+                break;
+            ++issued;
+        }
+        if (issued < total_reqs) {
+            auto *ev = new OneShotEvent(blk_pump, "blk_pump");
+            bed.sim.eventq().schedule(
+                ev, bed.sim.now() +
+                        Tick(rng.uniformInt(10000, 300000)));
+        }
+    };
+    blk_pump();
+
+    bed.sim.run(bed.sim.now() + msToTicks(20.0));
+    adv.stop();
+    for (int spin = 0; spin < 200 && finished < issued; ++spin)
+        bed.sim.run(bed.sim.now() + msToTicks(1.0));
+
+    // The attacker was actually attacking, and was contained.
+    EXPECT_GT(adv.attacks(), 1000u);
+    EXPECT_GT(bed.server.guest(0).bond().guestFaultsTotal(), 0u);
+
+    // Honest invariants, unharmed.
+    ASSERT_EQ(sent, total_pkts);
+    ASSERT_EQ(seqs.size(), total_pkts);
+    for (unsigned i = 0; i < total_pkts; ++i)
+        ASSERT_EQ(seqs[i], i);
+    EXPECT_EQ(issued, total_reqs);
+    EXPECT_EQ(finished, issued);
+    for (unsigned i = 0; i < issued; ++i)
+        EXPECT_EQ(completions[i], 1u) << "request " << i;
+    // Containment never touched the honest guests' devices.
+    EXPECT_EQ(a.net->resets(), 0u);
+    EXPECT_EQ(b.net->resets(), 0u);
+    EXPECT_EQ(c.net->resets(), 0u);
+    EXPECT_EQ(c.blk->resets(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostileNeighbor,
+                         ::testing::Values(1u, 2u));
 
 } // namespace
 } // namespace bmhive
