@@ -111,6 +111,8 @@ class Session
         const std::string metrics_flag = "--metrics-out=";
         const std::string seed_flag = "--fault-seed=";
         const std::string plan_flag = "--fault-plan=";
+        const std::string cores_flag = "--poll-cores=";
+        const std::string sched_flag = "--sched=";
         int w = 1;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
@@ -121,7 +123,17 @@ class Session
                     a.c_str() + seed_flag.size(), nullptr, 0);
             else if (a.rfind(plan_flag, 0) == 0)
                 faultPlan = a.substr(plan_flag.size());
-            else
+            else if (a.rfind(cores_flag, 0) == 0)
+                pollCores = unsigned(std::strtoul(
+                    a.c_str() + cores_flag.size(), nullptr, 0));
+            else if (a.rfind(sched_flag, 0) == 0) {
+                std::string v = a.substr(sched_flag.size());
+                fatal_if(v != "dedicated" && v != "shared",
+                         "--sched wants dedicated|shared, got '",
+                         v, "'");
+                schedShared = (v == "shared");
+                schedSet = true;
+            } else
                 argv[w++] = argv[i];
         }
         argc = w;
@@ -131,6 +143,11 @@ class Session
     /** Chaos flags, visible to every Testbed the bench builds. */
     inline static std::uint64_t faultSeed = 0;
     inline static std::string faultPlan;
+    /** Scheduler flags: --poll-cores=N picks the shared pool size
+     *  (and implies --sched=shared unless overridden). */
+    inline static unsigned pollCores = 0;
+    inline static bool schedShared = false;
+    inline static bool schedSet = false;
 
     ~Session()
     {
@@ -188,18 +205,54 @@ class Testbed
 
     ~Testbed() { MetricsCapture::instance().detach(sim.metrics()); }
 
+    /** Second ctor form: a fully explicit server configuration
+     *  (density sweeps build both scheduler modes themselves). */
+    Testbed(std::uint64_t seed, core::BmServerParams server_params,
+            cloud::BlockServiceParams storage_params = {})
+        : sim(seed), vswitch(sim, "vswitch"),
+          storage(sim, "storage", storage_params),
+          server(sim, "server", vswitch, &storage, server_params)
+    {
+        static unsigned ordinal = 0;
+        MetricsCapture::instance().attach(
+            "testbed_cfg" + std::to_string(ordinal++),
+            sim.metrics());
+        if (Session::faultSeed != 0 ||
+            !Session::faultPlan.empty()) {
+            chaos = std::make_unique<fault::FaultInjector>(
+                sim, "chaos");
+            if (!Session::faultPlan.empty()) {
+                fatal_if(!chaos->loadPlan(Session::faultPlan),
+                         "cannot load fault plan ",
+                         Session::faultPlan);
+            }
+        }
+    }
+
     static core::BmServerParams
     smallServer(unsigned max_boards)
     {
         core::BmServerParams p;
         p.maxBoards = max_boards;
+        // Session-wide scheduler selection: --sched=shared, or
+        // --poll-cores=N alone, moves every bench's server onto
+        // the shared poll pool without per-bench plumbing.
+        if (Session::schedShared ||
+            (Session::pollCores > 0 && !Session::schedSet)) {
+            p.schedMode = core::SchedMode::Shared;
+            if (Session::pollCores > 0)
+                p.pollCores = Session::pollCores;
+        }
         return p;
     }
 
-    /** Provision a bm-guest (with a volume unless @p vol_mib==0). */
+    /** Provision a bm-guest (with a volume unless @p vol_mib==0).
+     *  @p type defaults to the section 4 evaluated instance;
+     *  density sweeps pass a 16-boards-per-server type instead. */
     workloads::GuestContext
     bmGuest(cloud::MacAddr mac, Bytes vol_mib = 64,
-            bool rate_limited = true)
+            bool rate_limited = true,
+            const core::InstanceType *type = nullptr)
     {
         cloud::Volume *vol = nullptr;
         if (vol_mib > 0) {
@@ -207,8 +260,8 @@ class Testbed
                 "bmvol" + std::to_string(mac), vol_mib * MiB);
         }
         auto &g = server.provision(
-            core::InstanceCatalog::evaluated(), mac, vol,
-            rate_limited);
+            type ? *type : core::InstanceCatalog::evaluated(), mac,
+            vol, rate_limited);
         armChaos();
         return workloads::GuestContext::of(g);
     }

@@ -116,6 +116,21 @@ constexpr Tick vmStorageCopyCost = usToTicks(30.0); // CALIBRATED
 /** EPT-stretch factor for memory-intensive work in a VM. */
 constexpr double eptMemoryStretch = 1.02; // CALIBRATED
 
+// Shared poll-core scheduler (the section 3.5 density argument:
+// poll cores are what the base board sells, so multiplexing
+// backends over fewer of them is the cost lever).
+
+/** DWRR quantum: work items one unit of weight earns per round. */
+constexpr unsigned schedQuantum = 32; // CALIBRATED
+/** Idle rounds on a core before the governor starts backing off. */
+constexpr unsigned schedIdleRoundsBeforeBackoff = 16; // CALIBRATED
+/** Backoff ceiling; one more idle round at the ceiling sleeps the
+ *  core (no events at all until a doorbell wake). */
+constexpr Tick schedMaxBackoff = usToTicks(64); // CALIBRATED
+/** Doorbell-to-first-poll wake cost of a sleeping poll core
+ *  (mailbox write observed + core leaving its pause loop). */
+constexpr Tick schedWakeLatency = usToTicks(2); // CALIBRATED
+
 } // namespace paper
 } // namespace bmhive
 

@@ -99,6 +99,19 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
     base_ = std::make_unique<hw::BaseBoard>(
         sim, this->name() + ".base", hw::CpuCatalog::baseBoardE5(),
         base_mem, paper::ioBondMailboxAccess);
+    if (params_.schedMode == SchedMode::Shared) {
+        fatal_if(params_.pollCores == 0 ||
+                     params_.pollCores > base_->coreCount(),
+                 this->name(), ": shared mode needs 1..",
+                 base_->coreCount(), " poll cores, got ",
+                 params_.pollCores);
+        std::vector<hw::CpuExecutor *> pool;
+        for (unsigned i = 0; i < params_.pollCores; ++i)
+            pool.push_back(&base_->core(i));
+        sched_ = std::make_unique<sched::PollScheduler>(
+            sim, this->name() + ".sched", std::move(pool),
+            params_.schedParams);
+    }
 }
 
 BmHiveServer::~BmHiveServer()
@@ -134,6 +147,24 @@ BmHiveServer::watchdogCheck()
         hv::BmHypervisor &hv = guests_[i]->hypervisor();
         if (!hv.connected()) {
             heartbeat_[i] = 0;
+            continue;
+        }
+        if (sched_) {
+            // Shared mode: an idle backend legitimately stops
+            // being visited once its core sleeps, so the signal is
+            // per-pollable progress — work posted a whole period
+            // ago with no scheduler visit since — not a raw poll
+            // count.
+            if (hv.crashed() || hv.pollWedged(watchdogPeriod_)) {
+                Tick down_since = hv.crashed()
+                                      ? hv.crashedAt()
+                                      : curTick() - watchdogPeriod_;
+                warn(name(), ": guest", i,
+                     " backend made no poll progress; respawning");
+                hv.respawn();
+                watchdogRespawns_.inc();
+                recoveryTicks_.record(curTick() - down_since);
+            }
             continue;
         }
         std::uint64_t beat = hv.service().pollsTotal();
@@ -248,14 +279,23 @@ BmHiveServer::tryProvision(const InstanceType &type,
         g->bond_->addBlkFunction(4, vol->capacity() / 512);
     g->bond_->addConsoleFunction(5);
 
-    // One bm-hypervisor process on a dedicated base core.
-    hw::CpuExecutor &core =
-        base_->core(nextCore_ % base_->coreCount());
-    ++nextCore_;
+    // One bm-hypervisor process: a dedicated base core, or a slot
+    // on the shared poll-core pool (least-loaded placement).
+    unsigned sched_core = 0;
+    hw::CpuExecutor *core = nullptr;
+    if (sched_) {
+        sched_core = sched_->leastLoadedCore();
+        core = &sched_->coreExecutor(sched_core);
+    } else {
+        core = &base_->core(nextCore_ % base_->coreCount());
+        ++nextCore_;
+    }
     g->hv_ = std::make_unique<hv::BmHypervisor>(
-        sim_, base_name + ".hv", *g->board_, *g->bond_, core,
+        sim_, base_name + ".hv", *g->board_, *g->bond_, *core,
         vswitch_, mac, vol != nullptr ? storage_ : nullptr, vol,
         rate_limited);
+    if (sched_)
+        g->hv_->useScheduler(*sched_, sched_core);
 
     // Power on; firmware enumerates PCI; drivers come up.
     g->hv_->powerOnGuest();
@@ -290,7 +330,12 @@ BmHiveServer::tryProvision(const InstanceType &type,
 
     ++usedSlots_;
     guests_.push_back(std::move(g));
-    containment_.emplace_back();
+    // A full bucket is a clean guest; faults force-consume points
+    // that refill at the leak rate.
+    Containment c;
+    c.bucket = TokenBucket(params_.containment.leakPerMs * 1e3,
+                           params_.containment.quarantineScore);
+    containment_.push_back(c);
     return guests_.back().get();
 }
 
@@ -306,9 +351,8 @@ BmHiveServer::guestScore(unsigned i) const
 {
     panic_if(i >= containment_.size(), name(), ": bad guest ", i);
     const Containment &c = containment_[i];
-    double elapsed_ms = ticksToMs(curTick() - c.lastLeak);
-    return std::max(0.0, c.score - params_.containment.leakPerMs *
-                                       elapsed_ms);
+    return std::max(0.0, params_.containment.quarantineScore -
+                             c.bucket.level(curTick()));
 }
 
 void
@@ -320,24 +364,30 @@ BmHiveServer::onGuestFault(unsigned idx, fault::GuestFaultKind k)
     Containment &c = containment_[idx];
     if (c.state == GuestHealth::Quarantined)
         return; // already parked; drops are counted at the bridge
-    // Leaky bucket: clean time drains the score before the new
-    // fault adds its point, so sporadic faults never escalate.
-    c.score = guestScore(idx);
-    c.lastLeak = curTick();
+    // Leaky bucket: clean time refills the bucket (draining the
+    // score) before the new fault takes its point, so sporadic
+    // faults never escalate.
     if (c.state == GuestHealth::Suspect &&
-        c.score <= params_.containment.suspectScore / 2)
+        guestScore(idx) <= params_.containment.suspectScore / 2) {
         c.state = GuestHealth::Healthy;
-    c.score += 1.0;
-    if (c.score >= params_.containment.quarantineScore) {
+        guests_[idx]->hypervisor().setPollWeight(1.0);
+    }
+    c.bucket.forceConsume(curTick(), 1.0);
+    double score = guestScore(idx);
+    if (score >= params_.containment.quarantineScore) {
         warn(name(), ": guest", idx, " containment score ",
-             c.score, " after ", fault::guestFaultName(k),
+             score, " after ", fault::guestFaultName(k),
              "; quarantining");
         quarantineGuest(idx);
-    } else if (c.score >= params_.containment.suspectScore &&
+    } else if (score >= params_.containment.suspectScore &&
                c.state == GuestHealth::Healthy) {
         c.state = GuestHealth::Suspect;
         suspects_.inc();
-        warn(name(), ": guest", idx, " suspect (score ", c.score,
+        // Under shared polling a Suspect also loses scheduler
+        // share; under dedicated polling this is a no-op.
+        guests_[idx]->hypervisor().setPollWeight(
+            params_.containment.suspectPollWeight);
+        warn(name(), ": guest", idx, " suspect (score ", score,
              ", last fault ", fault::guestFaultName(k), ")");
     }
 }
@@ -352,6 +402,9 @@ BmHiveServer::quarantineGuest(unsigned i)
     c.state = GuestHealth::Quarantined;
     c.quarantinedAt = curTick();
     guests_[i]->bond().setQuarantined(true);
+    // Starve the guest at the scheduler too: quarantine means no
+    // poll service, not merely swallowed doorbells.
+    guests_[i]->hypervisor().setPollWeight(0.0);
     quarantines_.inc();
     auto *ev = new OneShotEvent(
         [this, i] { releaseQuarantine(i); },
@@ -377,8 +430,9 @@ BmHiveServer::releaseQuarantine(unsigned i)
         bond.failFunction(fn);
     bond.setQuarantined(false);
     c.state = GuestHealth::Healthy;
-    c.score = 0.0;
-    c.lastLeak = curTick();
+    c.bucket = TokenBucket(params_.containment.leakPerMs * 1e3,
+                           params_.containment.quarantineScore);
+    guests_[i]->hypervisor().setPollWeight(1.0);
     inform(name(), ": guest", i, " quarantine released");
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "base/token_bucket.hh"
 #include "cloud/block_service.hh"
 #include "cloud/vswitch.hh"
 #include "core/instance_catalog.hh"
@@ -31,6 +32,7 @@
 #include "hv/bm_hypervisor.hh"
 #include "hw/compute_board.hh"
 #include "iobond/iobond.hh"
+#include "sched/poll_scheduler.hh"
 
 namespace bmhive {
 namespace core {
@@ -50,6 +52,17 @@ struct ContainmentParams
     double quarantineScore = 32.0;
     double leakPerMs = 100.0;
     Tick quarantineDwell = msToTicks(2.0);
+    /** Scheduler share of a Suspect guest under shared polling
+     *  (1.0 = normal; Quarantined guests are starved outright). */
+    double suspectPollWeight = 0.25;
+};
+
+/** How bm-hypervisor PMDs map onto base-board cores. */
+enum class SchedMode {
+    /** One always-busy-polling process per core (seed behavior). */
+    Dedicated,
+    /** N processes multiplexed over a PollScheduler core pool. */
+    Shared,
 };
 
 /** Containment state of one provisioned guest. */
@@ -65,6 +78,12 @@ struct BmServerParams
     iobond::IoBondParams bondParams = {};
     /** Hostile-tenant escalation policy. */
     ContainmentParams containment = {};
+    /** Backend-to-core mapping (Dedicated is seed-equivalent). */
+    SchedMode schedMode = SchedMode::Dedicated;
+    /** Base cores in the shared poll pool (Shared mode only). */
+    unsigned pollCores = 4;
+    /** DWRR / governor tuning of the shared pool. */
+    sched::PollSchedulerParams schedParams = {};
 };
 
 /** Everything belonging to one provisioned bm-guest. */
@@ -139,6 +158,10 @@ class BmHiveServer : public SimObject
     cloud::VSwitch &vswitch() { return vswitch_; }
     unsigned freeSlots() const;
 
+    /** The shared poll-core pool; null under Dedicated mode. */
+    sched::PollScheduler *scheduler() { return sched_.get(); }
+    SchedMode schedMode() const { return params_.schedMode; }
+
     /** Compute boards the PSU/space/I/O budget allows (Table 3). */
     unsigned maxBoards() const { return params_.maxBoards; }
 
@@ -208,12 +231,17 @@ class BmHiveServer : public SimObject
     /** One watchdog sweep over all provisioned guests. */
     void watchdogCheck();
 
-    /** Leaky-bucket containment score of one guest. */
+    /**
+     * Leaky-bucket containment score of one guest, backed by the
+     * repo-wide TokenBucket: the bucket holds quarantineScore
+     * tokens and refills at leakPerMs; each fault force-consumes
+     * one, so score = quarantineScore - level (a full bucket is a
+     * clean guest).
+     */
     struct Containment
     {
         GuestHealth state = GuestHealth::Healthy;
-        double score = 0.0;
-        Tick lastLeak = 0;     ///< last score decay
+        TokenBucket bucket = TokenBucket::unlimited();
         Tick quarantinedAt = 0;
     };
 
@@ -224,6 +252,9 @@ class BmHiveServer : public SimObject
     cloud::VSwitch &vswitch_;
     cloud::BlockService *storage_;
     std::unique_ptr<hw::BaseBoard> base_;
+    /** Declared before guests_ so their hypervisors can
+     *  deregister from it during destruction. */
+    std::unique_ptr<sched::PollScheduler> sched_;
     std::vector<std::unique_ptr<BmGuest>> guests_;
     unsigned usedSlots_ = 0;
     Addr nextShadowRegion_ = 0;

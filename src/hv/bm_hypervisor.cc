@@ -52,8 +52,70 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
 
 BmHypervisor::~BmHypervisor()
 {
+    unregisterService();
     sim_.faults().remove(name());
     bond_.setReadyCallback(nullptr);
+    bond_.setDoorbellWake(nullptr);
+}
+
+void
+BmHypervisor::useScheduler(sched::PollScheduler &s,
+                           unsigned core_index)
+{
+    panic_if(connected_, name(),
+             ": useScheduler after backends connected");
+    panic_if(&s.coreExecutor(core_index) != core_, name(),
+             ": scheduler core does not back this process's PMD");
+    sched_ = &s;
+    schedCore_ = core_index;
+    // The doorbell mailbox write is what wakes a sleeping poll
+    // core; handle_ tracks the current service generation.
+    bond_.setDoorbellWake([this] {
+        if (handle_.valid())
+            sched_->wake(handle_);
+    });
+}
+
+void
+BmHypervisor::setPollWeight(double w)
+{
+    pollWeight_ = w;
+    if (sched_ && handle_.valid())
+        sched_->setWeight(handle_, w);
+}
+
+bool
+BmHypervisor::pollWedged(Tick window) const
+{
+    return sched_ && handle_.valid() &&
+           sched_->wedged(handle_, window);
+}
+
+void
+BmHypervisor::startService()
+{
+    if (!sched_) {
+        service_->start();
+        return;
+    }
+    service_->setExternallyDriven(true);
+    service_->start();
+    handle_ = sched_->add(schedCore_, *service_, pollWeight_);
+    // Backend-side arrivals (vSwitch rx, console input) wake the
+    // core the same way guest doorbells do.
+    service_->setWakeHook([this] {
+        if (handle_.valid())
+            sched_->wake(handle_);
+    });
+}
+
+void
+BmHypervisor::unregisterService()
+{
+    if (sched_ && handle_.valid()) {
+        sched_->remove(handle_);
+        handle_ = {};
+    }
 }
 
 bool
@@ -101,6 +163,7 @@ BmHypervisor::respawn()
         }
     }
     ++respawnCount_;
+    unregisterService();
     auto next = std::make_unique<VirtioIoService>(
         sim_, name() + ".svc.r" + std::to_string(respawnCount_),
         *core_, serviceParams_);
@@ -111,7 +174,7 @@ BmHypervisor::respawn()
     for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn)
         attachFunction(fn);
     wireTracers();
-    service_->start();
+    startService();
     respawns_.inc();
     crashed_ = false;
     logDebug("bm-hypervisor respawned (generation ",
@@ -127,6 +190,7 @@ BmHypervisor::powerOnGuest()
 void
 BmHypervisor::powerOffGuest()
 {
+    unregisterService();
     service_->stop();
     connected_ = false;
     board_.powerOff();
@@ -215,7 +279,7 @@ BmHypervisor::connectBackends()
     if (any) {
         connected_ = true;
         wireTracers();
-        service_->start();
+        startService();
     }
     return any;
 }
@@ -289,6 +353,7 @@ BmHypervisor::finishUpgrade(Tick t0, std::function<void(Tick)> done)
         return;
     }
     ++upgrades_;
+    unregisterService();
     auto next = std::make_unique<VirtioIoService>(
         sim_, name() + ".svc.v" + std::to_string(upgrades_ + 1),
         *core_, serviceParams_);
@@ -297,7 +362,7 @@ BmHypervisor::finishUpgrade(Tick t0, std::function<void(Tick)> done)
     // in-flight lambdas are gone once quiesced).
     retired_.push_back(std::move(service_));
     service_ = std::move(next);
-    service_->start();
+    startService();
     if (done)
         done(curTick() - t0);
 }

@@ -26,6 +26,7 @@
 #include "hw/compute_board.hh"
 #include "iobond/iobond.hh"
 #include "obs/request_tracer.hh"
+#include "sched/poll_scheduler.hh"
 
 namespace bmhive {
 namespace hv {
@@ -63,6 +64,34 @@ class BmHypervisor : public SimObject
      * false if no shadow queue is ready yet.
      */
     bool connectBackends();
+
+    /**
+     * Run this process's backend under a shared poll scheduler on
+     * @p core_index instead of a dedicated busy-poll loop. Must be
+     * called before connectBackends(); every service generation
+     * (respawn, live upgrade) re-registers itself, and IO-Bond
+     * doorbells post wakes toward the scheduler.
+     */
+    void useScheduler(sched::PollScheduler &s, unsigned core_index);
+
+    /**
+     * Containment lever forwarded to the scheduler: 1.0 normal,
+     * fractional deprioritized (Suspect), 0 starved (Quarantined).
+     * No-op under dedicated polling.
+     */
+    void setPollWeight(double w);
+
+    /**
+     * Shared-mode liveness: work is posted but the scheduler has
+     * not visited this backend for @p window — the per-pollable
+     * progress signal the watchdog consumes.
+     */
+    bool pollWedged(Tick window) const;
+
+    /** Scheduler core this guest's backend is bound to (shared
+     *  mode only; meaningless under dedicated polling). */
+    unsigned schedCore() const { return schedCore_; }
+    bool scheduled() const { return sched_ != nullptr; }
 
     /**
      * Apply a guest firmware update; refused unless signed by the
@@ -152,6 +181,10 @@ class BmHypervisor : public SimObject
     std::function<void(const std::string &)> consoleSink_;
     hw::CpuExecutor *core_ = nullptr;
     IoServiceParams serviceParams_;
+    sched::PollScheduler *sched_ = nullptr;
+    unsigned schedCore_ = 0;
+    sched::PollScheduler::Handle handle_;
+    double pollWeight_ = 1.0;
     bool connected_ = false;
     unsigned upgrades_ = 0;
     bool crashed_ = false;
@@ -173,6 +206,12 @@ class BmHypervisor : public SimObject
 
     /** Point bond and service at the tracers (post-connect). */
     void wireTracers();
+
+    /** Start the current service generation: dedicated poll loop,
+     *  or registration with the shared scheduler. */
+    void startService();
+    /** Drop the current service's scheduler registration. */
+    void unregisterService();
 
     /** Attach one function's role to service_ if its shadow
      *  vrings are ready. */

@@ -1,5 +1,6 @@
 #include "hv/io_service.hh"
 
+#include <limits>
 #include <utility>
 
 #include "base/logging.hh"
@@ -112,6 +113,8 @@ void
 VirtioIoService::consoleInput(const std::string &text)
 {
     conPending_.push_back(text);
+    if (wakeHook_)
+        wakeHook_();
 }
 
 void
@@ -173,6 +176,8 @@ VirtioIoService::enqueueRx(const cloud::Packet &pkt)
         return;
     }
     rxPending_.push_back(pkt);
+    if (wakeHook_)
+        wakeHook_();
 }
 
 void
@@ -180,7 +185,8 @@ VirtioIoService::start()
 {
     panic_if(running_, name(), ": started twice");
     running_ = true;
-    scheduleNext();
+    if (!externallyDriven_)
+        scheduleNext();
 }
 
 void
@@ -195,7 +201,7 @@ void
 VirtioIoService::stall(Tick duration)
 {
     stallUntil_ = std::max(stallUntil_, curTick() + duration);
-    if (running_)
+    if (running_ && !externallyDriven_)
         eventq().reschedule(&pollEvent_, stallUntil_);
 }
 
@@ -224,33 +230,51 @@ VirtioIoService::scheduleNext()
 void
 VirtioIoService::poll()
 {
-    if (params_.pollRegisterCost > 0)
-        core_.charge(params_.pollRegisterCost);
-    unsigned work = 0;
-    if (netTx_)
-        work += pollNetTx();
-    if (netRx_)
-        work += pollNetRx();
-    if (blk_)
-        work += pollBlk();
-    if (conTx_)
-        work += pollConsole();
-    pollsTotal_.inc();
-    if (work > 0)
-        pollsBusy_.inc();
-    pollBatch_.record(double(work));
+    servicePoll(std::numeric_limits<unsigned>::max());
     scheduleNext();
 }
 
 unsigned
-VirtioIoService::pollNetTx()
+VirtioIoService::servicePoll(unsigned budget)
+{
+    if (params_.pollRegisterCost > 0)
+        core_.charge(params_.pollRegisterCost);
+    unsigned work = 0;
+    if (netTx_ && work < budget)
+        work += pollNetTx(budget - work);
+    if (netRx_ && work < budget)
+        work += pollNetRx(budget - work);
+    if (blk_ && work < budget)
+        work += pollBlk(budget - work);
+    if (conTx_ && work < budget)
+        work += pollConsole(budget - work);
+    pollsTotal_.inc();
+    if (work > 0)
+        pollsBusy_.inc();
+    pollBatch_.record(double(work));
+    return work;
+}
+
+unsigned
+VirtioIoService::pollNetTx(unsigned max)
 {
     Tick cost = 0;
     unsigned completed = 0;
-    while (auto chain = netTx_->pop()) {
-        if (netTracer_)
+    while (completed < max) {
+        auto chain = netTx_->pop();
+        if (!chain)
+            break;
+        if (netTracer_) {
+            // Under a shared scheduler the wait for a poll visit
+            // is its own stage; dedicated polling never stamps it
+            // and the pickup span carries the whole wait.
+            if (externallyDriven_)
+                netTracer_->stamp(netTxKeyBase_ | chain->head,
+                                  obs::Stage::SchedDelay,
+                                  curTick());
             netTracer_->stamp(netTxKeyBase_ | chain->head,
                               obs::Stage::PollPickup, curTick());
+        }
         auto ext = guest::readPacketFromTxChain(*netMem_, *chain);
         cost += params_.perPacketCost + params_.perPacketCopyCost;
         if (ext.ok) {
@@ -287,11 +311,11 @@ VirtioIoService::pollNetTx()
 }
 
 unsigned
-VirtioIoService::pollNetRx()
+VirtioIoService::pollNetRx(unsigned max)
 {
     Tick cost = 0;
     unsigned completed = 0;
-    while (!rxPending_.empty()) {
+    while (completed < max && !rxPending_.empty()) {
         if (!netRx_->hasWork())
             break; // guest has not replenished rx buffers
         auto chain = netRx_->pop();
@@ -319,11 +343,14 @@ VirtioIoService::pollNetRx()
 }
 
 unsigned
-VirtioIoService::pollConsole()
+VirtioIoService::pollConsole(unsigned max)
 {
     // Guest output: drain the tx queue into the sink.
     unsigned out = 0;
-    while (auto chain = conTx_->pop()) {
+    while (out < max) {
+        auto chain = conTx_->pop();
+        if (!chain)
+            break;
         std::string text;
         for (const auto &seg : chain->segs) {
             if (seg.deviceWrites || seg.len == 0)
@@ -346,7 +373,8 @@ VirtioIoService::pollConsole()
 
     // Host input: copy pending strings into posted rx buffers.
     unsigned in = 0;
-    while (!conPending_.empty() && conRx_->hasWork()) {
+    while (out + in < max && !conPending_.empty() &&
+           conRx_->hasWork()) {
         auto chain = conRx_->pop();
         if (!chain)
             continue;
@@ -376,14 +404,22 @@ VirtioIoService::pollConsole()
 }
 
 unsigned
-VirtioIoService::pollBlk()
+VirtioIoService::pollBlk(unsigned max)
 {
     unsigned picked = 0;
-    while (auto chain = blk_->pop()) {
+    while (picked < max) {
+        auto chain = blk_->pop();
+        if (!chain)
+            break;
         ++picked;
-        if (blkTracer_)
+        if (blkTracer_) {
+            if (externallyDriven_)
+                blkTracer_->stamp(blkKeyBase_ | chain->head,
+                                  obs::Stage::SchedDelay,
+                                  curTick());
             blkTracer_->stamp(blkKeyBase_ | chain->head,
                               obs::Stage::PollPickup, curTick());
+        }
         // Chain: [hdr 16B out] [data in|out]? [status 1B in].
         if (chain->segs.size() < 2 ||
             chain->segs.front().deviceWrites ||

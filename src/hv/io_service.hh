@@ -35,6 +35,7 @@
 #include "hw/cpu_executor.hh"
 #include "mem/guest_memory.hh"
 #include "obs/request_tracer.hh"
+#include "sched/pollable.hh"
 #include "sim/sim_object.hh"
 #include "virtio/virtqueue.hh"
 
@@ -84,7 +85,7 @@ struct IoServiceParams
  */
 using CompletionBarrier = std::function<void()>;
 
-class VirtioIoService : public SimObject
+class VirtioIoService : public SimObject, public sched::Pollable
 {
   public:
     VirtioIoService(Simulation &sim, std::string name,
@@ -145,6 +146,35 @@ class VirtioIoService : public SimObject
 
     /** Begin the poll loop. */
     void start();
+
+    /**
+     * Hand the poll loop to an external driver (the shared
+     * PollScheduler): start()/stall() stop scheduling the
+     * dedicated poll event and the driver calls servicePoll()
+     * instead. Must be set before start().
+     */
+    void setExternallyDriven(bool b) { externallyDriven_ = b; }
+    bool externallyDriven() const { return externallyDriven_; }
+
+    /**
+     * Called whenever backend-side work arrives outside the guest
+     * doorbell path (vSwitch rx delivery, console input) so an
+     * external driver can wake a sleeping poll core.
+     */
+    void setWakeHook(std::function<void()> hook)
+    {
+        wakeHook_ = std::move(hook);
+    }
+
+    // --- sched::Pollable ---
+    /** One budget-capped scheduler visit across all roles. */
+    unsigned servicePoll(unsigned budget) override;
+    bool pollAlive() const override { return running_; }
+    Tick pollBlockedUntil() const override { return stallUntil_; }
+    const std::string &pollableName() const override
+    {
+        return name();
+    }
 
     /**
      * Adopt all attached roles, ring positions, limiter state, and
@@ -259,10 +289,10 @@ class VirtioIoService : public SimObject
     };
 
     void poll();
-    unsigned pollNetTx();
-    unsigned pollNetRx();
-    unsigned pollBlk();
-    unsigned pollConsole();
+    unsigned pollNetTx(unsigned max);
+    unsigned pollNetRx(unsigned max);
+    unsigned pollBlk(unsigned max);
+    unsigned pollConsole(unsigned max);
     void scheduleNext();
     void submitBlkAttempt(std::uint64_t seq, Tick copy_cost);
     void onBlkServiceDone(std::uint64_t seq, std::uint64_t gen);
@@ -304,6 +334,8 @@ class VirtioIoService : public SimObject
         cloud::DualRateLimiter::unlimited();
 
     bool running_ = false;
+    bool externallyDriven_ = false;
+    std::function<void()> wakeHook_;
     std::uint64_t blkInflight_ = 0;
     std::map<std::uint64_t, PendingBlk> blkPending_;
     std::uint64_t blkNextSeq_ = 0;

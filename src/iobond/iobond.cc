@@ -413,6 +413,10 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
     }
     trace(name() + ": doorbell fn=" + std::to_string(fi) +
           " q=" + std::to_string(q));
+    // An accepted mailbox write is what a sleeping poll core
+    // observes.
+    if (doorbellWake_)
+        doorbellWake_();
     // The notification crosses to the mailbox side of the FPGA
     // before descriptor fetch begins.
     auto *ev = new OneShotEvent(
@@ -595,6 +599,11 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
               " (" + std::to_string(dma_bytes) +
               "B payload) published on shadow vring, head " +
               "register -> " + std::to_string(s.shadowAvail));
+        // Resync sweeps (storm throttle, link flap, recovery)
+        // publish work without a fresh doorbell; wake here too so
+        // swept-up chains never wait on a sleeping core.
+        if (doorbellWake_)
+            doorbellWake_();
     });
     return true;
 }

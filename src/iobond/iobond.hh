@@ -185,6 +185,18 @@ class IoBond : public SimObject
     }
 
     /**
+     * Invoked when an accepted doorbell (or a resync sweep)
+     * publishes guest work toward the backend — the mailbox write
+     * a shared poll scheduler uses to wake a sleeping poll core.
+     * Quarantined, dropped, and storm-throttled doorbells post no
+     * wake: a contained guest cannot spin a core back up.
+     */
+    void setDoorbellWake(std::function<void()> hook)
+    {
+        doorbellWake_ = std::move(hook);
+    }
+
+    /**
      * Unrecoverable function error: drop its in-flight chains,
      * mark the shadow vrings not-ready, and raise
      * DEVICE_NEEDS_RESET toward the guest driver.
@@ -342,6 +354,7 @@ class IoBond : public SimObject
     std::vector<std::vector<ShadowQueue>> shadow_;
     Tracer tracer_;
     std::function<void(unsigned)> readyCb_;
+    std::function<void()> doorbellWake_;
     /** Injected PCIe link outage: doorbells are lost until then. */
     Tick linkDownUntil_ = 0;
     /** Injected doorbell-loss budget. */

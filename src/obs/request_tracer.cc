@@ -16,6 +16,8 @@ stageName(Stage s)
         return "guest_post";
       case Stage::ShadowSync:
         return "shadow_sync";
+      case Stage::SchedDelay:
+        return "sched_delay";
       case Stage::PollPickup:
         return "poll_pickup";
       case Stage::Service:

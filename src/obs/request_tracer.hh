@@ -7,6 +7,8 @@
  *
  *   GuestPost   guest rang the IO-Bond doorbell (flow start)
  *   ShadowSync  chain published on the shadow vring (DMA landed)
+ *   SchedDelay  shared poll-core scheduler reached the backend
+ *               (zero-width under dedicated polling)
  *   PollPickup  bm-hypervisor PMD popped the shadow chain
  *   Service     vSwitch handoff / block-service completion
  *   CompleteDma used element + data DMA'd back to guest memory
@@ -43,13 +45,14 @@ namespace obs {
 enum class Stage : unsigned {
     GuestPost = 0,
     ShadowSync,
+    SchedDelay,
     PollPickup,
     Service,
     CompleteDma,
     GuestIrq,
 };
 
-constexpr unsigned numStages = 6;
+constexpr unsigned numStages = 7;
 
 const char *stageName(Stage s);
 

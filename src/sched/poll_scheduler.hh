@@ -1,0 +1,186 @@
+/**
+ * @file
+ * PollScheduler: multiplex N poll-mode backends over M base-board
+ * cores. The seed design pins one always-busy-polling bm-hypervisor
+ * per core, capping density at one guest per core; this subsystem
+ * is the shared alternative (cf. the paper's section 3.5 density
+ * economics).
+ *
+ * Each core runs a scheduler round that services its registered
+ * pollables with deficit-weighted round-robin: every round a ready
+ * pollable earns quantum*weight items of deficit, is serviced up to
+ * its accumulated deficit, and loses the unused remainder when it
+ * runs dry (classic DWRR, so a backlogged guest cannot hoard credit
+ * and an active one gets cross-guest batching within the round).
+ *
+ * An adaptive-poll governor walks each core busy-poll -> backoff ->
+ * sleep as its pollables run dry: rounds with work keep the
+ * busy-poll period, an idle streak doubles the period up to a
+ * ceiling, and one more idle round at the ceiling stops scheduling
+ * rounds entirely. IO-Bond doorbell writes (and backend rx/console
+ * input) post a wake; a sleeping core resumes within a bounded
+ * wake latency, modeled in ticks.
+ *
+ * Containment hooks: per-pollable weights. Suspect guests get a
+ * fractional weight (deprioritized but serviced), quarantined
+ * guests weight 0 (starved at the scheduler, not just at the
+ * doorbell). The watchdog asks wedged(): work posted a full window
+ * ago with no service visit since — per-pollable progress, not
+ * per-process liveness.
+ */
+
+#ifndef BMHIVE_SCHED_POLL_SCHEDULER_HH
+#define BMHIVE_SCHED_POLL_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/paper_constants.hh"
+#include "base/stats.hh"
+#include "hw/cpu_executor.hh"
+#include "sched/pollable.hh"
+#include "sim/sim_object.hh"
+
+namespace bmhive {
+namespace sched {
+
+struct PollSchedulerParams
+{
+    /** Round period while busy (the PMD spin granularity). */
+    Tick pollPeriod = paper::bmPollPeriod;
+    /** Work items one unit of weight earns per round. */
+    unsigned quantum = paper::schedQuantum;
+    /** Idle rounds before the governor starts backing off. */
+    unsigned idleRoundsBeforeBackoff =
+        paper::schedIdleRoundsBeforeBackoff;
+    /** Backoff ceiling; idle there sends the core to sleep. */
+    Tick maxBackoff = paper::schedMaxBackoff;
+    /** Doorbell-to-first-poll latency of a sleeping core. */
+    Tick wakeLatency = paper::schedWakeLatency;
+};
+
+class PollScheduler : public SimObject
+{
+  public:
+    /** Opaque registration handle; id 0 is "never registered". */
+    struct Handle
+    {
+        unsigned core = 0;
+        std::uint64_t id = 0;
+
+        bool valid() const { return id != 0; }
+    };
+
+    PollScheduler(Simulation &sim, std::string name,
+                  std::vector<hw::CpuExecutor *> cores,
+                  PollSchedulerParams params = {});
+    ~PollScheduler() override;
+
+    unsigned coreCount() const { return unsigned(cores_.size()); }
+    hw::CpuExecutor &coreExecutor(unsigned i);
+
+    /** Core with the fewest registered pollables (placement). */
+    unsigned leastLoadedCore() const;
+
+    /**
+     * Register @p p on @p core with @p weight. The core is kicked
+     * so queued bring-up work is discovered without a doorbell.
+     */
+    Handle add(unsigned core, Pollable &p, double weight = 1.0);
+    void remove(Handle h);
+
+    /**
+     * Containment lever: 1.0 = normal share, fractions
+     * deprioritize, 0 starves (the pollable keeps its slot but is
+     * never serviced until the weight comes back).
+     */
+    void setWeight(Handle h, double w);
+
+    /**
+     * Work was posted for @p h (doorbell, backend rx, console
+     * input): wake a sleeping/backed-off core so it polls within
+     * wakeLatency.
+     */
+    void wake(Handle h);
+
+    // --- Watchdog interface (per-pollable progress) ---
+
+    /** Scheduler visits (serviced rounds) of @p h. */
+    std::uint64_t serviceVisits(Handle h) const;
+    /**
+     * True when @p h had work posted more than @p window ago and
+     * has not been visited since: the pollable is wedged, not
+     * merely idle (an idle guest posts nothing, a starved weight-0
+     * guest is deliberate and reported as not wedged).
+     */
+    bool wedged(Handle h, Tick window) const;
+
+    // --- Observability ---
+
+    std::uint64_t rounds(unsigned core) const;
+    std::uint64_t busyRounds(unsigned core) const;
+    std::uint64_t wakes(unsigned core) const;
+    std::uint64_t sleeps(unsigned core) const;
+    unsigned pollablesOn(unsigned core) const;
+    double busyRatio(unsigned core) const;
+    /** Scheduler rounds across every core (idle-poll accounting). */
+    std::uint64_t totalRounds() const;
+    const LatencyRecorder &wakeToPoll(unsigned core) const;
+
+    const PollSchedulerParams &params() const { return params_; }
+
+  private:
+    enum class CoreState { Busy, Backoff, Sleep };
+
+    struct Member
+    {
+        std::uint64_t id = 0;
+        Pollable *pollable = nullptr;
+        double weight = 1.0;
+        double deficit = 0.0;
+        std::uint64_t visits = 0;
+        Tick lastServiced = 0;
+        /** Posted work not yet followed by a service visit. */
+        bool wakePending = false;
+        Tick postedAt = 0;
+        /** Items serviced, attributed per guest backend. */
+        Counter *served = nullptr;
+    };
+
+    struct Core
+    {
+        hw::CpuExecutor *exec = nullptr;
+        std::vector<Member> members;
+        CoreState state = CoreState::Sleep;
+        Tick period = 0;
+        unsigned idleRounds = 0;
+        std::unique_ptr<EventFunctionWrapper> roundEvent;
+        Counter *rounds = nullptr;
+        Counter *busy = nullptr;
+        Counter *items = nullptr;
+        Counter *wakes = nullptr;
+        Counter *sleeps = nullptr;
+        Gauge *pollables = nullptr;
+        Histogram *roundItems = nullptr;
+        LatencyRecorder *wakeToPoll = nullptr;
+    };
+
+    void runRound(unsigned ci);
+    /** Resume busy polling on @p ci within wakeLatency. */
+    void expedite(unsigned ci, bool count_wake);
+    /** Schedule (or expedite) core @p ci's next round at @p at. */
+    void kick(unsigned ci, Tick at);
+    Member *find(Handle h);
+    const Member *find(Handle h) const;
+
+    PollSchedulerParams params_;
+    std::vector<Core> cores_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace sched
+} // namespace bmhive
+
+#endif // BMHIVE_SCHED_POLL_SCHEDULER_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Pollable: the contract between a poll-mode backend and the
+ * shared PollScheduler. One pollable per bm-hypervisor IoService;
+ * the scheduler round-robins servicePoll() over every pollable
+ * bound to a poll core, so the interface deliberately carries no
+ * timing or platform state of its own.
+ */
+
+#ifndef BMHIVE_SCHED_POLLABLE_HH
+#define BMHIVE_SCHED_POLLABLE_HH
+
+#include <string>
+
+#include "base/units.hh"
+
+namespace bmhive {
+namespace sched {
+
+class Pollable
+{
+  public:
+    virtual ~Pollable() = default;
+
+    /**
+     * Service up to @p budget work items (packets, block requests,
+     * console lines) and return how many were actually serviced.
+     * Called only while pollAlive() and not blocked; CPU costs are
+     * the pollable's own to charge against its executor.
+     */
+    virtual unsigned servicePoll(unsigned budget) = 0;
+
+    /** False once the backing process stopped or died; the
+     *  scheduler skips dead pollables entirely. */
+    virtual bool pollAlive() const = 0;
+
+    /**
+     * Tick before which this pollable must not be serviced (an
+     * injected stall, a preempted process). 0 / past ticks mean
+     * ready now. The scheduler resumes it when the time passes.
+     */
+    virtual Tick pollBlockedUntil() const = 0;
+
+    /** Stable name for per-pollable metrics. */
+    virtual const std::string &pollableName() const = 0;
+};
+
+} // namespace sched
+} // namespace bmhive
+
+#endif // BMHIVE_SCHED_POLLABLE_HH

@@ -16,16 +16,19 @@ FioRunner::FioRunner(Simulation &sim, std::string name,
              this->name(), ": guest has no block device");
 }
 
-FioResult
-FioRunner::run()
+void
+FioRunner::start()
 {
     measureStart_ = curTick() + params_.warmup;
     measureEnd_ = measureStart_ + params_.window;
 
     for (unsigned j = 0; j < params_.jobs; ++j)
         jobLoop(j);
+}
 
-    sim_.run(measureEnd_ + msToTicks(20));
+FioResult
+FioRunner::collect()
+{
     stop_ = true;
 
     FioResult r;
@@ -35,6 +38,14 @@ FioRunner::run()
     r.p99Us = lat_.p99Us();
     r.p999Us = lat_.p999Us();
     return r;
+}
+
+FioResult
+FioRunner::run()
+{
+    start();
+    sim_.run(doneAt());
+    return collect();
 }
 
 void

@@ -45,6 +45,12 @@ class FioRunner : public SimObject
 
     FioResult run();
 
+    /** Split-phase interface (see PacketFlood): start() launches
+     *  the jobs, the caller steps to doneAt(), collect() reports. */
+    void start();
+    Tick doneAt() const { return measureEnd_ + msToTicks(20); }
+    FioResult collect();
+
   private:
     void jobLoop(unsigned job);
 

@@ -34,46 +34,51 @@ PacketFlood::PacketFlood(Simulation &sim, std::string name,
 {
 }
 
-PacketFloodResult
-PacketFlood::run()
+void
+PacketFlood::start()
 {
-    Tick t0 = curTick() + params_.warmup;
-    Tick t1 = t0 + params_.window;
+    t0_ = curTick() + params_.warmup;
+    t1_ = t0_ + params_.window;
 
     // Receive-side accounting, bucketed per millisecond for the
     // jitter estimate.
     std::size_t buckets = std::size_t(params_.window / msToTicks(1));
     if (buckets == 0)
         buckets = 1;
-    std::vector<std::uint64_t> perMs(buckets, 0);
-    std::uint64_t in_window = 0;
-    Bytes bytes_in_window = 0;
+    perMs_.assign(buckets, 0);
+    inWindow_ = 0;
+    bytesInWindow_ = 0;
 
     dst_.net->setRxProcessing(stackCost(params_.stack),
                               params_.flows);
-    dst_.net->setRxHandler([&](const cloud::Packet &p) {
+    dst_.net->setRxHandler([this](const cloud::Packet &p) {
         ++received_;
         Tick now = curTick();
-        if (now >= t0 && now < t1) {
-            ++in_window;
+        if (now >= t0_ && now < t1_) {
+            ++inWindow_;
             // netperf reports goodput: payload only.
             Bytes hdrs = cloud::ethHeaderBytes +
                          cloud::ipUdpHeaderBytes;
-            bytes_in_window += p.len > hdrs ? p.len - hdrs : 0;
-            auto b = std::size_t((now - t0) / msToTicks(1));
-            if (b < perMs.size())
-                ++perMs[b];
+            bytesInWindow_ += p.len > hdrs ? p.len - hdrs : 0;
+            auto b = std::size_t((now - t0_) / msToTicks(1));
+            if (b < perMs_.size())
+                ++perMs_[b];
         }
     });
 
     for (unsigned f = 0; f < params_.flows; ++f)
         senderLoop(f);
 
-    // Stop the senders at t1 and let the pipe drain briefly.
-    EventFunctionWrapper stopper([this] { stop_ = true; },
-                                 name() + ".stop");
-    eventq().schedule(&stopper, t1);
-    sim_.run(t1 + msToTicks(2));
+    // Stop the senders at t1; collect() allows the pipe to drain
+    // for the extra doneAt() slack.
+    auto *stopper =
+        new OneShotEvent([this] { stop_ = true; }, name() + ".stop");
+    eventq().schedule(stopper, t1_);
+}
+
+PacketFloodResult
+PacketFlood::collect()
+{
     stop_ = true;
     dst_.net->setRxHandler(nullptr);
     dst_.net->setRxProcessing(0, 1);
@@ -82,18 +87,26 @@ PacketFlood::run()
     r.sent = sent_;
     r.received = received_;
     double secs = ticksToSec(params_.window);
-    r.pps = double(in_window) / secs;
-    r.gbps = double(bytes_in_window) * 8.0 / secs / 1e9;
+    r.pps = double(inWindow_) / secs;
+    r.gbps = double(bytesInWindow_) * 8.0 / secs / 1e9;
     // Jitter across 1 ms intervals (drop first and last, which are
     // partial with respect to packet flight time).
-    if (perMs.size() > 4) {
+    if (perMs_.size() > 4) {
         SummaryStats s;
-        for (std::size_t i = 1; i + 1 < perMs.size(); ++i)
-            s.record(double(perMs[i]));
+        for (std::size_t i = 1; i + 1 < perMs_.size(); ++i)
+            s.record(double(perMs_[i]));
         r.jitterPct =
             s.mean() > 0 ? 100.0 * s.stddev() / s.mean() : 0.0;
     }
     return r;
+}
+
+PacketFloodResult
+PacketFlood::run()
+{
+    start();
+    sim_.run(doneAt());
+    return collect();
 }
 
 void

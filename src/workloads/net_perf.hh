@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "base/paper_constants.hh"
 #include "base/stats.hh"
@@ -63,6 +64,16 @@ class PacketFlood : public SimObject
     /** Run to completion (blocks the event loop). */
     PacketFloodResult run();
 
+    /**
+     * Split-phase interface for concurrent workloads (density
+     * sweeps run many floods at once): start() arms the flood,
+     * the caller steps the simulation to doneAt(), collect()
+     * detaches and reports.
+     */
+    void start();
+    Tick doneAt() const { return t1_ + msToTicks(2); }
+    PacketFloodResult collect();
+
   private:
     void senderLoop(unsigned flow);
 
@@ -73,6 +84,11 @@ class PacketFlood : public SimObject
     std::uint64_t received_ = 0;
     std::uint64_t seq_ = 0;
     bool stop_ = false;
+    Tick t0_ = 0;
+    Tick t1_ = 0;
+    std::vector<std::uint64_t> perMs_;
+    std::uint64_t inWindow_ = 0;
+    Bytes bytesInWindow_ = 0;
 };
 
 struct PingPongParams

@@ -290,6 +290,39 @@ TEST(DualRateLimiterTest, StricterDimensionWins)
     EXPECT_NEAR(pps, 4e6, 1.5e5);
 }
 
+TEST(DualRateLimiterTest, BurstDepthExhausts)
+{
+    // 1000 ops/s with burst 10: the bucket front-loads exactly the
+    // burst depth at t=0, then the configured rate binds.
+    DualRateLimiter lim(1000.0, 0.0, 10.0, 0.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(lim.admit(0, 1), 0u) << "burst op " << i;
+    // The 11th op waits one full token period (1 ms at 1000/s).
+    EXPECT_NEAR(ticksToMs(lim.admit(0, 1)), 1.0, 0.05);
+}
+
+TEST(DualRateLimiterTest, RefillPacesAtConfiguredRate)
+{
+    // Drain the burst, go idle, come back: exactly rate * idle
+    // tokens are available again, and a long idle never
+    // accumulates more than the burst depth.
+    DualRateLimiter lim(1000.0, 0.0, 10.0, 0.0);
+    for (int i = 0; i < 10; ++i)
+        lim.admit(0, 1);
+    Tick now = msToTicks(5); // 5 ms idle refills 5 tokens
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(lim.admit(now, 1), now) << "refilled op " << i;
+    EXPECT_NEAR(ticksToMs(lim.admit(now, 1)), 6.0, 0.05);
+
+    DualRateLimiter lim2(1000.0, 0.0, 10.0, 0.0);
+    for (int i = 0; i < 10; ++i)
+        lim2.admit(0, 1);
+    now = secToTicks(1); // a whole second: clamped at burst depth
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(lim2.admit(now, 1), now) << "clamped op " << i;
+    EXPECT_GT(lim2.admit(now, 1), now);
+}
+
 TEST(DualRateLimiterTest, LongRunRateConvergesToCap)
 {
     // Property: sustained admission rate equals the configured

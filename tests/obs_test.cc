@@ -232,12 +232,20 @@ class ObsIntegrationTest : public ::testing::Test
         const auto &rec = tracer.recent().front();
         unsigned last = unsigned(tracer.finalStage());
         // Every span of the Fig. 6 path up to the flow's final
-        // stage, exactly once...
-        EXPECT_EQ(rec.stageSeen, (1u << (last + 1)) - 1);
+        // stage, exactly once — except SchedDelay, which is
+        // zero-width (skipped) under dedicated busy polling.
+        unsigned sched_bit = 1u << unsigned(Stage::SchedDelay);
+        EXPECT_EQ(rec.stageSeen | sched_bit,
+                  (1u << (last + 1)) - 1);
         // ...with non-decreasing timestamps along the path.
-        for (unsigned s = 1; s <= last; ++s)
-            EXPECT_GE(rec.at[s], rec.at[s - 1])
-                << "stage " << s << " precedes stage " << s - 1;
+        Tick prev = rec.at[0];
+        for (unsigned s = 1; s <= last; ++s) {
+            if (!(rec.stageSeen & (1u << s)))
+                continue;
+            EXPECT_GE(rec.at[s], prev)
+                << "stage " << s << " precedes its predecessor";
+            prev = rec.at[s];
+        }
         // The doorbell really is earlier than the closing event.
         EXPECT_GT(rec.at[last], rec.at[unsigned(Stage::GuestPost)]);
         // Per-stage recorders saw exactly this one flow.
