@@ -55,7 +55,7 @@ runWith(std::uint64_t seed, double dma_gbps, Tick poll_period,
     fp.flows = 14;
     fp.batch = 16;
     fp.warmup = msToTicks(3);
-    fp.window = msToTicks(15);
+    fp.window = Session::window(msToTicks(15));
     PacketFlood flood(bed.sim, "flood", a, b, fp);
     auto fr = flood.run();
 
@@ -133,7 +133,7 @@ main(int argc, char **argv)
         fp.flows = 14;
         fp.batch = 16;
         fp.warmup = msToTicks(3);
-        fp.window = msToTicks(15);
+        fp.window = Session::window(msToTicks(15));
         PacketFlood flood(bed.sim, "flood", a, b, fp);
         auto fr = flood.run();
         PingPongParams pp;

@@ -80,7 +80,7 @@ runConfig(std::uint64_t seed, bool shared, unsigned guests,
     FioParams fp;
     fp.jobs = 4;
     fp.warmup = msToTicks(5);
-    fp.window = msToTicks(20);
+    fp.window = Session::window(msToTicks(20));
     std::vector<std::unique_ptr<FioRunner>> fios;
     for (unsigned i = 0; i < 2 && i < guests; ++i) {
         fios.push_back(std::make_unique<FioRunner>(
@@ -93,7 +93,7 @@ runConfig(std::uint64_t seed, bool shared, unsigned guests,
     pp.batch = 8;
     pp.stack = NetStack::Kernel;
     pp.warmup = msToTicks(5);
-    pp.window = msToTicks(20);
+    pp.window = Session::window(msToTicks(20));
     std::vector<std::unique_ptr<PacketFlood>> floods;
     for (unsigned i = 2; i + 1 < guests; i += 2) {
         floods.push_back(std::make_unique<PacketFlood>(
@@ -143,7 +143,7 @@ idlePolls(std::uint64_t seed, bool shared)
     Testbed bed(seed, serverParams(shared, 4));
     for (unsigned i = 0; i < 4; ++i)
         bed.bmGuest(0x40 + i, 0);
-    bed.sim.run(bed.sim.now() + msToTicks(20));
+    bed.sim.run(bed.sim.now() + Session::window(msToTicks(20)));
     std::uint64_t idle = 0;
     for (unsigned i = 0; i < bed.server.guestCount(); ++i) {
         auto &svc = bed.server.guest(i).hypervisor().service();

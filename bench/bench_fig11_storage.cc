@@ -27,7 +27,7 @@ runFio(GuestContext g, Simulation &sim, bool write)
     p.write = write;
     p.jobs = 8;
     p.blockBytes = 4 * KiB;
-    p.window = msToTicks(2500);
+    p.window = Session::window(msToTicks(2500));
     FioRunner fio(sim, "fio", g, p);
     return fio.run();
 }

@@ -23,7 +23,7 @@ runOne(GuestContext g, cloud::VSwitch &sw, Simulation &sim,
 {
     AppBenchParams p;
     p.clients = clients;
-    p.window = msToTicks(150);
+    p.window = Session::window(msToTicks(150));
     static int serial = 0;
     AppServerBench bench(sim, "ab" + std::to_string(serial),
                          g, sw, 0xc11e000 + serial, AppProfile::nginx(),

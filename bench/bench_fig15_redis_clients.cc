@@ -21,7 +21,7 @@ runOne(std::uint64_t seed, bool bm, unsigned clients)
 {
     AppBenchParams p;
     p.clients = clients;
-    p.window = msToTicks(250);
+    p.window = Session::window(msToTicks(250));
     Testbed bed(seed);
     auto g = bm ? bed.bmGuest(0xaa, 0) : bed.vmGuest(0xaa, 0);
     bed.sim.run(bed.sim.now() + msToTicks(1));

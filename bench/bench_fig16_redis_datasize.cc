@@ -22,7 +22,7 @@ runOne(std::uint64_t seed, bool bm, Bytes value_bytes)
 {
     AppBenchParams p;
     p.clients = 256;
-    p.window = msToTicks(250);
+    p.window = Session::window(msToTicks(250));
     Testbed bed(seed);
     auto g = bm ? bed.bmGuest(0xaa, 0) : bed.vmGuest(0xaa, 0);
     bed.sim.run(bed.sim.now() + msToTicks(1));

@@ -27,7 +27,7 @@ runPair(GuestContext src, GuestContext dst, Simulation &sim)
     p.batch = 4; // little aggregation for 1B datagrams (no GSO)
     p.stack = NetStack::Kernel;
     p.warmup = msToTicks(5);
-    p.window = msToTicks(40);
+    p.window = Session::window(msToTicks(40));
     PacketFlood flood(sim, "flood", src, dst, p);
     return flood.run();
 }

@@ -198,8 +198,16 @@ main(int argc, char **argv)
     // Strip our flags before google-benchmark sees (and rejects)
     // them; dumps --metrics-out on exit like every other bench.
     bmhive::bench::Session session(argc, argv);
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    // --quick (bench_smoke): shrink every benchmark's sampling
+    // window; results stay shaped right, just noisier.
+    std::vector<char *> args(argv, argv + argc);
+    char quick_min[] = "--benchmark_min_time=0.02";
+    if (bmhive::bench::Session::quick)
+        args.push_back(quick_min);
+    args.push_back(nullptr);
+    int ac = int(args.size()) - 1;
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data()))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -55,7 +55,7 @@ main(int argc, char **argv)
         p.flows = 28;       // DPDK: all cores blast
         p.batch = 64;       // PMD burst size
         p.stack = NetStack::Dpdk;
-        p.window = msToTicks(30);
+        p.window = Session::window(msToTicks(30));
         PacketFlood flood(bed.sim, "flood", a, b, p);
         auto r = flood.run();
         std::printf("  uncapped PPS: %.1fM (paper: ~16M; capped "
@@ -67,7 +67,7 @@ main(int argc, char **argv)
     {
         FioParams fp;
         fp.jobs = 8;
-        fp.window = msToTicks(800);
+        fp.window = Session::window(msToTicks(800));
 
         Testbed bm_bed(432, 4, localSsd());
         auto bm_g = bm_bed.bmGuest(0xaa, 256, false);
@@ -96,7 +96,7 @@ main(int argc, char **argv)
         FioParams bw;
         bw.jobs = 8;
         bw.blockBytes = 128 * KiB;
-        bw.window = msToTicks(800);
+        bw.window = Session::window(msToTicks(800));
         Testbed bm2(434, 4, localSsd());
         auto bm2_g = bm2.bmGuest(0xaa, 256, false);
         bm2.sim.run(bm2.sim.now() + msToTicks(1));

@@ -116,7 +116,9 @@ class Session
         int w = 1;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
-            if (a.rfind(metrics_flag, 0) == 0)
+            if (a == "--quick")
+                quick = true;
+            else if (a.rfind(metrics_flag, 0) == 0)
                 metricsOut_ = a.substr(metrics_flag.size());
             else if (a.rfind(seed_flag, 0) == 0)
                 faultSeed = std::strtoull(
@@ -138,6 +140,19 @@ class Session
         }
         argc = w;
         argv[argc] = nullptr;
+    }
+
+    /** --quick (the bench_smoke ctest target): benches shrink
+     *  their measurement windows via window() so every binary gets
+     *  exercised end to end without paying full-run duration.
+     *  Numbers from quick runs are NOT paper-comparable. */
+    inline static bool quick = false;
+
+    /** Measurement window honoring --quick. */
+    static Tick
+    window(Tick full)
+    {
+        return quick ? full / 8 : full;
     }
 
     /** Chaos flags, visible to every Testbed the bench builds. */

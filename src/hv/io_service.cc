@@ -34,7 +34,8 @@ VirtioIoService::VirtioIoService(Simulation &sim, std::string name,
       blkRangeErrors_(
           metrics().counter(this->name() + ".blk.range_errors")),
       pollBatch_(
-          metrics().histogram(this->name() + ".poll.batch", 0, 64, 16))
+          metrics().histogram(this->name() + ".poll.batch", 0, 1024,
+                              32))
 {
 }
 
@@ -239,15 +240,27 @@ VirtioIoService::servicePoll(unsigned budget)
 {
     if (params_.pollRegisterCost > 0)
         core_.charge(params_.pollRegisterCost);
+    // Drain until the budget is spent or a full pass over every
+    // role finds nothing: work that appears mid-visit (rx buffers
+    // replenished, a burst published while a role was draining) is
+    // picked up now rather than waiting out a poll period. Each
+    // role signals its completion barrier once per drained pass,
+    // not once per chain.
     unsigned work = 0;
-    if (netTx_ && work < budget)
-        work += pollNetTx(budget - work);
-    if (netRx_ && work < budget)
-        work += pollNetRx(budget - work);
-    if (blk_ && work < budget)
-        work += pollBlk(budget - work);
-    if (conTx_ && work < budget)
-        work += pollConsole(budget - work);
+    while (work < budget) {
+        unsigned pass = 0;
+        if (netTx_ && work + pass < budget)
+            pass += pollNetTx(budget - work - pass);
+        if (netRx_ && work + pass < budget)
+            pass += pollNetRx(budget - work - pass);
+        if (blk_ && work + pass < budget)
+            pass += pollBlk(budget - work - pass);
+        if (conTx_ && work + pass < budget)
+            pass += pollConsole(budget - work - pass);
+        work += pass;
+        if (pass == 0)
+            break;
+    }
     pollsTotal_.inc();
     if (work > 0)
         pollsBusy_.inc();
@@ -258,24 +271,28 @@ VirtioIoService::servicePoll(unsigned budget)
 unsigned
 VirtioIoService::pollNetTx(unsigned max)
 {
+    // One batched drain: every chain available at this visit is
+    // popped, processed, and completed together; one used-index
+    // publish and one tail write (the barrier) close the batch.
+    auto chains = netTx_->popBatch(max);
+    if (chains.empty())
+        return 0;
     Tick cost = 0;
-    unsigned completed = 0;
-    while (completed < max) {
-        auto chain = netTx_->pop();
-        if (!chain)
-            break;
+    std::vector<VringUsedElem> used;
+    used.reserve(chains.size());
+    for (const auto &chain : chains) {
         if (netTracer_) {
             // Under a shared scheduler the wait for a poll visit
             // is its own stage; dedicated polling never stamps it
             // and the pickup span carries the whole wait.
             if (externallyDriven_)
-                netTracer_->stamp(netTxKeyBase_ | chain->head,
+                netTracer_->stamp(netTxKeyBase_ | chain.head,
                                   obs::Stage::SchedDelay,
                                   curTick());
-            netTracer_->stamp(netTxKeyBase_ | chain->head,
+            netTracer_->stamp(netTxKeyBase_ | chain.head,
                               obs::Stage::PollPickup, curTick());
         }
-        auto ext = guest::readPacketFromTxChain(*netMem_, *chain);
+        auto ext = guest::readPacketFromTxChain(*netMem_, chain);
         cost += params_.perPacketCost + params_.perPacketCopyCost;
         if (ext.ok) {
             Tick when = netLimiter_.admit(curTick(), ext.pkt.len);
@@ -292,22 +309,18 @@ VirtioIoService::pollNetTx(unsigned max)
             }
             txPkts_.inc();
         }
-        netTx_->pushUsed(chain->head, 0);
+        used.push_back(VringUsedElem{chain.head, 0});
         if (netTracer_)
-            netTracer_->stamp(netTxKeyBase_ | chain->head,
+            netTracer_->stamp(netTxKeyBase_ | chain.head,
                               obs::Stage::Service, curTick());
-        ++completed;
     }
-    if (completed > 0) {
-        if (params_.completionRegisterCost > 0)
-            cost += params_.completionRegisterCost;
-        core_.charge(cost);
-        if (netTxDone_)
-            netTxDone_();
-    } else if (cost > 0) {
-        core_.charge(cost);
-    }
-    return completed;
+    netTx_->pushUsedBatch(used);
+    if (params_.completionRegisterCost > 0)
+        cost += params_.completionRegisterCost;
+    core_.charge(cost);
+    if (netTxDone_)
+        netTxDone_();
+    return unsigned(chains.size());
 }
 
 unsigned
@@ -315,6 +328,7 @@ VirtioIoService::pollNetRx(unsigned max)
 {
     Tick cost = 0;
     unsigned completed = 0;
+    std::vector<VringUsedElem> used;
     while (completed < max && !rxPending_.empty()) {
         if (!netRx_->hasWork())
             break; // guest has not replenished rx buffers
@@ -326,10 +340,11 @@ VirtioIoService::pollNetRx(unsigned max)
             guest::writePacketToRxChain(*netMem_, *chain, pkt);
         rxPending_.pop_front();
         cost += params_.perPacketCost + params_.perPacketCopyCost;
-        netRx_->pushUsed(chain->head, written);
+        used.push_back(VringUsedElem{chain->head, written});
         rxPkts_.inc();
         ++completed;
     }
+    netRx_->pushUsedBatch(used);
     if (completed > 0) {
         if (params_.completionRegisterCost > 0)
             cost += params_.completionRegisterCost;
@@ -407,6 +422,12 @@ unsigned
 VirtioIoService::pollBlk(unsigned max)
 {
     unsigned picked = 0;
+    // Requests completed without a storage round trip (flush,
+    // unsupported ops, range errors, malformed chains) batch into
+    // one used-ring publish and one barrier at the end of the
+    // drain; real reads/writes complete asynchronously from
+    // onBlkServiceDone.
+    std::vector<VringUsedElem> done_now;
     while (picked < max) {
         auto chain = blk_->pop();
         if (!chain)
@@ -426,7 +447,7 @@ VirtioIoService::pollBlk(unsigned max)
             chain->segs.front().len < VirtioBlkReqHdr::wireSize ||
             !chain->segs.back().deviceWrites ||
             chain->segs.back().len != 1) {
-            blk_->pushUsed(chain->head, 0);
+            done_now.push_back(VringUsedElem{chain->head, 0});
             continue;
         }
         VirtioBlkReqHdr hdr = VirtioBlkReqHdr::readFrom(
@@ -442,18 +463,14 @@ VirtioIoService::pollBlk(unsigned max)
             (hdr.type == VIRTIO_BLK_T_OUT && !has_data)) {
             // Flush (or degenerate zero-length op): complete OK.
             blkMem_->write8(status.addr, VIRTIO_BLK_S_OK);
-            blk_->pushUsed(chain->head, 1);
+            done_now.push_back(VringUsedElem{chain->head, 1});
             blkIos_.inc();
-            if (blkDone_)
-                blkDone_();
             continue;
         }
         if (hdr.type != VIRTIO_BLK_T_IN &&
             hdr.type != VIRTIO_BLK_T_OUT) {
             blkMem_->write8(status.addr, VIRTIO_BLK_S_UNSUPP);
-            blk_->pushUsed(chain->head, 1);
-            if (blkDone_)
-                blkDone_();
+            done_now.push_back(VringUsedElem{chain->head, 1});
             continue;
         }
 
@@ -464,10 +481,8 @@ VirtioIoService::pollBlk(unsigned max)
             Bytes(data.len) >
                 vol_->capacity() - hdr.sector * 512) {
             blkMem_->write8(status.addr, VIRTIO_BLK_S_IOERR);
-            blk_->pushUsed(chain->head, 1);
+            done_now.push_back(VringUsedElem{chain->head, 1});
             blkRangeErrors_.inc();
-            if (blkDone_)
-                blkDone_();
             continue;
         }
 
@@ -497,6 +512,13 @@ VirtioIoService::pollBlk(unsigned max)
                              double(tickSec));
         }
         submitBlkAttempt(seq, copy_cost);
+    }
+    if (!done_now.empty()) {
+        blk_->pushUsedBatch(done_now);
+        if (params_.completionRegisterCost > 0)
+            core_.charge(params_.completionRegisterCost);
+        if (blkDone_)
+            blkDone_();
     }
     return picked;
 }

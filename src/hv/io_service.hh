@@ -167,7 +167,13 @@ class VirtioIoService : public SimObject, public sched::Pollable
     }
 
     // --- sched::Pollable ---
-    /** One budget-capped scheduler visit across all roles. */
+    /**
+     * One budget-capped scheduler visit: passes over every
+     * attached role until the budget is spent or a full pass finds
+     * no work, draining each role as a batch — one used-ring
+     * publish, one completion-register charge, and one completion
+     * barrier per role per drained pass, never per chain.
+     */
     unsigned servicePoll(unsigned budget) override;
     bool pollAlive() const override { return running_; }
     Tick pollBlockedUntil() const override { return stallUntil_; }

@@ -327,6 +327,11 @@ IoBond::driverReady(IoBondFunction &fn)
             TokenBucket(params_.doorbellRate, params_.doorbellBurst);
         sq.stormResync = false;
         ++sq.epoch; // orphan any completion still in the DMA queue
+        // With F_EVENT_IDX the device owns avail_event in the
+        // guest used ring; a stale value from a previous driver
+        // life would suppress every kick after re-init.
+        if (fn.featureNegotiated(VIRTIO_RING_F_EVENT_IDX))
+            sq.guestLayout.setAvailEvent(board_.memory(), 0);
         sq.ready = true;
         any_ready = true;
         trace(name() + ": shadow vring ready fn=" +
@@ -442,19 +447,73 @@ IoBond::syncAvail(unsigned fn, unsigned q)
         failFunction(fn);
         return 0;
     }
+    // Coalesce the whole burst: every chain's descriptor-table
+    // read and payload copy rides one scatter-gather DMA transfer
+    // (one startup cost over the batch, paper section 3.4.3), and
+    // one head-register bump publishes every chain at once.
     unsigned picked = 0;
+    std::vector<DmaEngine::CopySeg> segs;
+    std::vector<std::uint16_t> heads;
+    Bytes meta = 0;
     while (sq.syncedAvail != gavail) {
         std::uint16_t head = sq.guestLayout.availRing(
             gmem, sq.syncedAvail % sq.guestLayout.size());
         ++sq.syncedAvail;
         ++picked;
-        mirrorChain(fn, q, head);
+        if (mirrorChain(fn, q, head, segs, meta))
+            heads.push_back(head);
     }
+    if (picked > 0 &&
+        functions_[fn]->featureNegotiated(VIRTIO_RING_F_EVENT_IDX)) {
+        // Re-arm the guest-facing avail_event: with F_EVENT_IDX the
+        // driver kicks again only once its avail index passes this
+        // value, so a device that never advances it wedges the
+        // queue after the first 2^16 window of the index space.
+        sq.guestLayout.setAvailEvent(gmem, sq.syncedAvail);
+    }
+    if (heads.empty())
+        return picked;
+
+    // Ring metadata follows the payloads through the DMA engine;
+    // the burst is published on the shadow ring (and the head
+    // register bumped, once) only when everything has landed.
+    segs.push_back(DmaEngine::CopySeg{nullptr, 0, nullptr, 0, meta});
+    std::uint64_t epoch = sq.epoch;
+    dma_.copyv(
+        std::move(segs),
+        [this, fn, q, heads = std::move(heads), epoch] {
+            ShadowQueue &s = shadow_[fn][q];
+            if (!s.ready || s.epoch != epoch)
+                return; // reset or crash recovery raced with the sync
+            for (std::uint16_t head : heads) {
+                s.shadowLayout.setAvailRing(
+                    baseMem_, s.shadowAvail % s.shadowLayout.size(),
+                    head);
+                ++s.shadowAvail;
+                if (s.reqTracer)
+                    s.reqTracer->stamp(
+                        obs::RequestTracer::flowKey(fn, q, head),
+                        obs::Stage::ShadowSync, curTick());
+            }
+            s.shadowLayout.setAvailIdx(baseMem_, s.shadowAvail);
+            chains_.inc(heads.size());
+            trace(name() + ": burst of " +
+                  std::to_string(heads.size()) +
+                  " chains published on shadow vring, head " +
+                  "register -> " + std::to_string(s.shadowAvail));
+            // Resync sweeps (storm throttle, link flap, recovery)
+            // publish work without a fresh doorbell; wake here too
+            // so swept-up chains never wait on a sleeping core.
+            if (doorbellWake_)
+                doorbellWake_();
+        });
     return picked;
 }
 
 bool
-IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
+IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
+                    std::vector<DmaEngine::CopySeg> &segs,
+                    Bytes &meta)
 {
     ShadowQueue &sq = shadow_[fn][q];
     GuestMemory &gmem = board_.memory();
@@ -505,16 +564,12 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
         }
     }
 
-    // Lay segments out back to back within the block; DMA the
-    // device-readable ones from guest memory.
+    // Lay segments out back to back within the block; the
+    // device-readable ones join the burst's scatter-gather DMA
+    // once every allocation for this chain has succeeded.
     Addr cursor = cs.bufBlock;
-    Bytes dma_bytes = 0;
     for (const auto &s : walk.chain.segs) {
         cs.segs.push_back({s.addr, cursor, s.len, s.deviceWrites});
-        if (!s.deviceWrites && s.len > 0) {
-            dma_.copy(gmem, s.addr, baseMem_, cursor, s.len, {});
-            dma_bytes += s.len;
-        }
         cursor += s.len;
     }
 
@@ -568,6 +623,17 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
         desc_count = std::uint16_t(walk.path.size());
     }
 
+    // Everything allocated: the chain joins the burst. Payload
+    // copies and the per-chain ring metadata (descriptor reads +
+    // avail-ring entry) accumulate into the caller's transfer.
+    for (const auto &seg : cs.segs) {
+        if (!seg.write && seg.len > 0)
+            segs.push_back(DmaEngine::CopySeg{
+                &gmem, seg.guestAddr, &baseMem_, seg.shadowAddr,
+                seg.len});
+    }
+    meta += Bytes(desc_count) * vringDescSize + 2;
+
     cs.seq = sq.nextSeq++;
     sq.inflight[head] = std::move(cs);
 
@@ -576,35 +642,6 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head)
     if (sq.reqTracer)
         sq.reqTracer->stamp(obs::RequestTracer::flowKey(fn, q, head),
                             obs::Stage::GuestPost, sq.lastDoorbell);
-
-    // Ring metadata follows the payload through the DMA engine;
-    // the chain is published on the shadow ring (and the head
-    // register bumped) only when everything has landed.
-    Bytes meta = Bytes(desc_count) * vringDescSize + 2;
-    std::uint64_t epoch = sq.epoch;
-    dma_.accountOnly(meta, [this, fn, q, head, dma_bytes, epoch] {
-        ShadowQueue &s = shadow_[fn][q];
-        if (!s.ready || s.epoch != epoch)
-            return; // reset or crash recovery raced with the sync
-        s.shadowLayout.setAvailRing(
-            baseMem_, s.shadowAvail % s.shadowLayout.size(), head);
-        ++s.shadowAvail;
-        s.shadowLayout.setAvailIdx(baseMem_, s.shadowAvail);
-        chains_.inc();
-        if (s.reqTracer)
-            s.reqTracer->stamp(
-                obs::RequestTracer::flowKey(fn, q, head),
-                obs::Stage::ShadowSync, curTick());
-        trace(name() + ": chain head=" + std::to_string(head) +
-              " (" + std::to_string(dma_bytes) +
-              "B payload) published on shadow vring, head " +
-              "register -> " + std::to_string(s.shadowAvail));
-        // Resync sweeps (storm throttle, link flap, recovery)
-        // publish work without a fresh doorbell; wake here too so
-        // swept-up chains never wait on a sleeping core.
-        if (doorbellWake_)
-            doorbellWake_();
-    });
     return true;
 }
 
@@ -617,103 +654,115 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
     if (!sq.ready)
         return;
     std::uint16_t sused = sq.shadowLayout.usedIdx(baseMem_);
+    if (sq.syncedUsed == sused)
+        return;
+    lastActiveFn_ = int(fn);
+    GuestMemory &gmem = board_.memory();
+
+    // One tail-register write closes the whole batch: collect
+    // every newly-used element, group all device-written data and
+    // the used elements into one scatter-gather DMA, and decide on
+    // one MSI when it lands (interrupt moderation: the hardware
+    // raises it after the last DMA).
+    std::vector<ReturnedChain> batch;
+    std::vector<DmaEngine::CopySeg> segs;
     while (sq.syncedUsed != sused) {
         VringUsedElem elem = sq.shadowLayout.usedRing(
             baseMem_, sq.syncedUsed % sq.shadowLayout.size());
         ++sq.syncedUsed;
-        // Interrupt moderation: one MSI per completion batch, not
-        // per chain (the hardware raises it after the last DMA).
-        bool last = (sq.syncedUsed == sused);
-        returnChain(fn, q, elem, last);
-    }
-}
-
-void
-IoBond::returnChain(unsigned fn, unsigned q, VringUsedElem elem,
-                    bool fire_msi)
-{
-    ShadowQueue &sq = shadow_[fn][q];
-    lastActiveFn_ = int(fn);
-    auto it = sq.inflight.find(std::uint16_t(elem.id));
-    if (it == sq.inflight.end()) {
-        warn(name(), ": backend completed unknown head ", elem.id);
-        return;
-    }
-    ChainShadow &cs = it->second;
-    GuestMemory &gmem = board_.memory();
-
-    // Device-written data flows back to guest memory — only the
-    // bytes the used element reports, not whole buffers.
-    Bytes budget = elem.len;
-    for (const auto &seg : cs.segs) {
-        if (!seg.write || seg.len == 0)
+        auto it = sq.inflight.find(std::uint16_t(elem.id));
+        if (it == sq.inflight.end()) {
+            warn(name(), ": backend completed unknown head ",
+                 elem.id);
             continue;
-        Bytes n = std::min<Bytes>(seg.len, budget);
-        if (n == 0)
-            break;
-        dma_.copy(baseMem_, seg.shadowAddr, gmem, seg.guestAddr, n,
-                  {});
-        budget -= n;
+        }
+        ChainShadow &cs = it->second;
+        // Device-written data flows back to guest memory — only
+        // the bytes the used element reports, not whole buffers.
+        Bytes budget = elem.len;
+        for (const auto &seg : cs.segs) {
+            if (!seg.write || seg.len == 0)
+                continue;
+            Bytes n = std::min<Bytes>(seg.len, budget);
+            if (n == 0)
+                break;
+            segs.push_back(DmaEngine::CopySeg{
+                &baseMem_, seg.shadowAddr, &gmem, seg.guestAddr,
+                n});
+            budget -= n;
+        }
+        batch.push_back({elem, cs.bufBlock, cs.indirectBlock});
+        sq.inflight.erase(it);
     }
+    if (batch.empty())
+        return;
 
-    // The used element follows the data; on arrival the guest ring
-    // is updated, shadow resources are freed, and the MSI fires.
-    Addr buf_block = cs.bufBlock;
-    Addr ind_block = cs.indirectBlock;
-    sq.inflight.erase(it);
-
+    // The used elements follow the data; on arrival the guest ring
+    // is updated once, shadow resources are freed, and the MSI
+    // fires.
+    segs.push_back(DmaEngine::CopySeg{nullptr, 0, nullptr, 0,
+                                      Bytes(batch.size()) * 8});
     std::uint64_t epoch = sq.epoch;
-    dma_.accountOnly(8, [this, fn, q, elem, buf_block, ind_block,
-                         fire_msi, epoch] {
-        ShadowQueue &s = shadow_[fn][q];
-        GuestMemory &gm = board_.memory();
-        // The chain left `inflight` above, so a racing reset did
-        // not free its blocks; always release them here.
-        if (buf_block != PoolAllocator::nullAddr)
-            pool_.free(buf_block);
-        if (ind_block != PoolAllocator::nullAddr)
-            pool_.free(ind_block);
-        if (s.epoch != epoch)
-            return; // function reset/re-init while in flight
-        s.guestLayout.setUsedRing(
-            gm, s.guestUsed % s.guestLayout.size(), elem);
-        ++s.guestUsed;
-        s.guestLayout.setUsedIdx(gm, s.guestUsed);
-        completions_.inc();
-        if (s.reqTracer)
-            s.reqTracer->stamp(
-                obs::RequestTracer::flowKey(
-                    fn, q, std::uint16_t(elem.id)),
-                obs::Stage::CompleteDma, curTick());
-        trace(name() + ": completion head=" +
-              std::to_string(elem.id) + " returned to guest" +
-              (fire_msi ? ", MSI" : ""));
-        // Respect the driver's interrupt suppression: flag bit in
-        // classic mode, used_event crossing with F_EVENT_IDX.
-        bool wants;
-        if (functions_[fn]->featureNegotiated(
-                VIRTIO_RING_F_EVENT_IDX)) {
-            wants = vringNeedEvent(
-                s.guestLayout.usedEvent(gm), s.guestUsed,
-                std::uint16_t(s.guestUsed - 1));
-        } else {
-            wants = !(s.guestLayout.availFlags(gm) &
-                      VRING_AVAIL_F_NO_INTERRUPT);
-        }
-        if (wants)
-            s.irqPending = true;
-        if (fire_msi && s.irqPending) {
-            s.irqPending = false;
-            // The MSI closes the batch; only its final chain's
-            // flow completes end-to-end (interrupt moderation).
-            if (s.reqTracer)
-                s.reqTracer->stamp(
-                    obs::RequestTracer::flowKey(
-                        fn, q, std::uint16_t(elem.id)),
-                    obs::Stage::GuestIrq, curTick());
-            functions_[fn]->notifyGuest(q);
-        }
-    });
+    dma_.copyv(
+        std::move(segs),
+        [this, fn, q, batch = std::move(batch), epoch] {
+            ShadowQueue &s = shadow_[fn][q];
+            GuestMemory &gm = board_.memory();
+            // The chains left `inflight` above, so a racing reset
+            // did not free their blocks; always release them here.
+            for (const auto &r : batch) {
+                if (r.bufBlock != PoolAllocator::nullAddr)
+                    pool_.free(r.bufBlock);
+                if (r.indirectBlock != PoolAllocator::nullAddr)
+                    pool_.free(r.indirectBlock);
+            }
+            if (s.epoch != epoch)
+                return; // function reset/re-init while in flight
+            std::uint16_t before = s.guestUsed;
+            for (const auto &r : batch) {
+                s.guestLayout.setUsedRing(
+                    gm, s.guestUsed % s.guestLayout.size(), r.elem);
+                ++s.guestUsed;
+                if (s.reqTracer)
+                    s.reqTracer->stamp(
+                        obs::RequestTracer::flowKey(
+                            fn, q, std::uint16_t(r.elem.id)),
+                        obs::Stage::CompleteDma, curTick());
+            }
+            s.guestLayout.setUsedIdx(gm, s.guestUsed);
+            completions_.inc(batch.size());
+            trace(name() + ": batch of " +
+                  std::to_string(batch.size()) +
+                  " completions returned to guest");
+            // Respect the driver's interrupt suppression: flag bit
+            // in classic mode, used_event crossing anywhere inside
+            // the batch span with F_EVENT_IDX (all arithmetic
+            // modulo 2^16 — the span straddles the index wrap).
+            bool wants;
+            if (functions_[fn]->featureNegotiated(
+                    VIRTIO_RING_F_EVENT_IDX)) {
+                wants = vringNeedEvent(
+                    s.guestLayout.usedEvent(gm), s.guestUsed,
+                    before);
+            } else {
+                wants = !(s.guestLayout.availFlags(gm) &
+                          VRING_AVAIL_F_NO_INTERRUPT);
+            }
+            if (wants)
+                s.irqPending = true;
+            if (s.irqPending) {
+                s.irqPending = false;
+                // The MSI closes the batch; only its final chain's
+                // flow completes end-to-end (interrupt moderation).
+                if (s.reqTracer)
+                    s.reqTracer->stamp(
+                        obs::RequestTracer::flowKey(
+                            fn, q,
+                            std::uint16_t(batch.back().elem.id)),
+                        obs::Stage::GuestIrq, curTick());
+                functions_[fn]->notifyGuest(q);
+            }
+        });
 }
 
 unsigned

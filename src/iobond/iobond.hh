@@ -288,6 +288,15 @@ class IoBond : public SimObject
         std::uint64_t seq = 0;
     };
 
+    /** One completed chain travelling back to the guest as part of
+     *  a batched writeback. */
+    struct ReturnedChain
+    {
+        virtio::VringUsedElem elem;
+        Addr bufBlock = PoolAllocator::nullAddr;
+        Addr indirectBlock = PoolAllocator::nullAddr;
+    };
+
     struct ShadowQueue
     {
         bool ready = false;
@@ -322,14 +331,16 @@ class IoBond : public SimObject
     void functionReset(IoBondFunction &fn);
 
     /** Mirror new avail entries of (fn, q) into the shadow ring;
-     *  returns how many chains were picked up. */
+     *  returns how many chains were picked up. The whole burst —
+     *  payload copies and ring metadata — travels as one
+     *  scatter-gather DMA transfer and publishes together. */
     unsigned syncAvail(unsigned fn, unsigned q);
-    /** Mirror one chain; false if malformed or out of arena. */
-    bool mirrorChain(unsigned fn, unsigned q, std::uint16_t head);
-    /** Return one completed chain to the guest; the MSI fires
-     *  only with the last chain of a completion batch. */
-    void returnChain(unsigned fn, unsigned q,
-                     virtio::VringUsedElem elem, bool fire_msi);
+    /** Mirror one chain's descriptors into shadow memory and
+     *  append its readable payload segments to the burst's
+     *  scatter-gather list; false if malformed or out of arena. */
+    bool mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
+                     std::vector<DmaEngine::CopySeg> &segs,
+                     Bytes &meta);
 
     /** Fault hook: link flaps, dropped doorbells, function death. */
     bool injectFault(const fault::FaultSpec &spec);

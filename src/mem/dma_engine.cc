@@ -12,9 +12,14 @@ DmaEngine::DmaEngine(Simulation &sim, std::string name,
       startup_(startup),
       bytesMoved_(metrics().counter(this->name() + ".bytes_moved")),
       transfers_(metrics().counter(this->name() + ".transfers")),
+      batchedSegments_(
+          metrics().counter(this->name() + ".batched_segments")),
       faultInjected_(
           metrics().counter(this->name() + ".fault.injected")),
       queueDepth_(metrics().gauge(this->name() + ".queue_depth")),
+      batchSegs_(
+          metrics().histogram(this->name() + ".batch_segs", 0, 256,
+                              32)),
       completeEvent_([this] { complete(); }, this->name() + ".complete")
 {
     panic_if(!bandwidth.valid(), "DMA engine needs positive bandwidth");
@@ -49,20 +54,43 @@ void
 DmaEngine::copy(const GuestMemory &src, Addr src_addr, GuestMemory &dst,
                 Addr dst_addr, Bytes len, Callback done)
 {
-    queue_.push_back(
-        Transfer{&src, src_addr, &dst, dst_addr, len, std::move(done)});
-    queueDepth_.set(double(queue_.size()));
-    if (!busy_)
-        startNext();
+    Transfer t;
+    t.segs.push_back(CopySeg{&src, src_addr, &dst, dst_addr, len});
+    t.len = len;
+    t.done = std::move(done);
+    enqueue(std::move(t));
 }
 
 void
 DmaEngine::accountOnly(Bytes len, Callback done)
 {
-    queue_.push_back(
-        Transfer{nullptr, 0, nullptr, 0, len, std::move(done)});
+    Transfer t;
+    t.segs.push_back(CopySeg{nullptr, 0, nullptr, 0, len});
+    t.len = len;
+    t.done = std::move(done);
+    enqueue(std::move(t));
+}
+
+void
+DmaEngine::copyv(std::vector<CopySeg> segs, Callback done)
+{
+    panic_if(segs.empty(), "empty scatter-gather transfer");
+    Transfer t;
+    t.segs = std::move(segs);
+    for (const auto &s : t.segs)
+        t.len += s.len;
+    t.done = std::move(done);
+    enqueue(std::move(t));
+}
+
+void
+DmaEngine::enqueue(Transfer t)
+{
+    queue_.push_back(std::move(t));
     queueDepth_.set(double(queue_.size()));
-    if (!busy_)
+    // Submissions from a completion callback queue behind the
+    // unwinding completion; it resumes the engine itself.
+    if (!busy_ && !inCompletion_)
         startNext();
 }
 
@@ -82,14 +110,21 @@ void
 DmaEngine::complete()
 {
     panic_if(queue_.empty(), "DMA completion with empty queue");
+    inCompletion_ = true;
     Transfer t = std::move(queue_.front());
     queue_.pop_front();
     queueDepth_.set(double(queue_.size()));
     busy_ = false;
 
+    bool moves_data = false;
+    for (const auto &s : t.segs)
+        moves_data = moves_data || s.src != nullptr;
+
+    // A fault budget unit consumes the whole transfer: the
+    // hardware's descriptor either completes or aborts as a unit.
     bool failed = false;
-    if (t.src != nullptr) {
-        bool corrupted = false;
+    bool corrupted = false;
+    if (moves_data) {
         if (failBudget_ > 0) {
             --failBudget_;
             failed = true;
@@ -97,32 +132,41 @@ DmaEngine::complete()
             --corruptBudget_;
             corrupted = true;
         }
-        if (!failed) {
+        if (failed || corrupted)
+            faultInjected_.inc();
+    }
+    if (!failed) {
+        for (const auto &s : t.segs) {
+            if (s.src == nullptr)
+                continue;
             // Perform the actual copy at completion time so readers
             // never observe half-finished transfers.
-            auto blob = t.src->readBlob(t.srcAddr, t.len);
+            auto blob = s.src->readBlob(s.srcAddr, s.len);
             if (corrupted) {
                 // Deterministic bit rot: every 64th byte flipped.
                 for (std::size_t i = 0; i < blob.size(); i += 64)
                     blob[i] ^= 0xA5;
             }
-            t.dst->writeBlob(t.dstAddr, blob);
+            s.dst->writeBlob(s.dstAddr, blob);
         }
-        if (failed || corrupted)
-            faultInjected_.inc();
     }
     bytesMoved_.inc(t.len);
     transfers_.inc();
-
-    if (!queue_.empty())
-        startNext();
+    batchedSegments_.inc(t.segs.size());
+    batchSegs_.record(double(t.segs.size()));
 
     // The completion callback still runs on failure: the engine's
     // timing pipeline is unaffected, only the data never landed.
+    // Callbacks run before the next transfer starts, so a retry
+    // issued from `done` cannot begin before the error handler has
+    // seen this transfer fail.
     if (t.done)
         t.done();
     if (failed && errorHandler_)
         errorHandler_();
+    inCompletion_ = false;
+    if (!busy_ && !queue_.empty())
+        startNext();
 }
 
 } // namespace bmhive

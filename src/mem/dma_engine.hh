@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "base/stats.hh"
 #include "base/units.hh"
@@ -28,11 +29,33 @@ namespace bmhive {
  * Event-driven DMA engine. Each transfer completes after
  * startup latency + size / bandwidth; transfers are FIFO-serialized
  * on the engine.
+ *
+ * A transfer is one or more scatter-gather segments moved as a
+ * unit: one startup cost, one completion, bandwidth charged on the
+ * summed length. Submissions made from inside a completion
+ * callback (including the error handler) are well-defined: they
+ * queue behind whatever is already queued and never start until
+ * the completing transfer's callbacks have fully unwound.
  */
 class DmaEngine : public SimObject
 {
   public:
     using Callback = std::function<void()>;
+
+    /**
+     * One scatter-gather segment. @c src may be null for an
+     * account-only segment: its length is charged against the
+     * engine's bandwidth without touching memory (ring metadata
+     * whose bytes are modelled elsewhere).
+     */
+    struct CopySeg
+    {
+        const GuestMemory *src = nullptr;
+        Addr srcAddr = 0;
+        GuestMemory *dst = nullptr;
+        Addr dstAddr = 0;
+        Bytes len = 0;
+    };
 
     /**
      * @param bandwidth  sustained copy bandwidth
@@ -56,6 +79,16 @@ class DmaEngine : public SimObject
      */
     void accountOnly(Bytes len, Callback done);
 
+    /**
+     * Scatter-gather transfer: move every segment as one engine
+     * transfer — one startup cost, bandwidth charged on the summed
+     * length, one completion callback when all segments have
+     * landed. An injected fault (fail/corrupt) applies to the
+     * whole transfer, matching real descriptors that complete or
+     * abort as a unit.
+     */
+    void copyv(std::vector<CopySeg> segs, Callback done);
+
     Bandwidth bandwidth() const { return bandwidth_; }
     bool busy() const { return busy_; }
     std::size_t queued() const { return queue_.size(); }
@@ -64,6 +97,11 @@ class DmaEngine : public SimObject
     std::uint64_t bytesMoved() const { return bytesMoved_.value(); }
     /** Total transfers completed. */
     std::uint64_t transfers() const { return transfers_.value(); }
+    /** Total scatter-gather segments carried by those transfers. */
+    std::uint64_t batchedSegments() const
+    {
+        return batchedSegments_.value();
+    }
 
     /**
      * Called when an injected DmaFail drops a transfer, after the
@@ -81,14 +119,14 @@ class DmaEngine : public SimObject
   private:
     struct Transfer
     {
-        const GuestMemory *src; ///< null for account-only transfers
-        Addr srcAddr;
-        GuestMemory *dst;
-        Addr dstAddr;
-        Bytes len;
+        std::vector<CopySeg> segs;
+        Bytes len = 0; ///< summed over segs
         Callback done;
     };
 
+    /** Queue a transfer; starts it unless serialized behind
+     *  in-flight work or a completion still unwinding. */
+    void enqueue(Transfer t);
     /** Start the transfer at the queue head. */
     void startNext();
     /** Finish the in-flight transfer. */
@@ -100,6 +138,10 @@ class DmaEngine : public SimObject
     Tick startup_;
     std::deque<Transfer> queue_;
     bool busy_ = false;
+    /** A completion is unwinding: submissions from its callbacks
+     *  must queue, not start, so the error handler always observes
+     *  the failed transfer before anything new begins. */
+    bool inCompletion_ = false;
     /** Injected-fault budgets: the next N data transfers are
      *  corrupted / dropped. Account-only transfers (pure ring
      *  bookkeeping) are never faulted. */
@@ -109,8 +151,10 @@ class DmaEngine : public SimObject
     /** Registry-backed so exports and accessors read one cell. */
     Counter &bytesMoved_;
     Counter &transfers_;
+    Counter &batchedSegments_;
     Counter &faultInjected_;
     Gauge &queueDepth_;
+    Histogram &batchSegs_;
     EventFunctionWrapper completeEvent_;
 };
 

@@ -31,7 +31,7 @@ PollScheduler::PollScheduler(Simulation &sim, std::string name,
         c.sleeps = &metrics().counter(base + ".sleeps");
         c.pollables = &metrics().gauge(base + ".pollables");
         c.roundItems =
-            &metrics().histogram(base + ".round_items", 0, 128, 16);
+            &metrics().histogram(base + ".round_items", 0, 1024, 32);
         c.wakeToPoll = &metrics().latency(base + ".wake_to_poll");
         c.roundEvent = std::make_unique<EventFunctionWrapper>(
             [this, i] { runRound(i); }, base + ".round",

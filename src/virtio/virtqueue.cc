@@ -381,12 +381,52 @@ VirtQueueDevice::pop()
     return w.chain;
 }
 
+std::vector<DescChain>
+VirtQueueDevice::popBatch(unsigned max)
+{
+    std::vector<DescChain> out;
+    unsigned consumed = 0;
+    while (out.size() < max && hasWork()) {
+        std::uint16_t head =
+            layout_.availRing(mem_, lastAvail_ % layout_.size());
+        ++lastAvail_;
+        ++consumed;
+        ChainWalk w = walkDescChain(mem_, layout_, head);
+        if (!w.ok) {
+            badChains_.inc();
+            if (head < layout_.size())
+                pushUsed(head, 0);
+            continue;
+        }
+        popped_.inc();
+        out.push_back(std::move(w.chain));
+    }
+    if (consumed > 0 && eventIdx_ && !notifySuppressed_) {
+        // One re-arm covers the whole drain: kick us once anything
+        // beyond lastAvail_ appears.
+        layout_.setAvailEvent(mem_, lastAvail_);
+    }
+    return out;
+}
+
 void
 VirtQueueDevice::pushUsed(std::uint16_t head, std::uint32_t written)
 {
     layout_.setUsedRing(mem_, usedIdx_ % layout_.size(),
                         VringUsedElem{head, written});
     ++usedIdx_;
+    layout_.setUsedIdx(mem_, usedIdx_);
+}
+
+void
+VirtQueueDevice::pushUsedBatch(const std::vector<VringUsedElem> &elems)
+{
+    if (elems.empty())
+        return;
+    for (const auto &e : elems) {
+        layout_.setUsedRing(mem_, usedIdx_ % layout_.size(), e);
+        ++usedIdx_;
+    }
     layout_.setUsedIdx(mem_, usedIdx_);
 }
 

@@ -187,11 +187,28 @@ class VirtQueueDevice
      */
     std::optional<DescChain> pop();
 
+    /**
+     * Drain up to @p max available chains in one batched visit.
+     * Unlike repeated pop(), malformed chains are completed with
+     * zero length and skipped (they do not end the drain), and in
+     * event-idx mode the kick threshold (avail_event) is re-armed
+     * once at the end of the drain instead of per chain.
+     */
+    std::vector<DescChain> popBatch(unsigned max);
+
     /** True if any unprocessed avail entries exist. */
     bool hasWork() const;
 
     /** Complete a chain: @p written bytes placed in in-segments. */
     void pushUsed(std::uint16_t head, std::uint32_t written);
+
+    /**
+     * Complete a batch of chains with one used-index publish: all
+     * used elements are written, then used->idx advances once over
+     * the whole batch — the single tail write a backend pays per
+     * completion batch.
+     */
+    void pushUsedBatch(const std::vector<VringUsedElem> &elems);
 
     /**
      * True if the driver wants a completion interrupt (i.e.

@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "fault/fault.hh"
 #include "mem/dma_engine.hh"
 #include "mem/guest_memory.hh"
 #include "mem/pool_allocator.hh"
@@ -162,6 +163,103 @@ TEST_F(DmaEngineTest, CompletionOrderPreservedMixedOps)
     dma.accountOnly(8, [&] { order.push_back(4); });
     sim.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST_F(DmaEngineTest, CallbacksChainNewCopiesFifo)
+{
+    // Submissions from inside a completion callback are
+    // well-defined: they queue behind anything already queued and
+    // run strictly after the current completion unwinds.
+    GuestMemory src("src", 8192), dst("dst", 8192);
+    DmaEngine dma(sim, "dma", Bandwidth::gbps(8));
+    std::vector<int> order;
+    dma.copy(src, 0, dst, 0, 100, [&] {
+        order.push_back(1);
+        dma.copy(src, 0, dst, 200, 100, [&] {
+            order.push_back(3);
+            dma.copy(src, 0, dst, 400, 100,
+                     [&] { order.push_back(4); });
+        });
+    });
+    dma.copy(src, 0, dst, 100, 100, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(dma.transfers(), 4u);
+}
+
+TEST_F(DmaEngineTest, RetryFromCallbackWaitsForErrorHandler)
+{
+    // Regression: the engine used to start the next queued
+    // transfer before running the completed transfer's callbacks,
+    // so a retry issued from `done` was already in flight when the
+    // error handler observed the failure — the handler could no
+    // longer tell the failed transfer from the retry.
+    GuestMemory src("src", 4096), dst("dst", 4096);
+    DmaEngine dma(sim, "dma", Bandwidth::gbps(50), nsToTicks(100));
+    std::vector<std::string> order;
+    dma.setErrorHandler([&] {
+        order.push_back(dma.busy() ? "error-after-retry-started"
+                                   : "error-before-retry");
+    });
+    sim.faults().deliver(
+        "dma", fault::FaultSpec{fault::FaultKind::DmaFail, 1, 0, 0.0});
+    dma.copy(src, 0, dst, 0, 512, [&] {
+        order.push_back("done");
+        dma.copy(src, 0, dst, 1024, 512,
+                 [&] { order.push_back("retry-done"); });
+    });
+    sim.run();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"done", "error-before-retry",
+                                        "retry-done"}));
+}
+
+TEST_F(DmaEngineTest, CopyvMovesSegmentsAsOneTransfer)
+{
+    GuestMemory src("src", 8192), dst("dst", 8192);
+    DmaEngine dma(sim, "dma", Bandwidth::gbps(8), nsToTicks(500));
+    std::vector<std::uint8_t> a(1000, 0x11), b(500, 0x22);
+    src.writeBlob(0, a);
+    src.writeBlob(2048, b);
+
+    Tick done_at = 0;
+    dma.copyv({{&src, 0, &dst, 0, 1000},
+               {&src, 2048, &dst, 4096, 500},
+               {nullptr, 0, nullptr, 0, 100}}, // account-only meta
+              [&] { done_at = sim.now(); });
+    sim.run();
+    // One startup cost over the whole batch: 500 ns + 1600 B at
+    // 1 B/ns.
+    EXPECT_NEAR(double(done_at), 2.1e6, 10.0);
+    EXPECT_EQ(dst.readBlob(0, 1000), a);
+    EXPECT_EQ(dst.readBlob(4096, 500), b);
+    EXPECT_EQ(dma.transfers(), 1u);
+    EXPECT_EQ(dma.bytesMoved(), 1600u);
+    EXPECT_EQ(dma.batchedSegments(), 3u);
+}
+
+TEST_F(DmaEngineTest, CopyvFaultConsumesWholeTransfer)
+{
+    // An injected DmaFail drops the whole scatter-gather transfer
+    // (hardware descriptors complete or abort as a unit), and
+    // consumes exactly one budget unit for it.
+    GuestMemory src("src", 4096), dst("dst", 4096);
+    DmaEngine dma(sim, "dma", Bandwidth::gbps(50));
+    src.write8(0, 0x5a);
+    src.write8(100, 0xa5);
+    sim.faults().deliver(
+        "dma", fault::FaultSpec{fault::FaultKind::DmaFail, 1, 0, 0.0});
+    unsigned errors = 0;
+    dma.setErrorHandler([&] { ++errors; });
+    dma.copyv({{&src, 0, &dst, 0, 64}, {&src, 100, &dst, 100, 64}},
+              {});
+    dma.copy(src, 0, dst, 200, 64, {});
+    sim.run();
+    EXPECT_EQ(dst.read8(0), 0u);   // dropped as a unit
+    EXPECT_EQ(dst.read8(100), 0u);
+    EXPECT_EQ(dst.read8(200), 0x5a); // budget spent; next copy lands
+    EXPECT_EQ(errors, 1u);
+    EXPECT_EQ(dma.faultsInjected(), 1u);
 }
 
 TEST(PoolAllocatorTest, AllocFreeReuse)
