@@ -44,6 +44,9 @@ struct DensityRow
     double kiops = 0.0;
     double p99Us = 0.0;
     double busyRatio = 0.0; ///< shared pool only (0 for dedicated)
+    /** Per-tenant doorbell->MSI p99 from the SLO monitors (net
+     *  role; 0 for guests with no net window samples). */
+    std::vector<double> tenantNetP99;
 };
 
 core::BmServerParams
@@ -129,6 +132,13 @@ runConfig(std::uint64_t seed, bool shared, unsigned guests,
         for (unsigned c = 0; c < s->coreCount(); ++c)
             row.busyRatio += s->busyRatio(c) / s->coreCount();
     }
+    for (unsigned i = 0; i < bed.server.guestCount(); ++i) {
+        auto *slo = bed.server.guest(i).slo();
+        row.tenantNetP99.push_back(
+            slo && slo->windowSamples(obs::SloRole::Net) > 0
+                ? slo->percentileUs(obs::SloRole::Net, 0.99)
+                : 0.0);
+    }
     return row;
 }
 
@@ -188,6 +198,23 @@ main(int argc, char **argv)
         if (c.shared && c.guests == 16)
             shr16 = r;
     }
+
+    // Density is only honest per tenant: an aggregate PPS match
+    // can hide one starved guest. The SLO monitors give the
+    // per-tenant tail at both extremes of the sweep.
+    auto tenant_table = [](const char *label, const DensityRow &r) {
+        if (r.tenantNetP99.empty())
+            return;
+        std::printf("  per-tenant net p99 (%s):", label);
+        for (std::size_t i = 0; i < r.tenantNetP99.size(); ++i) {
+            if (i % 8 == 0)
+                std::printf("\n   ");
+            std::printf(" g%-2zu=%-7.1f", i, r.tenantNetP99[i]);
+        }
+        std::printf("\n");
+    };
+    tenant_table("dedicated-16", ded16);
+    tenant_table("shared-16", shr16);
 
     std::uint64_t idle_ded = idlePolls(801, false);
     std::uint64_t idle_shr = idlePolls(801, true);

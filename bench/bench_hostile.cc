@@ -24,6 +24,15 @@ using namespace bmhive::workloads;
 
 namespace {
 
+/** One guest's SLO view at scenario end (final live window). */
+struct SloRow
+{
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0;
+    double burn = 0.0;
+    std::uint64_t samples = 0;
+    core::GuestHealth health = core::GuestHealth::Healthy;
+};
+
 struct ScenarioResult
 {
     double pps = 0.0;
@@ -32,6 +41,10 @@ struct ScenarioResult
     std::uint64_t faults = 0;
     std::uint64_t quarantines = 0;
     std::uint64_t quarantineDrops = 0;
+    std::uint64_t sloBreaches = 0;
+    std::uint64_t flightDumps = 0;
+    /** Per guest: net-role SLO snapshot. */
+    std::vector<SloRow> net;
 };
 
 ScenarioResult
@@ -76,7 +89,54 @@ runScenario(std::uint64_t seed, bool hostile)
     r.faults = bed.server.guest(0).bond().guestFaultsTotal();
     r.quarantines = bed.server.quarantines();
     r.quarantineDrops = bed.server.guest(0).bond().quarantineDrops();
+    r.sloBreaches = bed.server.sloBreaches();
+    r.flightDumps = bed.server.flightDumpTriggers();
+    // Snapshot without refresh(): the stored epochs are each
+    // tenant's last live window, even for roles whose traffic ended
+    // earlier in the scenario.
+    for (unsigned i = 0; i < bed.server.guestCount(); ++i) {
+        SloRow row;
+        if (auto *slo = bed.server.guest(i).slo()) {
+            row.p50 = slo->percentileUs(obs::SloRole::Net, 0.50);
+            row.p90 = slo->percentileUs(obs::SloRole::Net, 0.90);
+            row.p99 = slo->percentileUs(obs::SloRole::Net, 0.99);
+            row.p999 = slo->percentileUs(obs::SloRole::Net, 0.999);
+            row.burn = slo->burnRate(obs::SloRole::Net);
+            row.samples = slo->windowSamples(obs::SloRole::Net);
+        }
+        row.health = bed.server.guestHealth(i);
+        r.net.push_back(row);
+    }
     return r;
+}
+
+const char *
+healthName(core::GuestHealth h)
+{
+    switch (h) {
+      case core::GuestHealth::Healthy: return "healthy";
+      case core::GuestHealth::Suspect: return "suspect";
+      case core::GuestHealth::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+void
+printSloTable(const char *title, const ScenarioResult &r)
+{
+    std::printf("  per-tenant net SLO (%s, final window):\n", title);
+    std::printf("  %-6s %9s %9s %9s %9s %7s %8s %s\n", "guest",
+                "p50_us", "p90_us", "p99_us", "p999_us", "burn",
+                "samples", "health");
+    for (std::size_t i = 0; i < r.net.size(); ++i) {
+        const SloRow &s = r.net[i];
+        std::printf("  %-6zu %9.1f %9.1f %9.1f %9.1f %7.2f %8llu"
+                    " %s%s\n",
+                    i, s.p50, s.p90, s.p99, s.p999, s.burn,
+                    (unsigned long long)s.samples,
+                    healthName(s.health),
+                    i == 0 ? " (attacker)" : "");
+    }
 }
 
 } // namespace
@@ -117,11 +177,30 @@ main(int argc, char **argv)
     std::printf("  victim retention: %.1f%% PPS, %.1f%% IOPS "
                 "(target >= 95%%)\n",
                 pps_ret, iops_ret);
+    printSloTable("baseline", baseline);
+    printSloTable("under attack", hostile);
+    std::printf("  observability: %llu SLO breaches, %llu flight "
+                "dump triggers\n",
+                (unsigned long long)hostile.sloBreaches,
+                (unsigned long long)hostile.flightDumps);
     note("attacks only cost the attacker its own device; the "
          "bridge never panics");
 
+    // Victim-tail acceptance: guest 1 drives the packet flood in
+    // both runs; its p99 under attack must stay within 10% of its
+    // solo baseline (+1 us for log-bucket quantization).
+    double victim_base = baseline.net[1].p99;
+    double victim_hostile = hostile.net[1].p99;
+    bool tail_ok = victim_base <= 0.0 ||
+                   victim_hostile <= victim_base * 1.10 + 1.0;
+    std::printf("  victim net p99: baseline %.1f us, under attack "
+                "%.1f us (target <= +10%%)%s\n",
+                victim_base, victim_hostile,
+                tail_ok ? "" : "  << MISS");
+
     bool ok = pps_ret >= 95.0 && iops_ret >= 95.0 &&
-              hostile.faults > 0;
+              hostile.faults > 0 && hostile.quarantines > 0 &&
+              tail_ok;
     if (!ok) {
         std::printf("  FAILED: containment target missed\n");
         return 1;

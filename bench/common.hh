@@ -113,6 +113,12 @@ class Session
         const std::string plan_flag = "--fault-plan=";
         const std::string cores_flag = "--poll-cores=";
         const std::string sched_flag = "--sched=";
+        const std::string obs_flag = "--obs=";
+        const std::string slo_window_flag = "--slo-window-ms=";
+        const std::string slo_net_flag = "--slo-net-us=";
+        const std::string slo_blk_flag = "--slo-blk-us=";
+        const std::string flight_ev_flag = "--flight-events=";
+        const std::string flight_dir_flag = "--flight-dump-dir=";
         int w = 1;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
@@ -120,6 +126,25 @@ class Session
                 quick = true;
             else if (a.rfind(metrics_flag, 0) == 0)
                 metricsOut_ = a.substr(metrics_flag.size());
+            else if (a.rfind(obs_flag, 0) == 0) {
+                std::string v = a.substr(obs_flag.size());
+                fatal_if(v != "on" && v != "off",
+                         "--obs wants on|off, got '", v, "'");
+                obsEnabled = (v == "on");
+            } else if (a.rfind(slo_window_flag, 0) == 0)
+                sloWindowMs = std::atof(
+                    a.c_str() + slo_window_flag.size());
+            else if (a.rfind(slo_net_flag, 0) == 0)
+                sloNetUs =
+                    std::atof(a.c_str() + slo_net_flag.size());
+            else if (a.rfind(slo_blk_flag, 0) == 0)
+                sloBlkUs =
+                    std::atof(a.c_str() + slo_blk_flag.size());
+            else if (a.rfind(flight_ev_flag, 0) == 0)
+                flightEvents = std::strtoul(
+                    a.c_str() + flight_ev_flag.size(), nullptr, 0);
+            else if (a.rfind(flight_dir_flag, 0) == 0)
+                flightDumpDir = a.substr(flight_dir_flag.size());
             else if (a.rfind(seed_flag, 0) == 0)
                 faultSeed = std::strtoull(
                     a.c_str() + seed_flag.size(), nullptr, 0);
@@ -164,6 +189,20 @@ class Session
     inline static bool schedShared = false;
     inline static bool schedSet = false;
 
+    /** Observability flags: --obs=off turns the per-tenant SLO
+     *  monitor and flight recorder off; the --slo- and --flight-
+     *  knobs override the ObsParams defaults (0/"" = keep). */
+    inline static bool obsEnabled = true;
+    inline static double sloWindowMs = 0.0;
+    inline static double sloNetUs = 0.0;
+    inline static double sloBlkUs = 0.0;
+    inline static std::size_t flightEvents = 0;
+    inline static std::string flightDumpDir;
+
+    /** Where --metrics-out points ("" when not given); anomaly
+     *  dumps default to landing beside it. */
+    static const std::string &metricsOut() { return metricsOut_; }
+
     ~Session()
     {
         if (metricsOut_.empty())
@@ -185,7 +224,7 @@ class Session
     Session &operator=(const Session &) = delete;
 
   private:
-    std::string metricsOut_;
+    inline static std::string metricsOut_;
 };
 
 /**
@@ -226,7 +265,8 @@ class Testbed
             cloud::BlockServiceParams storage_params = {})
         : sim(seed), vswitch(sim, "vswitch"),
           storage(sim, "storage", storage_params),
-          server(sim, "server", vswitch, &storage, server_params)
+          server(sim, "server", vswitch, &storage,
+                 withSessionObs(std::move(server_params)))
     {
         static unsigned ordinal = 0;
         MetricsCapture::instance().attach(
@@ -257,6 +297,35 @@ class Testbed
             p.schedMode = core::SchedMode::Shared;
             if (Session::pollCores > 0)
                 p.pollCores = Session::pollCores;
+        }
+        return withSessionObs(p);
+    }
+
+    /** Overlay the session's --obs / --slo-* / --flight-* flags on
+     *  @p p. With no explicit dump dir, anomaly dumps land next to
+     *  the --metrics-out snapshot (none without one: the triggers
+     *  still count, nothing is written). */
+    static core::BmServerParams
+    withSessionObs(core::BmServerParams p)
+    {
+        p.obs.enabled = Session::obsEnabled;
+        if (Session::sloWindowMs > 0)
+            p.obs.slo.window = msToTicks(Session::sloWindowMs);
+        if (Session::sloNetUs > 0)
+            p.obs.slo.netTargetUs = Session::sloNetUs;
+        if (Session::sloBlkUs > 0)
+            p.obs.slo.blkTargetUs = Session::sloBlkUs;
+        if (Session::flightEvents > 0)
+            p.obs.flightEvents = Session::flightEvents;
+        if (!Session::flightDumpDir.empty()) {
+            p.obs.flightDumpDir = Session::flightDumpDir;
+        } else if (p.obs.flightDumpDir.empty() &&
+                   !Session::metricsOut().empty()) {
+            auto slash = Session::metricsOut().rfind('/');
+            p.obs.flightDumpDir =
+                slash == std::string::npos
+                    ? "."
+                    : Session::metricsOut().substr(0, slash);
         }
         return p;
     }
@@ -338,6 +407,20 @@ class Testbed
             };
             chaos->randomPlan(Session::faultSeed, t,
                               msToTicks(50.0), 24);
+        }
+        // Chaos targets guest 0; mirror every delivery into its
+        // flight recorder so anomaly dumps show the injected fault
+        // alongside the datapath events it perturbed.
+        if (server.guestCount() > 0 && server.guest(0).flight()) {
+            auto *fr = server.guest(0).flight();
+            chaos->setObserver(
+                [this, fr](const fault::FaultInjector::PlanEntry &e,
+                           bool accepted) {
+                    fr->record(sim.now(),
+                               obs::FlightEvent::FaultInject, 0, 0,
+                               std::uint64_t(e.spec.kind),
+                               accepted ? 1 : 0);
+                });
         }
         chaos->arm();
         server.startWatchdog(msToTicks(2.0));

@@ -157,6 +157,28 @@ Histogram::bucketHigh(std::size_t i) const
     return lo_ + width_ * double(i + 1);
 }
 
+double
+Histogram::percentile(double q) const
+{
+    panic_if(q < 0.0 || q > 1.0, "quantile out of range: ", q);
+    if (total_ == 0)
+        return 0.0;
+    auto rank = std::uint64_t(std::ceil(q * double(total_)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > total_)
+        rank = total_;
+    std::uint64_t cum = underflow_;
+    if (cum >= rank)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return bucketHigh(i);
+    }
+    return hi_;
+}
+
 void
 Gauge::set(double v)
 {

@@ -98,6 +98,14 @@ class Histogram
     double bucketLow(std::size_t i) const;
     double bucketHigh(std::size_t i) const;
 
+    /**
+     * Nearest-rank quantile estimate from the buckets: the upper
+     * edge of the bucket holding the rank-q sample (conservative by
+     * at most one bucket width). Underflow resolves to lo, overflow
+     * to hi. @param q in [0, 1].
+     */
+    double percentile(double q) const;
+
   private:
     double lo_;
     double hi_;
@@ -124,6 +132,7 @@ class LatencyRecorder
     std::size_t count() const { return set_.count(); }
     double meanUs() const { return set_.mean(); }
     double p50Us() const { return set_.percentile(0.50); }
+    double p90Us() const { return set_.percentile(0.90); }
     double p99Us() const { return set_.percentile(0.99); }
     double p999Us() const { return set_.percentile(0.999); }
     double maxUs() const { return set_.max(); }

@@ -79,6 +79,13 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
       suspects_(metrics().counter(this->name() + ".guest.suspects")),
       quarantines_(
           metrics().counter(this->name() + ".guest.quarantines")),
+      obsDumpTriggers_(
+          metrics().counter(this->name() + ".obs.dump_triggers")),
+      obsDumps_(metrics().counter(this->name() + ".obs.dumps")),
+      obsDumpSuppressed_(
+          metrics().counter(this->name() + ".obs.dumps_suppressed")),
+      sloBreaches_(
+          metrics().counter(this->name() + ".obs.slo_breaches")),
       recoveryTicks_(metrics().latency(
           this->name() + ".watchdog.recovery_ticks")),
       quarantineDwell_(metrics().latency(
@@ -164,6 +171,7 @@ BmHiveServer::watchdogCheck()
                 hv.respawn();
                 watchdogRespawns_.inc();
                 recoveryTicks_.record(curTick() - down_since);
+                flightDump(i, "watchdog");
             }
             continue;
         }
@@ -180,6 +188,7 @@ BmHiveServer::watchdogCheck()
             hv.respawn();
             watchdogRespawns_.inc();
             recoveryTicks_.record(curTick() - down_since);
+            flightDump(i, "watchdog");
         }
         // Snapshot the (possibly fresh) service's counter.
         heartbeat_[i] = hv.service().pollsTotal();
@@ -336,7 +345,100 @@ BmHiveServer::tryProvision(const InstanceType &type,
     c.bucket = TokenBucket(params_.containment.leakPerMs * 1e3,
                            params_.containment.quarantineScore);
     containment_.push_back(c);
+    lastDumpAt_.push_back(maxTick);
+    dumpSeq_.push_back(0);
+
+    BmGuest &gg = *guests_.back();
+    if (params_.obs.enabled) {
+        // Always-on black box: every datapath touch of this guest
+        // lands in its ring, dumped on anomaly by flightDump().
+        gg.flight_ = std::make_unique<obs::FlightRecorder>(
+            base_name + ".flight", metrics(),
+            params_.obs.flightEvents);
+        gg.bond_->setFlightRecorder(gg.flight_.get());
+        gg.bond_->setResetCallback([this, idx](unsigned fn) {
+            onDeviceReset(idx, fn);
+        });
+        gg.hv_->setFlightRecorder(gg.flight_.get());
+        // The SLO monitor rides the request tracers' flow closes,
+        // so per-tenant SLIs come up with the guest whether or not
+        // a bench asked for stage breakdowns.
+        gg.hv_->enableIoTracing();
+        gg.slo_ = std::make_unique<obs::SloMonitor>(
+            base_name + ".slo", metrics(), params_.obs.slo);
+        gg.slo_->setBreachCallback(
+            [this, idx](obs::SloRole role, double burn) {
+                onSloBreach(idx, role, burn);
+            });
+        auto *slo = gg.slo_.get();
+        gg.hv_->netTracer()->setCloseHook([slo](Tick e2e, Tick now) {
+            slo->record(obs::SloRole::Net, e2e, now);
+        });
+        gg.hv_->blkTracer()->setCloseHook([slo](Tick e2e, Tick now) {
+            slo->record(obs::SloRole::Blk, e2e, now);
+        });
+    }
     return guests_.back().get();
+}
+
+void
+BmHiveServer::flightDump(unsigned i, const char *trigger)
+{
+    obsDumpTriggers_.inc();
+    if (i >= guests_.size() || !guests_[i]->flight_)
+        return;
+    Tick now = curTick();
+    if (lastDumpAt_[i] != maxTick &&
+        now - lastDumpAt_[i] < params_.obs.flightDumpCooldown) {
+        obsDumpSuppressed_.inc();
+        return;
+    }
+    lastDumpAt_[i] = now;
+    unsigned seq = dumpSeq_[i]++;
+    if (params_.obs.flightDumpDir.empty())
+        return;
+    std::string path = params_.obs.flightDumpDir + "/flight_guest" +
+                       std::to_string(i) + "_" + trigger + "_" +
+                       std::to_string(seq) + ".json";
+    if (guests_[i]->flight_->writeChromeJson(
+            path, params_.obs.flightDumpLast, trigger)) {
+        obsDumps_.inc();
+        lastFlightDumpPath_ = path;
+        inform(name(), ": guest", i, " flight dump (", trigger,
+               ") -> ", path);
+    } else {
+        warn(name(), ": guest", i, " flight dump failed: ", path);
+    }
+}
+
+void
+BmHiveServer::onDeviceReset(unsigned idx, unsigned fn)
+{
+    if (idx >= guests_.size())
+        return;
+    // Quarantine release resets every function by design; those
+    // resets belong to the quarantine story already dumped at
+    // entry, not a fresh anomaly.
+    if (idx < containment_.size() &&
+        containment_[idx].state == GuestHealth::Quarantined)
+        return;
+    logDebug("guest", idx, " fn", fn, " DEVICE_NEEDS_RESET");
+    flightDump(idx, "reset");
+}
+
+void
+BmHiveServer::onSloBreach(unsigned idx, obs::SloRole role,
+                          double burn)
+{
+    sloBreaches_.inc();
+    if (idx < guests_.size() && guests_[idx]->flight_) {
+        guests_[idx]->flight_->record(
+            curTick(), obs::FlightEvent::SloBreach, 0, 0,
+            std::uint64_t(role), std::uint64_t(burn * 100.0));
+    }
+    warn(name(), ": guest", idx, " ", obs::sloRoleName(role),
+         " SLO breach (burn rate ", burn, ")");
+    flightDump(idx, "slo_breach");
 }
 
 GuestHealth
@@ -371,6 +473,9 @@ BmHiveServer::onGuestFault(unsigned idx, fault::GuestFaultKind k)
         guestScore(idx) <= params_.containment.suspectScore / 2) {
         c.state = GuestHealth::Healthy;
         guests_[idx]->hypervisor().setPollWeight(1.0);
+        if (guests_[idx]->flight_)
+            guests_[idx]->flight_->record(
+                curTick(), obs::FlightEvent::Containment, 0, 0, 0);
     }
     c.bucket.forceConsume(curTick(), 1.0);
     double score = guestScore(idx);
@@ -383,6 +488,9 @@ BmHiveServer::onGuestFault(unsigned idx, fault::GuestFaultKind k)
                c.state == GuestHealth::Healthy) {
         c.state = GuestHealth::Suspect;
         suspects_.inc();
+        if (guests_[idx]->flight_)
+            guests_[idx]->flight_->record(
+                curTick(), obs::FlightEvent::Containment, 0, 0, 1);
         // Under shared polling a Suspect also loses scheduler
         // share; under dedicated polling this is a no-op.
         guests_[idx]->hypervisor().setPollWeight(
@@ -406,6 +514,10 @@ BmHiveServer::quarantineGuest(unsigned i)
     // poll service, not merely swallowed doorbells.
     guests_[i]->hypervisor().setPollWeight(0.0);
     quarantines_.inc();
+    if (guests_[i]->flight_)
+        guests_[i]->flight_->record(
+            curTick(), obs::FlightEvent::Containment, 0, 0, 2);
+    flightDump(i, "quarantine");
     auto *ev = new OneShotEvent(
         [this, i] { releaseQuarantine(i); },
         name() + ".quarantine_release");
@@ -430,6 +542,9 @@ BmHiveServer::releaseQuarantine(unsigned i)
         bond.failFunction(fn);
     bond.setQuarantined(false);
     c.state = GuestHealth::Healthy;
+    if (guests_[i]->flight_)
+        guests_[i]->flight_->record(
+            curTick(), obs::FlightEvent::Containment, 0, 0, 0);
     c.bucket = TokenBucket(params_.containment.leakPerMs * 1e3,
                            params_.containment.quarantineScore);
     guests_[i]->hypervisor().setPollWeight(1.0);

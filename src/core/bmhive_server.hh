@@ -32,6 +32,8 @@
 #include "hv/bm_hypervisor.hh"
 #include "hw/compute_board.hh"
 #include "iobond/iobond.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/slo_monitor.hh"
 #include "sched/poll_scheduler.hh"
 
 namespace bmhive {
@@ -55,6 +57,32 @@ struct ContainmentParams
     /** Scheduler share of a Suspect guest under shared polling
      *  (1.0 = normal; Quarantined guests are starved outright). */
     double suspectPollWeight = 0.25;
+};
+
+/**
+ * Per-tenant observability policy: the SLO monitor and flight
+ * recorder every provisioned guest carries. Always on by default —
+ * both are O(1) per event with zero steady-state allocation, so
+ * there is nothing to gate. Anomaly triggers (quarantine entry,
+ * watchdog respawn, DEVICE_NEEDS_RESET propagation, SLO breach)
+ * dump the implicated guest's last flightDumpLast events as a
+ * Chrome-trace JSON into flightDumpDir; an empty dir records the
+ * trigger in the metric registry but writes no file.
+ */
+struct ObsParams
+{
+    bool enabled = true;
+    /** Latency-SLO policy fed from RequestTracer flow closes. */
+    obs::SloParams slo = {};
+    /** Flight-recorder ring slots per guest. */
+    std::size_t flightEvents = 1024;
+    /** Events per anomaly dump (0 = everything live). */
+    std::size_t flightDumpLast = 256;
+    /** Where dumps land ("" = triggers counted, no files). */
+    std::string flightDumpDir;
+    /** Per-guest floor between dumps; a flapping guest produces
+     *  one dump per cooldown, not one per anomaly. */
+    Tick flightDumpCooldown = msToTicks(1.0);
 };
 
 /** How bm-hypervisor PMDs map onto base-board cores. */
@@ -84,6 +112,8 @@ struct BmServerParams
     unsigned pollCores = 4;
     /** DWRR / governor tuning of the shared pool. */
     sched::PollSchedulerParams schedParams = {};
+    /** Per-tenant SLO + flight-recorder policy. */
+    ObsParams obs = {};
 };
 
 /** Everything belonging to one provisioned bm-guest. */
@@ -100,6 +130,10 @@ class BmGuest
     const InstanceType &instance() const { return instance_; }
     cloud::MacAddr mac() const { return mac_; }
 
+    /** Always-on black box / SLI view; null when obs disabled. */
+    obs::FlightRecorder *flight() { return flight_.get(); }
+    obs::SloMonitor *slo() { return slo_.get(); }
+
     /** One-paragraph operational report (counters snapshot). */
     std::string statsReport() const;
 
@@ -115,6 +149,8 @@ class BmGuest
     std::unique_ptr<guest::NetDriver> net_;
     std::unique_ptr<guest::BlkDriver> blk_;
     std::unique_ptr<guest::ConsoleDriver> console_;
+    std::unique_ptr<obs::FlightRecorder> flight_;
+    std::unique_ptr<obs::SloMonitor> slo_;
 };
 
 class BmHiveServer : public SimObject
@@ -224,6 +260,25 @@ class BmHiveServer : public SimObject
         return guestFaultEvents_.value();
     }
 
+    // --- Per-tenant observability (flight recorder + SLO) ---
+
+    /** Anomaly dumps actually written to disk. */
+    std::uint64_t flightDumps() const { return obsDumps_.value(); }
+    /** Dump triggers seen (includes cooldown-suppressed ones). */
+    std::uint64_t
+    flightDumpTriggers() const
+    {
+        return obsDumpTriggers_.value();
+    }
+    /** SLO breach signals across all guests and roles. */
+    std::uint64_t sloBreaches() const { return sloBreaches_.value(); }
+    /** Path of the most recent dump ("" before the first). */
+    const std::string &
+    lastFlightDumpPath() const
+    {
+        return lastFlightDumpPath_;
+    }
+
   private:
     /** One periodic rollup over all provisioned guests. */
     void dumpStats();
@@ -248,6 +303,17 @@ class BmHiveServer : public SimObject
     /** IO-Bond classified one contained fault of guest @p idx. */
     void onGuestFault(unsigned idx, fault::GuestFaultKind k);
 
+    /**
+     * Dump guest @p i's flight-recorder tail as a Chrome trace,
+     * labelled @p trigger. Honors the per-guest cooldown and does
+     * nothing but count when no dump dir is configured.
+     */
+    void flightDump(unsigned i, const char *trigger);
+    /** IO-Bond pushed DEVICE_NEEDS_RESET to guest @p idx fn @p fn. */
+    void onDeviceReset(unsigned idx, unsigned fn);
+    /** Guest @p idx's SLO monitor latched a breach. */
+    void onSloBreach(unsigned idx, obs::SloRole role, double burn);
+
     BmServerParams params_;
     cloud::VSwitch &vswitch_;
     cloud::BlockService *storage_;
@@ -270,8 +336,16 @@ class BmHiveServer : public SimObject
     Counter &guestFaultEvents_;
     Counter &suspects_;
     Counter &quarantines_;
+    Counter &obsDumpTriggers_;
+    Counter &obsDumps_;
+    Counter &obsDumpSuppressed_;
+    Counter &sloBreaches_;
     LatencyRecorder &recoveryTicks_;
     LatencyRecorder &quarantineDwell_;
+    /** Per-guest tick of the last dump (maxTick = never). */
+    std::vector<Tick> lastDumpAt_;
+    std::vector<unsigned> dumpSeq_;
+    std::string lastFlightDumpPath_;
     EventFunctionWrapper statsEvent_;
     EventFunctionWrapper watchdogEvent_;
 };

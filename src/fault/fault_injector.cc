@@ -191,6 +191,8 @@ FaultInjector::deliver(const PlanEntry &e)
         warn(name(), ": fault '", kindName(e.spec.kind),
              "' unmatched at target '", e.target, "'");
     }
+    if (observer_)
+        observer_(e, hit);
     auto &sink = traceSink();
     if (sink.enabled()) {
         sink.recordInstant(

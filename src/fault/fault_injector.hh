@@ -21,6 +21,7 @@
 #ifndef BMHIVE_FAULT_FAULT_INJECTOR_HH
 #define BMHIVE_FAULT_FAULT_INJECTOR_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,6 +85,16 @@ class FaultInjector : public SimObject
     /** Faults with no registered/matching component. */
     std::uint64_t unmatched() const { return unmatched_.value(); }
 
+    /**
+     * Observe every delivery as it fires (after the component hook
+     * ran; @p accepted says whether any hook claimed it). Flight
+     * recorders subscribe here so injected chaos shows up in
+     * anomaly dumps alongside the datapath events it perturbed.
+     */
+    using Observer =
+        std::function<void(const PlanEntry &, bool accepted)>;
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
     static const char *kindName(FaultKind k);
     static std::optional<FaultKind>
     kindFromName(const std::string &s);
@@ -95,6 +106,7 @@ class FaultInjector : public SimObject
     std::size_t armed_ = 0; ///< plan_ entries already scheduled
     Counter &injected_;
     Counter &unmatched_;
+    Observer observer_;
 };
 
 } // namespace fault

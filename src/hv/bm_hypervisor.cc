@@ -101,12 +101,22 @@ BmHypervisor::startService()
     service_->setExternallyDriven(true);
     service_->start();
     handle_ = sched_->add(schedCore_, *service_, pollWeight_);
+    if (flight_)
+        sched_->setFlightRecorder(handle_, flight_);
     // Backend-side arrivals (vSwitch rx, console input) wake the
     // core the same way guest doorbells do.
     service_->setWakeHook([this] {
         if (handle_.valid())
             sched_->wake(handle_);
     });
+}
+
+void
+BmHypervisor::setFlightRecorder(obs::FlightRecorder *fr)
+{
+    flight_ = fr;
+    if (sched_ && handle_.valid())
+        sched_->setFlightRecorder(handle_, fr);
 }
 
 void
@@ -177,6 +187,9 @@ BmHypervisor::respawn()
     startService();
     respawns_.inc();
     crashed_ = false;
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::Respawn, 0, 0,
+                        respawnCount_);
     logDebug("bm-hypervisor respawned (generation ",
              respawnCount_, ")");
 }

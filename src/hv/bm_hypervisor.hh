@@ -136,6 +136,13 @@ class BmHypervisor : public SimObject
     obs::RequestTracer *blkTracer() { return blkTracer_.get(); }
 
     /**
+     * Attach the guest's flight recorder. Wires the current shared
+     * scheduler registration for SchedVisit events (and re-wires on
+     * every respawn); respawn itself records a Respawn event.
+     */
+    void setFlightRecorder(obs::FlightRecorder *fr);
+
+    /**
      * The bm-hypervisor process dies: polling stops and everything
      * it had in flight is invalidated. Per-guest blast radius only
      * — other guests' processes are untouched (the paper's
@@ -196,6 +203,7 @@ class BmHypervisor : public SimObject
     // Request tracing (enableIoTracing).
     std::unique_ptr<obs::RequestTracer> netTracer_;
     std::unique_ptr<obs::RequestTracer> blkTracer_;
+    obs::FlightRecorder *flight_ = nullptr;
     int netFn_ = -1; ///< IO-Bond function index of the NIC
     int blkFn_ = -1; ///< IO-Bond function index of the disk
     bool traceIo_ = false;

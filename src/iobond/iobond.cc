@@ -108,6 +108,9 @@ IoBond::injectFault(const fault::FaultSpec &spec)
         if (until > linkDownUntil_)
             linkDownUntil_ = until;
         faultInjected_.inc();
+        if (flight_)
+            flight_->record(curTick(), obs::FlightEvent::FaultInject,
+                            0, 0, std::uint64_t(spec.kind));
         trace(name() + ": PCIe link down for " +
               std::to_string(ticksToUs(dur)) + "us");
         // When the link comes back, sweep every ready queue: any
@@ -124,6 +127,9 @@ IoBond::injectFault(const fault::FaultSpec &spec)
       case fault::FaultKind::DropDoorbell: {
         dropDoorbells_ += spec.count ? spec.count : 1;
         faultInjected_.inc();
+        if (flight_)
+            flight_->record(curTick(), obs::FlightEvent::FaultInject,
+                            0, 0, std::uint64_t(spec.kind));
         // The mailbox-timeout resync sweep bounds how long a lost
         // notification can strand queued work.
         auto *ev = new OneShotEvent([this] { rescanReady(); },
@@ -137,6 +143,9 @@ IoBond::injectFault(const fault::FaultSpec &spec)
         if (fn >= functions_.size())
             return false;
         faultInjected_.inc();
+        if (flight_)
+            flight_->record(curTick(), obs::FlightEvent::FaultInject,
+                            fn, 0, std::uint64_t(spec.kind));
         failFunction(fn);
         return true;
       }
@@ -161,8 +170,12 @@ IoBond::failFunction(unsigned fn)
     panic_if(fn >= functions_.size(), name(), ": bad function ", fn);
     trace(name() + ": function " + std::to_string(fn) +
           " failed, raising DEVICE_NEEDS_RESET");
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::Reset, fn);
     functionReset(*functions_[fn]);
     functions_[fn]->markNeedsReset();
+    if (resetCb_)
+        resetCb_(fn);
 }
 
 void
@@ -171,6 +184,11 @@ IoBond::guestFault(fault::GuestFaultKind k)
     guestFaultCounters_[std::size_t(k)]->inc();
     guestFaultsTotal_.inc();
     trace(name() + ": guest fault " + fault::guestFaultName(k));
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::GuestFault,
+                        lastActiveFn_ >= 0 ? unsigned(lastActiveFn_)
+                                           : 0,
+                        0, std::uint64_t(k));
     if (guestFaultCb_)
         guestFaultCb_(k);
 }
@@ -199,8 +217,13 @@ IoBond::rescanReady()
         for (unsigned q = 0; q < shadow_[fi].size(); ++q)
             if (shadow_[fi][q].ready)
                 recovered += syncAvail(fi, q);
-    if (recovered > 0)
+    if (recovered > 0) {
         faultRecovered_.inc(recovered);
+        if (flight_)
+            flight_->record(curTick(),
+                            obs::FlightEvent::FaultRecover, 0, 0,
+                            recovered);
+    }
 }
 
 IoBondFunction &
@@ -345,7 +368,12 @@ void
 IoBond::functionReset(IoBondFunction &fn)
 {
     unsigned fi = fn.index();
-    for (auto &sq : shadow_[fi]) {
+    for (unsigned q = 0; q < shadow_[fi].size(); ++q) {
+        ShadowQueue &sq = shadow_[fi][q];
+        // Open traced flows on this queue will never see an MSI:
+        // drop them so a resetting guest cannot pin tracer state.
+        if (sq.reqTracer)
+            sq.reqTracer->dropOpen(fi, q);
         for (auto &[head, cs] : sq.inflight) {
             if (cs.bufBlock != PoolAllocator::nullAddr)
                 pool_.free(cs.bufBlock);
@@ -381,6 +409,10 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
         // Containment: the bridge swallows the doorbell entirely.
         // Queued work is swept up at release.
         quarantineDrops_.inc();
+        if (flight_)
+            flight_->record(curTick(),
+                            obs::FlightEvent::DoorbellDrop, fi, q,
+                            1);
         return;
     }
     if (curTick() < linkDownUntil_ || dropDoorbells_ > 0) {
@@ -391,12 +423,20 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
         droppedDoorbells_.inc();
         trace(name() + ": doorbell fn=" + std::to_string(fi) +
               " q=" + std::to_string(q) + " dropped (fault)");
+        if (flight_)
+            flight_->record(curTick(),
+                            obs::FlightEvent::DoorbellDrop, fi, q,
+                            2);
         return;
     }
     if (!sq.doorbells.tryConsume(curTick(), 1.0)) {
         // Doorbell storm: the notification is dropped, but queued
         // work is not lost — one deferred sweep per throttle
         // window picks it up when tokens return.
+        if (flight_)
+            flight_->record(curTick(),
+                            obs::FlightEvent::DoorbellThrottle, fi,
+                            q);
         guestFault(fault::GuestFaultKind::DoorbellStorm);
         if (!sq.stormResync) {
             sq.stormResync = true;
@@ -418,6 +458,9 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
     }
     trace(name() + ": doorbell fn=" + std::to_string(fi) +
           " q=" + std::to_string(q));
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::DoorbellAccept,
+                        fi, q);
     // An accepted mailbox write is what a sleeping poll core
     // observes.
     if (doorbellWake_)
@@ -497,6 +540,10 @@ IoBond::syncAvail(unsigned fn, unsigned q)
             }
             s.shadowLayout.setAvailIdx(baseMem_, s.shadowAvail);
             chains_.inc(heads.size());
+            if (flight_)
+                flight_->record(curTick(),
+                                obs::FlightEvent::AvailSync, fn, q,
+                                heads.size(), s.shadowAvail);
             trace(name() + ": burst of " +
                   std::to_string(heads.size()) +
                   " chains published on shadow vring, head " +
@@ -731,6 +778,10 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
             }
             s.guestLayout.setUsedIdx(gm, s.guestUsed);
             completions_.inc(batch.size());
+            if (flight_)
+                flight_->record(curTick(),
+                                obs::FlightEvent::UsedPublish, fn,
+                                q, batch.size(), s.guestUsed);
             trace(name() + ": batch of " +
                   std::to_string(batch.size()) +
                   " completions returned to guest");
@@ -760,6 +811,10 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
                             fn, q,
                             std::uint16_t(batch.back().elem.id)),
                         obs::Stage::GuestIrq, curTick());
+                if (flight_)
+                    flight_->record(curTick(),
+                                    obs::FlightEvent::Msi, fn, q,
+                                    batch.back().elem.id);
                 functions_[fn]->notifyGuest(q);
             }
         });

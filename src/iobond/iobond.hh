@@ -43,6 +43,7 @@
 #include "hw/compute_board.hh"
 #include "mem/dma_engine.hh"
 #include "mem/pool_allocator.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/request_tracer.hh"
 #include "virtio/virtio_pci.hh"
 #include "virtio/virtqueue.hh"
@@ -223,6 +224,29 @@ class IoBond : public SimObject
     void setQueueTracer(unsigned fn, unsigned q,
                         obs::RequestTracer *t);
 
+    /**
+     * Attach the owning guest's flight recorder: the bridge records
+     * every doorbell outcome, avail-sync burst, used publish, MSI,
+     * fault, and reset, and forwards the recorder to the internal
+     * DMA engine for copyv submit/complete events.
+     */
+    void setFlightRecorder(obs::FlightRecorder *fr)
+    {
+        flight_ = fr;
+        dma_.setFlightRecorder(fr);
+    }
+
+    /**
+     * Invoked (with the function index) when failFunction raises
+     * DEVICE_NEEDS_RESET — the anomaly trigger BmHiveServer turns
+     * into a flight-recorder dump. Driver-initiated resets
+     * (bring-up, renegotiation) do not fire it.
+     */
+    void setResetCallback(std::function<void(unsigned)> cb)
+    {
+        resetCb_ = std::move(cb);
+    }
+
     std::uint64_t notifications() const { return notifies_.value(); }
     std::uint64_t chainsForwarded() const { return chains_.value(); }
     std::uint64_t completionsReturned() const
@@ -366,6 +390,8 @@ class IoBond : public SimObject
     Tracer tracer_;
     std::function<void(unsigned)> readyCb_;
     std::function<void()> doorbellWake_;
+    std::function<void(unsigned)> resetCb_;
+    obs::FlightRecorder *flight_ = nullptr;
     /** Injected PCIe link outage: doorbells are lost until then. */
     Tick linkDownUntil_ = 0;
     /** Injected doorbell-loss budget. */

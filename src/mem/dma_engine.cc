@@ -86,6 +86,9 @@ DmaEngine::copyv(std::vector<CopySeg> segs, Callback done)
 void
 DmaEngine::enqueue(Transfer t)
 {
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::CopyvSubmit, 0,
+                        0, t.segs.size(), t.len);
     queue_.push_back(std::move(t));
     queueDepth_.set(double(queue_.size()));
     // Submissions from a completion callback queue behind the
@@ -154,6 +157,9 @@ DmaEngine::complete()
     transfers_.inc();
     batchedSegments_.inc(t.segs.size());
     batchSegs_.record(double(t.segs.size()));
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::CopyvComplete,
+                        0, 0, t.segs.size(), t.len);
 
     // The completion callback still runs on failure: the engine's
     // timing pipeline is unaffected, only the data never landed.

@@ -21,6 +21,7 @@
 #include "base/stats.hh"
 #include "base/units.hh"
 #include "mem/guest_memory.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/sim_object.hh"
 
 namespace bmhive {
@@ -116,6 +117,10 @@ class DmaEngine : public SimObject
         return faultInjected_.value();
     }
 
+    /** Attach the owning guest's flight recorder: every transfer
+     *  records CopyvSubmit/CopyvComplete (a=segs, b=bytes). */
+    void setFlightRecorder(obs::FlightRecorder *fr) { flight_ = fr; }
+
   private:
     struct Transfer
     {
@@ -148,6 +153,7 @@ class DmaEngine : public SimObject
     std::uint64_t corruptBudget_ = 0;
     std::uint64_t failBudget_ = 0;
     Callback errorHandler_;
+    obs::FlightRecorder *flight_ = nullptr;
     /** Registry-backed so exports and accessors read one cell. */
     Counter &bytesMoved_;
     Counter &transfers_;

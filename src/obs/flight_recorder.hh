@@ -1,0 +1,142 @@
+/**
+ * @file
+ * FlightRecorder: always-on per-guest ring of compact datapath
+ * events — the black box that is still there when something goes
+ * wrong. Unlike TraceSink (opt-in, compile-gated by
+ * BMHIVE_TRACING), the flight recorder runs unconditionally: each
+ * record() writes one fixed-size POD slot of a preallocated ring,
+ * O(1) with zero steady-state allocation, so it is cheap enough to
+ * instrument every doorbell, DMA burst, used publish, MSI, and
+ * scheduler visit of every guest in every configuration.
+ *
+ * The payoff comes at anomaly time: on quarantine entry, watchdog
+ * recovery, reset propagation, or an SLO breach, BmHiveServer dumps
+ * the implicated guest's last-N events as a Chrome trace_event JSON
+ * (same format TraceSink emits, loadable in chrome://tracing or
+ * Perfetto) next to the bench's --metrics-out snapshot — no
+ * recompile, no re-run, no -DBMHIVE_TRACING.
+ */
+
+#ifndef BMHIVE_OBS_FLIGHT_RECORDER_HH
+#define BMHIVE_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "obs/metric_registry.hh"
+
+namespace bmhive {
+namespace obs {
+
+/** Compact event vocabulary of the BM-Hive datapath (Fig. 6) plus
+ *  the fault/containment machinery wrapped around it. */
+enum class FlightEvent : std::uint8_t {
+    DoorbellAccept = 0, ///< guest notify crossed to the mailbox
+    DoorbellThrottle,   ///< storm throttle swallowed the notify
+    DoorbellDrop,       ///< a=1 quarantine, a=2 injected fault
+    AvailSync,          ///< burst published on the shadow vring
+    CopyvSubmit,        ///< DMA transfer enqueued (a=segs, b=bytes)
+    CopyvComplete,      ///< DMA transfer landed (a=segs, b=bytes)
+    UsedPublish,        ///< used batch returned to guest memory
+    Msi,                ///< interrupt raised toward the guest
+    SchedVisit,         ///< shared poll core serviced the backend
+    FaultInject,        ///< injected infrastructure fault (a=kind)
+    FaultRecover,       ///< resync sweep recovered chains (a=n)
+    GuestFault,         ///< contained guest fault (a=kind)
+    Containment,        ///< a: 0 healthy, 1 suspect, 2 quarantined
+    Reset,              ///< DEVICE_NEEDS_RESET raised on fn
+    Respawn,            ///< backend process respawned
+    SloBreach,          ///< burn rate crossed the policy threshold
+};
+
+const char *flightEventName(FlightEvent e);
+
+class FlightRecorder
+{
+  public:
+    /** One ring slot. POD on purpose: record() is a struct store. */
+    struct Record
+    {
+        Tick at = 0;
+        FlightEvent ev = FlightEvent::DoorbellAccept;
+        std::uint16_t fn = 0;
+        std::uint16_t q = 0;
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+    };
+
+    /**
+     * @param path hierarchical name, e.g. "server.guest0.flight";
+     *        counters register under "<path>.events" /
+     *        "<path>.overwritten"
+     * @param capacity ring slots, preallocated here (the only
+     *        allocation the recorder ever makes)
+     */
+    FlightRecorder(std::string path, MetricRegistry &registry,
+                   std::size_t capacity = 1024);
+
+    /** Append one event; overwrites the oldest slot when full. */
+    void
+    record(Tick now, FlightEvent ev, unsigned fn = 0, unsigned q = 0,
+           std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        Record &r = ring_[head_];
+        r.at = now;
+        r.ev = ev;
+        r.fn = std::uint16_t(fn);
+        r.q = std::uint16_t(q);
+        r.a = a;
+        r.b = b;
+        if (++head_ == ring_.size())
+            head_ = 0;
+        if (count_ < ring_.size())
+            ++count_;
+        else
+            overwritten_->inc();
+        events_->inc();
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+    /** Live slots (== capacity once wrapped). */
+    std::size_t size() const { return count_; }
+    std::uint64_t recorded() const { return events_->value(); }
+    std::uint64_t overwritten() const
+    {
+        return overwritten_->value();
+    }
+
+    /** Up to the last @p n events, oldest first (0 = everything
+     *  live). Unwraps the ring; allocation is the caller's. */
+    std::vector<Record> lastEvents(std::size_t n = 0) const;
+
+    /**
+     * Chrome trace_event JSON of the last @p n events: one instant
+     * per record on a lane named after this recorder, with fn/q/a/b
+     * carried in args. @p trigger lands in metadata so a dump says
+     * why it exists. Independent of BMHIVE_TRACING.
+     */
+    std::string toChromeJson(std::size_t n = 0,
+                             const std::string &trigger = "") const;
+
+    /** Write toChromeJson() to @p path; false on I/O error. */
+    bool writeChromeJson(const std::string &path, std::size_t n = 0,
+                         const std::string &trigger = "") const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<Record> ring_;
+    std::size_t head_ = 0;  ///< next write position
+    std::size_t count_ = 0; ///< live slots
+    Counter *events_;
+    Counter *overwritten_;
+};
+
+} // namespace obs
+} // namespace bmhive
+
+#endif // BMHIVE_OBS_FLIGHT_RECORDER_HH

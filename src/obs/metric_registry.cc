@@ -162,6 +162,14 @@ MetricRegistry::appendJsonValue(std::string &out, const Entry &e)
         appendJsonNumber(out, double(h.underflow()));
         out += ",\"overflow\":";
         appendJsonNumber(out, double(h.overflow()));
+        out += ",\"p50\":";
+        appendJsonNumber(out, h.percentile(0.50));
+        out += ",\"p90\":";
+        appendJsonNumber(out, h.percentile(0.90));
+        out += ",\"p99\":";
+        appendJsonNumber(out, h.percentile(0.99));
+        out += ",\"p999\":";
+        appendJsonNumber(out, h.percentile(0.999));
         out += ",\"buckets\":[";
         bool first = true;
         for (std::size_t i = 0; i < h.buckets(); ++i) {
@@ -189,6 +197,8 @@ MetricRegistry::appendJsonValue(std::string &out, const Entry &e)
         appendJsonNumber(out, l.meanUs());
         out += ",\"p50_us\":";
         appendJsonNumber(out, l.p50Us());
+        out += ",\"p90_us\":";
+        appendJsonNumber(out, l.p90Us());
         out += ",\"p99_us\":";
         appendJsonNumber(out, l.p99Us());
         out += ",\"p999_us\":";
@@ -204,13 +214,14 @@ MetricRegistry::appendJsonValue(std::string &out, const Entry &e)
 std::string
 MetricRegistry::toJson() const
 {
-    std::string out = "{";
-    bool first = true;
+    // "schema_version" leads every registry object; metric names
+    // are dotted, so the bare key can never collide. metrics_ is a
+    // std::map, so iteration (and the emitted key order) is already
+    // stable for byte-diffable same-seed snapshots.
+    std::string out = "{\n  \"schema_version\": ";
+    appendJsonNumber(out, double(jsonSchemaVersion));
     for (const auto &[name, entry] : metrics_) {
-        if (!first)
-            out += ',';
-        first = false;
-        out += "\n  ";
+        out += ",\n  ";
         appendJsonString(out, name);
         out += ": ";
         appendJsonValue(out, entry);

@@ -35,6 +35,14 @@ class MetricRegistry
   public:
     enum class Kind { Counter, Gauge, Histogram, Latency };
 
+    /**
+     * Version of the toJson() layout, emitted as the leading
+     * "schema_version" key. Bump whenever a metric object gains,
+     * loses, or reorders keys; tools/metrics_check.py validates
+     * against it. v2: histogram/latency percentiles, schema field.
+     */
+    static constexpr unsigned jsonSchemaVersion = 2;
+
     MetricRegistry() = default;
     MetricRegistry(const MetricRegistry &) = delete;
     MetricRegistry &operator=(const MetricRegistry &) = delete;

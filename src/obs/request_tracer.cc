@@ -43,6 +43,11 @@ RequestTracer::RequestTracer(std::string path,
     started_ = &registry.counter(path_ + ".flows.started");
     completed_ = &registry.counter(path_ + ".flows.completed");
     unmatched_ = &registry.counter(path_ + ".flows.unmatched");
+    evicted_ = &registry.counter(path_ + ".flows.evicted");
+    aborted_ = &registry.counter(path_ + ".flows.aborted");
+    // Shared across every tracer in the registry: one place to see
+    // whether any guest is leaking open flows.
+    evictedGlobal_ = &registry.counter("obs.tracer.evicted_flows");
     if (sink_)
         lane_ = sink_->lane(path_);
 }
@@ -57,8 +62,11 @@ RequestTracer::stamp(std::uint64_t key, Stage s, Tick now)
         f.at[0] = now;
         f.stageSeen = 1;
         f.last = Stage::GuestPost;
+        f.seq = ++seq_;
         open_[key] = f;
+        order_.emplace_back(key, f.seq);
         started_->inc();
+        enforceBound();
         if (sink_ && sink_->enabled())
             sink_->recordInstant(stageName(s), "io", now, lane_,
                                  key);
@@ -85,7 +93,8 @@ RequestTracer::stamp(std::uint64_t key, Stage s, Tick now)
     f.last = s;
 
     if (s == finalStage_) {
-        total_->record(now - f.at[0]);
+        Tick e2e = now - f.at[0];
+        total_->record(e2e);
         completed_->inc();
         FlowRecord rec;
         rec.key = key;
@@ -95,7 +104,53 @@ RequestTracer::stamp(std::uint64_t key, Stage s, Tick now)
         if (recent_.size() > recentCap)
             recent_.pop_front();
         open_.erase(it);
+        if (closeHook_)
+            closeHook_(e2e, now);
     }
+}
+
+void
+RequestTracer::enforceBound()
+{
+    while (open_.size() > maxOpen_ && !order_.empty()) {
+        auto [key, seq] = order_.front();
+        order_.pop_front();
+        auto it = open_.find(key);
+        // Stale entry: the flow closed, was dropped, or the key was
+        // reopened under a newer seq. Nothing to evict for it.
+        if (it == open_.end() || it->second.seq != seq)
+            continue;
+        open_.erase(it);
+        evicted_->inc();
+        evictedGlobal_->inc();
+    }
+    // The order log itself must stay bounded too: stale entries
+    // (closed, dropped, or reopened flows) pile up behind a
+    // long-lived open flow and the loop above never reaches them.
+    // Compact once they outnumber live flows by a full table —
+    // amortized O(1) per open.
+    if (order_.size() > open_.size() + maxOpen_) {
+        std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+        for (const auto &[key, seq] : order_) {
+            auto it = open_.find(key);
+            if (it != open_.end() && it->second.seq == seq)
+                live.emplace_back(key, seq);
+        }
+        order_.swap(live);
+    }
+}
+
+void
+RequestTracer::dropOpen(unsigned fn, unsigned q)
+{
+    std::uint64_t prefix = flowKey(fn, q, 0);
+    auto it = open_.lower_bound(prefix);
+    while (it != open_.end() && (it->first & ~0xffffull) == prefix) {
+        it = open_.erase(it);
+        aborted_->inc();
+    }
+    // order_ entries for the dropped keys go stale and are popped
+    // lazily by enforceBound().
 }
 
 const LatencyRecorder &

@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -101,6 +102,29 @@ class RequestTracer
     void setFinalStage(Stage s) { finalStage_ = s; }
     Stage finalStage() const { return finalStage_; }
 
+    /**
+     * Invoked once per closed flow with the end-to-end
+     * GuestPost -> final-stage latency. This is SloMonitor's feed;
+     * it fires after the stage recorders update, at most once per
+     * flow (evicted/aborted flows never close).
+     */
+    using CloseHook = std::function<void(Tick e2eLatency, Tick now)>;
+    void setCloseHook(CloseHook cb) { closeHook_ = std::move(cb); }
+
+    /**
+     * Drop every open flow on (fn, q) without closing it — a queue
+     * reset means those requests will never see their MSI, so the
+     * entries would otherwise pin the open table forever. Counted
+     * under "<path>.flows.aborted".
+     */
+    void dropOpen(unsigned fn, unsigned q);
+
+    /** Cap on concurrently open flows; oldest-first eviction past
+     *  it. Guards against a hostile guest posting heads it never
+     *  lets complete. */
+    void setMaxOpen(std::size_t n) { maxOpen_ = n ? n : 1; }
+    std::size_t maxOpen() const { return maxOpen_; }
+
     /** Transition-latency recorder feeding stage @p s (not valid
      *  for GuestPost, which opens flows and has no predecessor). */
     const LatencyRecorder &stageLatency(Stage s) const;
@@ -111,6 +135,8 @@ class RequestTracer
     std::uint64_t started() const { return started_->value(); }
     std::uint64_t completed() const { return completed_->value(); }
     std::uint64_t unmatched() const { return unmatched_->value(); }
+    std::uint64_t evicted() const { return evicted_->value(); }
+    std::uint64_t aborted() const { return aborted_->value(); }
     std::size_t openFlows() const { return open_.size(); }
 
     /** Most recently completed flows, newest last (capped). */
@@ -131,9 +157,14 @@ class RequestTracer
         std::array<Tick, numStages> at{};
         unsigned stageSeen = 0;
         Stage last = Stage::GuestPost;
+        std::uint64_t seq = 0; ///< insertion order, for eviction
     };
 
     static constexpr std::size_t recentCap = 128;
+    static constexpr std::size_t defaultMaxOpen = 4096;
+
+    /** Evict oldest open flows until the table fits maxOpen_. */
+    void enforceBound();
 
     std::string path_;
     Stage finalStage_ = Stage::GuestIrq;
@@ -144,8 +175,17 @@ class RequestTracer
     Counter *started_;
     Counter *completed_;
     Counter *unmatched_;
+    Counter *evicted_;       ///< "<path>.flows.evicted"
+    Counter *aborted_;       ///< "<path>.flows.aborted"
+    Counter *evictedGlobal_; ///< registry-wide "obs.tracer.evicted_flows"
     std::map<std::uint64_t, OpenFlow> open_;
+    std::size_t maxOpen_ = defaultMaxOpen;
+    std::uint64_t seq_ = 0;
+    /** Insertion order as (key, seq); entries whose seq no longer
+     *  matches open_ are stale and popped lazily. */
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> order_;
     std::deque<FlowRecord> recent_;
+    CloseHook closeHook_;
 };
 
 } // namespace obs

@@ -125,6 +125,14 @@ PollScheduler::setWeight(Handle h, double w)
 }
 
 void
+PollScheduler::setFlightRecorder(Handle h, obs::FlightRecorder *fr)
+{
+    Member *m = find(h);
+    if (m)
+        m->flight = fr;
+}
+
+void
 PollScheduler::wake(Handle h)
 {
     Member *m = find(h);
@@ -210,8 +218,12 @@ PollScheduler::runRound(unsigned ci)
             m.deficit = 0.0;
         else
             m.deficit -= double(served);
-        if (served > 0)
+        if (served > 0) {
             m.served->inc(served);
+            if (m.flight)
+                m.flight->record(now, obs::FlightEvent::SchedVisit,
+                                 0, 0, served);
+        }
         total += served;
     }
     c.items->inc(total);

@@ -40,6 +40,7 @@
 #include "base/paper_constants.hh"
 #include "base/stats.hh"
 #include "hw/cpu_executor.hh"
+#include "obs/flight_recorder.hh"
 #include "sched/pollable.hh"
 #include "sim/sim_object.hh"
 
@@ -98,6 +99,10 @@ class PollScheduler : public SimObject
      */
     void setWeight(Handle h, double w);
 
+    /** Attach @p h's guest flight recorder: each serviced round
+     *  records SchedVisit (a = items served). */
+    void setFlightRecorder(Handle h, obs::FlightRecorder *fr);
+
     /**
      * Work was posted for @p h (doorbell, backend rx, console
      * input): wake a sleeping/backed-off core so it polls within
@@ -147,6 +152,8 @@ class PollScheduler : public SimObject
         Tick postedAt = 0;
         /** Items serviced, attributed per guest backend. */
         Counter *served = nullptr;
+        /** Owning guest's flight recorder, when attached. */
+        obs::FlightRecorder *flight = nullptr;
     };
 
     struct Core

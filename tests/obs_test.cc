@@ -10,14 +10,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "cloud/block_service.hh"
 #include "cloud/vswitch.hh"
 #include "core/bmhive_server.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metric_registry.hh"
 #include "obs/request_tracer.hh"
+#include "obs/slo_monitor.hh"
 #include "obs/trace.hh"
 #include "virtio/virtio_blk.hh"
 
@@ -204,6 +208,286 @@ TEST(RequestTracerTest, NonMonotonicStampPanics)
         tracer.stamp(key, Stage::PollPickup, usToTicks(11)),
         PanicError);
     Logger::global().setThrowOnDeath(false);
+}
+
+TEST(RequestTracerTest, CloseHookSeesEndToEndLatency)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.blk", reg);
+    Tick e2e = 0, closed_at = 0;
+    unsigned closes = 0;
+    tracer.setCloseHook([&](Tick lat, Tick now) {
+        e2e = lat;
+        closed_at = now;
+        ++closes;
+    });
+    std::uint64_t key = RequestTracer::flowKey(1, 0, 3);
+    tracer.stamp(key, Stage::GuestPost, usToTicks(10));
+    tracer.stamp(key, Stage::GuestIrq, usToTicks(35));
+    EXPECT_EQ(closes, 1u);
+    EXPECT_EQ(e2e, usToTicks(25));
+    EXPECT_EQ(closed_at, usToTicks(35));
+}
+
+TEST(RequestTracerTest, OpenFlowTableIsBoundedByEviction)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.net", reg);
+    tracer.setMaxOpen(4);
+    // Ten flows open and never close (e.g. a wedged backend).
+    for (std::uint16_t h = 0; h < 10; ++h) {
+        tracer.stamp(RequestTracer::flowKey(0, 1, h),
+                     Stage::GuestPost, usToTicks(h + 1));
+    }
+    EXPECT_EQ(tracer.openFlows(), 4u);
+    EXPECT_EQ(tracer.evicted(), 6u);
+    // Evictions also land on the registry-wide leak detector.
+    EXPECT_EQ(reg.counter("obs.tracer.evicted_flows").value(), 6u);
+    // Oldest evicted first: the survivors (heads 6..9) still close.
+    for (std::uint16_t h = 6; h < 10; ++h) {
+        tracer.stamp(RequestTracer::flowKey(0, 1, h),
+                     Stage::GuestIrq, usToTicks(100 + h));
+    }
+    EXPECT_EQ(tracer.completed(), 4u);
+    EXPECT_EQ(tracer.openFlows(), 0u);
+}
+
+TEST(RequestTracerTest, EvictionSkipsFlowsThatAlreadyClosed)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.net", reg);
+    tracer.setMaxOpen(2);
+    // Two flows open and close normally...
+    for (std::uint16_t h = 0; h < 2; ++h) {
+        std::uint64_t key = RequestTracer::flowKey(0, 1, h);
+        tracer.stamp(key, Stage::GuestPost, usToTicks(h + 1));
+        tracer.stamp(key, Stage::GuestIrq, usToTicks(h + 10));
+    }
+    // ...so two fresh opens fit without evicting anything.
+    for (std::uint16_t h = 2; h < 4; ++h) {
+        tracer.stamp(RequestTracer::flowKey(0, 1, h),
+                     Stage::GuestPost, usToTicks(h + 10));
+    }
+    EXPECT_EQ(tracer.openFlows(), 2u);
+    EXPECT_EQ(tracer.evicted(), 0u);
+}
+
+TEST(RequestTracerTest, DropOpenAbortsOneQueueOnly)
+{
+    MetricRegistry reg;
+    RequestTracer tracer("g0.net", reg);
+    tracer.stamp(RequestTracer::flowKey(2, 0, 1), Stage::GuestPost,
+                 usToTicks(1));
+    tracer.stamp(RequestTracer::flowKey(2, 0, 2), Stage::GuestPost,
+                 usToTicks(2));
+    tracer.stamp(RequestTracer::flowKey(2, 1, 1), Stage::GuestPost,
+                 usToTicks(3));
+    unsigned closes = 0;
+    tracer.setCloseHook([&](Tick, Tick) { ++closes; });
+    tracer.dropOpen(2, 0);
+    // Queue 0's flows aborted without closing; queue 1 untouched.
+    EXPECT_EQ(tracer.openFlows(), 1u);
+    EXPECT_EQ(tracer.aborted(), 2u);
+    EXPECT_EQ(tracer.completed(), 0u);
+    EXPECT_EQ(closes, 0u);
+    tracer.stamp(RequestTracer::flowKey(2, 1, 1), Stage::GuestIrq,
+                 usToTicks(9));
+    EXPECT_EQ(tracer.completed(), 1u);
+}
+
+TEST(HistogramTest, PercentileIsNearestRankUpperEdge)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.record(10.0 * i + 5.0); // one sample per bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.10), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.00), 100.0);
+    // Underflow samples pin low quantiles to the low edge.
+    h.record(-1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 0.0);
+    // Empty histogram: 0 by convention.
+    Histogram e(0.0, 1.0, 2);
+    EXPECT_DOUBLE_EQ(e.percentile(0.5), 0.0);
+}
+
+TEST(MetricRegistryTest, JsonLeadsWithSchemaVersionAndPercentiles)
+{
+    MetricRegistry reg;
+    reg.histogram("h", 0, 10, 5).record(3.0);
+    reg.latency("l").record(usToTicks(12));
+    std::string json = reg.toJson();
+    EXPECT_EQ(json.rfind("{\n  \"schema_version\": 2", 0), 0u);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
+    EXPECT_NE(json.find("\"p90_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999_us\""), std::string::npos);
+}
+
+// --- SloMonitor ---
+
+using obs::SloMonitor;
+using obs::SloParams;
+using obs::SloRole;
+
+SloParams
+tightSlo()
+{
+    SloParams p;
+    p.window = usToTicks(100);
+    p.epochs = 5; // 20 us epochs
+    p.netTargetUs = 10.0;
+    p.blkTargetUs = 10.0;
+    p.errorBudget = 0.01;
+    p.breachBurn = 1.0;
+    p.minWindowSamples = 4;
+    return p;
+}
+
+TEST(SloMonitorTest, LogBucketsAreMonotonicAndConservative)
+{
+    unsigned prev = 0;
+    for (Tick us = 1; us <= 100000; us *= 3) {
+        Tick lat = usToTicks(double(us));
+        unsigned b = SloMonitor::bucketOf(lat);
+        EXPECT_GE(b, prev);
+        prev = b;
+        double upper = SloMonitor::bucketUpperUs(b);
+        // Upper edge covers the value and over-reports by at most
+        // one sub-bucket (4/octave => <= 25%).
+        EXPECT_GE(upper, double(us));
+        EXPECT_LE(upper, double(us) * 1.26);
+    }
+}
+
+TEST(SloMonitorTest, PercentilesTrackTheDistribution)
+{
+    obs::MetricRegistry reg;
+    SloMonitor slo("slo", reg, tightSlo());
+    for (int i = 1; i <= 100; ++i)
+        slo.record(SloRole::Net, usToTicks(double(i)), usToTicks(1));
+    EXPECT_EQ(slo.windowSamples(SloRole::Net), 100u);
+    double p50 = slo.percentileUs(SloRole::Net, 0.50);
+    double p99 = slo.percentileUs(SloRole::Net, 0.99);
+    EXPECT_GE(p50, 50.0);
+    EXPECT_LE(p50, 50.0 * 1.26);
+    EXPECT_GE(p99, 99.0);
+    EXPECT_LE(p99, 99.0 * 1.26);
+    EXPECT_LE(p50, p99);
+    // Roles are independent: blk saw nothing.
+    EXPECT_EQ(slo.windowSamples(SloRole::Blk), 0u);
+    // Exported gauges registered under the monitor's path.
+    EXPECT_TRUE(reg.has("slo.net.p99_us"));
+    EXPECT_TRUE(reg.has("slo.net.burn_rate"));
+    EXPECT_TRUE(reg.has("slo.blk.p50_us"));
+}
+
+TEST(SloMonitorTest, WindowRotationForgetsOldEpochs)
+{
+    obs::MetricRegistry reg;
+    SloMonitor slo("slo", reg, tightSlo());
+    for (int i = 0; i < 10; ++i)
+        slo.record(SloRole::Net, usToTicks(1.0), usToTicks(2));
+    EXPECT_EQ(slo.windowSamples(SloRole::Net), 10u);
+    // One epoch later the samples are still in the window...
+    slo.record(SloRole::Net, usToTicks(1.0), usToTicks(25));
+    EXPECT_EQ(slo.windowSamples(SloRole::Net), 11u);
+    EXPECT_GE(slo.rotations(), 1u);
+    // ...a full window later they are gone; totals persist.
+    slo.refresh(usToTicks(500));
+    EXPECT_EQ(slo.windowSamples(SloRole::Net), 0u);
+    EXPECT_EQ(slo.totalSamples(SloRole::Net), 11u);
+}
+
+TEST(SloMonitorTest, BurnAboveThresholdRaisesBreach)
+{
+    obs::MetricRegistry reg;
+    SloMonitor slo("slo", reg, tightSlo());
+    SloRole breached = SloRole::Blk;
+    double burn_seen = 0.0;
+    unsigned fired = 0;
+    slo.setBreachCallback([&](SloRole r, double burn) {
+        breached = r;
+        burn_seen = burn;
+        ++fired;
+    });
+    // Every sample violates the 10 us target; burn = 1/0.01 = 100.
+    for (int i = 0; i < 10; ++i)
+        slo.record(SloRole::Net, usToTicks(50.0), usToTicks(2));
+    EXPECT_EQ(slo.violations(SloRole::Net), 10u);
+    EXPECT_EQ(fired, 0u); // no rotation yet
+    slo.refresh(usToTicks(25)); // crosses an epoch boundary
+    EXPECT_EQ(fired, 1u);
+    EXPECT_EQ(breached, SloRole::Net);
+    EXPECT_GE(burn_seen, 99.0);
+    EXPECT_EQ(slo.breaches(SloRole::Net), 1u);
+}
+
+TEST(SloMonitorTest, FewSamplesNeverBreach)
+{
+    obs::MetricRegistry reg;
+    SloMonitor slo("slo", reg, tightSlo()); // minWindowSamples = 4
+    unsigned fired = 0;
+    slo.setBreachCallback([&](SloRole, double) { ++fired; });
+    for (int i = 0; i < 3; ++i)
+        slo.record(SloRole::Net, usToTicks(50.0), usToTicks(2));
+    slo.refresh(usToTicks(25));
+    EXPECT_EQ(fired, 0u);
+    EXPECT_EQ(slo.breaches(SloRole::Net), 0u);
+}
+
+// --- FlightRecorder ---
+
+using obs::FlightEvent;
+using obs::FlightRecorder;
+
+TEST(FlightRecorderTest, RingWrapsAndKeepsTheTail)
+{
+    obs::MetricRegistry reg;
+    FlightRecorder fr("g0.flight", reg, 8);
+    for (unsigned i = 0; i < 20; ++i)
+        fr.record(Tick(i) * 1000, FlightEvent::DoorbellAccept, 3, 0,
+                  i);
+    EXPECT_EQ(fr.size(), 8u);
+    EXPECT_EQ(fr.recorded(), 20u);
+    EXPECT_EQ(fr.overwritten(), 12u);
+    EXPECT_EQ(reg.counter("g0.flight.events").value(), 20u);
+    auto events = fr.lastEvents();
+    ASSERT_EQ(events.size(), 8u);
+    // Oldest-first unwrap: survivors are events 12..19.
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(events[i].a, 12u + i);
+    // A bounded slice takes the newest n.
+    auto tail = fr.lastEvents(3);
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail.front().a, 17u);
+    EXPECT_EQ(tail.back().a, 19u);
+}
+
+TEST(FlightRecorderTest, ChromeJsonCarriesTriggerAndEvents)
+{
+    obs::MetricRegistry reg;
+    FlightRecorder fr("g0.flight", reg, 8);
+    fr.record(usToTicks(5), FlightEvent::DoorbellAccept, 3, 1);
+    fr.record(usToTicks(6), FlightEvent::Msi, 3, 1, 42);
+    std::string json = fr.toChromeJson(0, "quarantine");
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"trigger\":\"quarantine\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"doorbell_accept\""), std::string::npos);
+    EXPECT_NE(json.find("\"msi\""), std::string::npos);
+    EXPECT_NE(json.find("g0.flight"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+
+    std::string path =
+        ::testing::TempDir() + "/fr_unit_dump.json";
+    ASSERT_TRUE(fr.writeChromeJson(path, 0, "unit"));
+    std::ifstream in(path);
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_EQ(body.str(), fr.toChromeJson(0, "unit"));
 }
 
 /** Full-stack tracing over a provisioned BM-Hive server. */
@@ -432,6 +716,205 @@ TEST_F(ObsIntegrationTest, TracingCompiledOutIsInert)
     EXPECT_EQ(sim.trace().size(), 0u);
 }
 #endif // BMHIVE_TRACING
+
+// --- Anomaly-triggered flight dumps ---
+
+namespace fs = std::filesystem;
+
+/** Dump files under @p dir, sorted by name. */
+std::vector<std::string>
+dumpFiles(const std::string &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &e : fs::directory_iterator(dir))
+        names.push_back(e.path().filename().string());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+/** A server whose anomaly dumps land in a per-test temp dir. */
+class FlightDumpTest : public ::testing::Test
+{
+  protected:
+    FlightDumpTest()
+        : dir(::testing::TempDir() + "/flight_dumps_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name()),
+          sim(7), vswitch(sim, "vs"), storage(sim, "st"),
+          server(sim, "srv", vswitch, &storage, params(dir))
+    {
+    }
+
+    static core::BmServerParams
+    params(const std::string &dir)
+    {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        core::BmServerParams p;
+        p.maxBoards = 2;
+        p.obs.flightDumpDir = dir;
+        return p;
+    }
+
+    std::string dir;
+    Simulation sim;
+    cloud::VSwitch vswitch;
+    cloud::BlockService storage;
+    core::BmHiveServer server;
+};
+
+TEST_F(FlightDumpTest, QuarantineEntryDumpsTheAttackerOnce)
+{
+    auto &atk = server.provision(core::InstanceCatalog::evaluated(),
+                                 0xA);
+    auto &vic = server.provision(core::InstanceCatalog::evaluated(),
+                                 0xB);
+    sim.run(sim.now() + msToTicks(1));
+    ASSERT_NE(atk.flight(), nullptr);
+    ASSERT_NE(atk.slo(), nullptr);
+
+    // Put real datapath events in the attacker's ring first.
+    vic.net().setRxHandler([](const cloud::Packet &) {});
+    cloud::Packet pkt;
+    pkt.src = 0xA;
+    pkt.dst = 0xB;
+    pkt.len = 128;
+    ASSERT_TRUE(atk.net().sendPacket(pkt, true, atk.os().cpu(1)));
+    sim.run(sim.now() + msToTicks(1));
+    ASSERT_GT(atk.flight()->size(), 0u);
+
+    server.quarantineGuest(0);
+    EXPECT_EQ(server.flightDumps(), 1u);
+    auto files = dumpFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_NE(files[0].find("flight_guest0_quarantine"),
+              std::string::npos);
+    EXPECT_EQ(server.lastFlightDumpPath(), dir + "/" + files[0]);
+
+    // The dump is the attacker's black box, not the victim's.
+    std::string body = slurp(server.lastFlightDumpPath());
+    EXPECT_NE(body.find("\"trigger\":\"quarantine\""),
+              std::string::npos);
+    EXPECT_NE(body.find("srv.guest0.flight"), std::string::npos);
+    EXPECT_EQ(body.find("srv.guest1.flight"), std::string::npos);
+    EXPECT_NE(body.find("\"doorbell_accept\""), std::string::npos);
+    EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+              std::count(body.begin(), body.end(), '}'));
+
+    // Quarantine release resets every function; those resets are
+    // cleanup, not anomalies — still exactly one dump afterwards.
+    sim.run(sim.now() + msToTicks(10));
+    EXPECT_EQ(server.flightDumps(), 1u);
+    EXPECT_EQ(dumpFiles(dir).size(), 1u);
+}
+
+TEST_F(FlightDumpTest, WatchdogRespawnDumps)
+{
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    sim.run(sim.now() + msToTicks(1));
+    server.startWatchdog(msToTicks(2));
+    g.hypervisor().crash();
+    sim.run(sim.now() + msToTicks(5));
+    EXPECT_GE(server.watchdogRespawns(), 1u);
+    ASSERT_GE(server.flightDumps(), 1u);
+    auto files = dumpFiles(dir);
+    ASSERT_GE(files.size(), 1u);
+    EXPECT_NE(files[0].find("flight_guest0_watchdog"),
+              std::string::npos);
+    std::string body = slurp(dir + "/" + files[0]);
+    EXPECT_NE(body.find("\"trigger\":\"watchdog\""),
+              std::string::npos);
+}
+
+TEST_F(FlightDumpTest, DeviceResetDumps)
+{
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    sim.run(sim.now() + msToTicks(1));
+    // An infrastructure-side function failure on a healthy guest:
+    // DEVICE_NEEDS_RESET propagates and the dump explains it.
+    // (Function 0 is the NIC; indices are per-bond, not PCI slots.)
+    g.bond().failFunction(0);
+    EXPECT_EQ(server.flightDumps(), 1u);
+    auto files = dumpFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_NE(files[0].find("flight_guest0_reset"),
+              std::string::npos);
+    std::string body = slurp(dir + "/" + files[0]);
+    EXPECT_NE(body.find("\"trigger\":\"reset\""),
+              std::string::npos);
+    // The Reset event itself is in the ring, on the failed fn.
+    EXPECT_NE(body.find("\"reset\""), std::string::npos);
+}
+
+TEST_F(FlightDumpTest, CooldownSuppressesDumpStorms)
+{
+    auto &g = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    sim.run(sim.now() + msToTicks(1));
+    g.bond().failFunction(0);
+    g.bond().failFunction(1); // same tick: within cooldown
+    EXPECT_EQ(server.flightDumpTriggers(), 2u);
+    EXPECT_EQ(server.flightDumps(), 1u);
+    EXPECT_EQ(dumpFiles(dir).size(), 1u);
+}
+
+TEST(FlightDumpSloTest, SloBreachDumpsAndCounts)
+{
+    std::string dir = ::testing::TempDir() + "/flight_dumps_slo";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    Simulation sim(7);
+    cloud::VSwitch vswitch(sim, "vs");
+    cloud::BlockService storage(sim, "st");
+    core::BmServerParams pp;
+    pp.maxBoards = 2;
+    pp.obs.flightDumpDir = dir;
+    // An unmeetable 1 ns target: every request violates, so the
+    // first rotation with enough window samples breaches.
+    pp.obs.slo.netTargetUs = 0.001;
+    pp.obs.slo.window = msToTicks(1.0);
+    pp.obs.slo.minWindowSamples = 8;
+    core::BmHiveServer server(sim, "srv", vswitch, &storage, pp);
+
+    auto &a = server.provision(core::InstanceCatalog::evaluated(),
+                               0xA);
+    auto &b = server.provision(core::InstanceCatalog::evaluated(),
+                               0xB);
+    sim.run(sim.now() + msToTicks(1));
+    b.net().setRxHandler([](const cloud::Packet &) {});
+
+    cloud::Packet p;
+    p.src = 0xA;
+    p.dst = 0xB;
+    p.len = 128;
+    for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(a.net().sendPacket(p, true, a.os().cpu(1)));
+        sim.run(sim.now() + usToTicks(100));
+    }
+    EXPECT_GE(server.sloBreaches(), 1u);
+    EXPECT_GE(a.slo()->breaches(obs::SloRole::Net), 1u);
+    auto files = dumpFiles(dir);
+    ASSERT_GE(files.size(), 1u);
+    bool breach_dump = false;
+    for (const auto &f : files)
+        breach_dump |= f.find("slo_breach") != std::string::npos;
+    EXPECT_TRUE(breach_dump);
+    // The breach landed in the guest's own ring too.
+    std::string body = slurp(server.lastFlightDumpPath());
+    EXPECT_NE(body.find("\"slo_breach\""), std::string::npos);
+}
 
 } // namespace
 } // namespace bmhive

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Validate and diff bench --metrics-out snapshots.
+
+A snapshot is one JSON object mapping testbed labels to metric
+registries:
+
+    {"testbed0": {"schema_version": 2, "server.stats_dumps": 3, ...}}
+
+Every registry value is one of four shapes (MetricRegistry::toJson):
+
+    counter    number
+    gauge      {"value","min","max","updates"}
+    histogram  {"total","underflow","overflow",
+                "p50","p90","p99","p999","buckets"}
+    latency    {"count","mean_us","p50_us","p90_us","p99_us",
+                "p999_us","max_us"}
+
+Validation checks the wrapper, the schema_version of every registry,
+the shape of every metric, histogram bucket ordering / count
+consistency, and percentile monotonicity.
+
+    metrics_check.py A.json [B.json ...]      validate each file
+    metrics_check.py --diff A.json B.json     validate + require
+                                              structural equality
+                                              (the determinism check:
+                                              same seed, same bytes)
+
+Exit code 0 on success, 1 on any failure; failures are printed one
+per line with a JSON-path-ish location.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+GAUGE_KEYS = {"value", "min", "max", "updates"}
+HISTOGRAM_KEYS = {
+    "total", "underflow", "overflow", "p50", "p90", "p99", "p999",
+    "buckets",
+}
+LATENCY_KEYS = {
+    "count", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us",
+    "max_us",
+}
+
+
+def is_num(v):
+    # JSON null stands for a non-finite double (appendJsonNumber).
+    return v is None or isinstance(v, (int, float))
+
+
+def check_percentiles(errs, path, obj, keys):
+    """Percentiles must be numeric and non-decreasing."""
+    prev_key, prev = None, None
+    for k in keys:
+        v = obj.get(k)
+        if not is_num(v):
+            errs.append(f"{path}.{k}: not a number: {v!r}")
+            return
+        if v is None:
+            continue
+        if prev is not None and v < prev:
+            errs.append(
+                f"{path}: {k}={v} below {prev_key}={prev} "
+                f"(percentiles must be monotonic)")
+        prev_key, prev = k, v
+
+
+def check_histogram(errs, path, h):
+    missing = HISTOGRAM_KEYS - h.keys()
+    extra = h.keys() - HISTOGRAM_KEYS
+    if missing or extra:
+        errs.append(f"{path}: bad histogram keys "
+                    f"(missing {sorted(missing)}, "
+                    f"extra {sorted(extra)})")
+        return
+    for k in ("total", "underflow", "overflow"):
+        if not is_num(h[k]):
+            errs.append(f"{path}.{k}: not a number: {h[k]!r}")
+            return
+    check_percentiles(errs, path, h, ("p50", "p90", "p99", "p999"))
+    buckets = h["buckets"]
+    if not isinstance(buckets, list):
+        errs.append(f"{path}.buckets: not a list")
+        return
+    in_range = 0
+    prev_high = None
+    for i, b in enumerate(buckets):
+        bp = f"{path}.buckets[{i}]"
+        if (not isinstance(b, list) or len(b) != 3
+                or not all(is_num(x) for x in b)):
+            errs.append(f"{bp}: want [low, high, count]")
+            return
+        low, high, count = b
+        if low >= high:
+            errs.append(f"{bp}: low {low} >= high {high}")
+        if count <= 0:
+            errs.append(f"{bp}: empty buckets are not emitted "
+                        f"(count {count})")
+        if prev_high is not None and low < prev_high:
+            errs.append(f"{bp}: overlaps previous bucket "
+                        f"(low {low} < prev high {prev_high})")
+        prev_high = high
+        in_range += count
+    if in_range + h["underflow"] + h["overflow"] != h["total"]:
+        errs.append(
+            f"{path}: bucket sum {in_range} + under "
+            f"{h['underflow']} + over {h['overflow']} != total "
+            f"{h['total']}")
+
+
+def check_latency(errs, path, l):
+    missing = LATENCY_KEYS - l.keys()
+    extra = l.keys() - LATENCY_KEYS
+    if missing or extra:
+        errs.append(f"{path}: bad latency keys "
+                    f"(missing {sorted(missing)}, "
+                    f"extra {sorted(extra)})")
+        return
+    for k in ("count", "mean_us", "max_us"):
+        if not is_num(l[k]):
+            errs.append(f"{path}.{k}: not a number: {l[k]!r}")
+            return
+    check_percentiles(errs, path, l,
+                      ("p50_us", "p90_us", "p99_us", "p999_us"))
+    if (l["count"] and l["p999_us"] is not None
+            and l["max_us"] is not None
+            and l["p999_us"] > l["max_us"]):
+        errs.append(f"{path}: p999_us {l['p999_us']} > max_us "
+                    f"{l['max_us']}")
+
+
+def check_metric(errs, path, v):
+    if is_num(v):
+        return  # counter
+    if not isinstance(v, dict):
+        errs.append(f"{path}: unrecognized metric shape "
+                    f"({type(v).__name__})")
+        return
+    keys = set(v.keys())
+    if keys == GAUGE_KEYS:
+        for k in GAUGE_KEYS:
+            if not is_num(v[k]):
+                errs.append(f"{path}.{k}: not a number: {v[k]!r}")
+    elif keys == HISTOGRAM_KEYS:
+        check_histogram(errs, path, v)
+    elif keys == LATENCY_KEYS:
+        check_latency(errs, path, v)
+    else:
+        errs.append(f"{path}: keys match no metric kind: "
+                    f"{sorted(keys)}")
+
+
+def check_registry(errs, path, reg):
+    if not isinstance(reg, dict):
+        errs.append(f"{path}: registry is not an object")
+        return
+    ver = reg.get("schema_version")
+    if ver != SCHEMA_VERSION:
+        errs.append(f"{path}.schema_version: want {SCHEMA_VERSION}, "
+                    f"got {ver!r}")
+    for name, v in reg.items():
+        if name == "schema_version":
+            continue
+        check_metric(errs, f"{path}.{name}", v)
+
+
+def check_file(fname):
+    errs = []
+    try:
+        with open(fname) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{fname}: {e}"], None
+    if not isinstance(doc, dict) or not doc:
+        return [f"{fname}: want a non-empty label->registry "
+                f"object"], None
+    for label, reg in doc.items():
+        check_registry(errs, f"{fname}:{label}", reg)
+    return errs, doc
+
+
+def diff(errs, path, a, b):
+    """Structural equality with a path to the first divergences."""
+    if type(a) is not type(b):
+        errs.append(f"{path}: type {type(a).__name__} vs "
+                    f"{type(b).__name__}")
+        return
+    if isinstance(a, dict):
+        for k in sorted(a.keys() | b.keys()):
+            if k not in a:
+                errs.append(f"{path}.{k}: only in second file")
+            elif k not in b:
+                errs.append(f"{path}.{k}: only in first file")
+            else:
+                diff(errs, f"{path}.{k}", a[k], b[k])
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            errs.append(f"{path}: length {len(a)} vs {len(b)}")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff(errs, f"{path}[{i}]", x, y)
+    elif a != b:
+        errs.append(f"{path}: {a!r} vs {b!r}")
+
+
+def main(argv):
+    args = argv[1:]
+    want_diff = False
+    if args and args[0] == "--diff":
+        want_diff = True
+        args = args[1:]
+        if len(args) != 2:
+            print("usage: metrics_check.py --diff A.json B.json",
+                  file=sys.stderr)
+            return 2
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    errs = []
+    docs = []
+    for fname in args:
+        ferrs, doc = check_file(fname)
+        errs += ferrs
+        docs.append(doc)
+        if not ferrs:
+            n = sum(len(r) - 1 for r in doc.values()
+                    if isinstance(r, dict))
+            print(f"{fname}: OK ({len(doc)} testbed(s), "
+                  f"{n} metrics)")
+
+    if want_diff and all(d is not None for d in docs):
+        derrs = []
+        diff(derrs, "", docs[0], docs[1])
+        if derrs:
+            errs.append(f"{args[0]} vs {args[1]}: "
+                        f"{len(derrs)} divergence(s)")
+            errs += derrs[:20]
+            if len(derrs) > 20:
+                errs.append(f"... and {len(derrs) - 20} more")
+        else:
+            print(f"{args[0]} == {args[1]} (structurally identical)")
+
+    for e in errs:
+        print(f"FAIL: {e}", file=sys.stderr)
+    return 1 if errs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
