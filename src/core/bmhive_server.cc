@@ -150,10 +150,27 @@ BmHiveServer::watchdogCheck()
 {
     watchdogChecks_.inc();
     heartbeat_.resize(guests_.size(), 0);
+    migrating_.resize(guests_.size(), false);
     for (unsigned i = 0; i < guests_.size(); ++i) {
+        if (!guests_[i]) {
+            heartbeat_[i] = 0; // tombstone: exported or released
+            continue;
+        }
         hv::BmHypervisor &hv = guests_[i]->hypervisor();
         if (!hv.connected()) {
             heartbeat_[i] = 0;
+            continue;
+        }
+        if (migrating_[i] && migrationWatchdogGuard_) {
+            // Mid-migration the backend is *deliberately* quiet (the
+            // drain stopped its service), so "no poll progress" is
+            // not a failure. Worse, a respawn here would republish
+            // the in-flight window on the source while the target's
+            // rebase replays the same window — every chain would
+            // complete twice. A real crash during the drain is the
+            // fleet controller's cue to abort and roll back instead.
+            if (hv.crashed() && migrationAbortCb_)
+                migrationAbortCb_(i);
             continue;
         }
         if (sched_) {
@@ -218,6 +235,8 @@ BmHiveServer::dumpStats()
 {
     statsDumps_.inc();
     for (unsigned i = 0; i < guests_.size(); ++i) {
+        if (!guests_[i])
+            continue;
         inform(name(), ": guest", i, " ",
                guests_[i]->statsReport());
     }
@@ -255,9 +274,19 @@ BmHiveServer::tryProvision(const InstanceType &type,
     auto g = std::make_unique<BmGuest>();
     g->instance_ = type;
     g->mac_ = mac;
+    // Slot: reuse the first tombstone, else append. Object names
+    // never reuse an index — a migrated-away guest keeps its
+    // original names (SimObject, metrics, fault-hook paths) and a
+    // later tenant of its old slot must not collide with them.
     unsigned idx = unsigned(guests_.size());
+    for (unsigned i = 0; i < guests_.size(); ++i) {
+        if (!guests_[i]) {
+            idx = i;
+            break;
+        }
+    }
     std::string base_name =
-        name() + ".guest" + std::to_string(idx);
+        name() + ".guest" + std::to_string(nextGuestName_++);
 
     // The compute board: dedicated CPU and memory, own PCIe bus.
     g->board_ = std::make_unique<hw::ComputeBoard>(
@@ -268,10 +297,10 @@ BmHiveServer::tryProvision(const InstanceType &type,
     fatal_if(params_.shadowRegionPerGuest <
                  4 * MiB + params_.bondParams.shadowArenaBytes,
              name(), ": shadow region smaller than ring+arena");
+    g->regionBase_ = allocRegion();
     g->bond_ = std::make_unique<iobond::IoBond>(
         sim_, base_name + ".iobond", *g->board_, base_->memory(),
-        nextShadowRegion_, params_.bondParams);
-    nextShadowRegion_ += params_.shadowRegionPerGuest;
+        g->regionBase_, params_.bondParams);
     // Containment scoring: every fault the bridge classifies feeds
     // this guest's leaky bucket. Faults fired before the guest is
     // committed (rollback path) are ignored by the idx guard in
@@ -333,22 +362,34 @@ BmHiveServer::tryProvision(const InstanceType &type,
              std::hex, mac, std::dec, "; rolling back");
         vswitch_.removePort(g->hv_->port());
         g->hv_->powerOffGuest();
+        freeRegions_.push_back(g->regionBase_);
         provisionFailures_.inc();
         return nullptr;
     }
 
     ++usedSlots_;
-    guests_.push_back(std::move(g));
     // A full bucket is a clean guest; faults force-consume points
     // that refill at the leak rate.
     Containment c;
     c.bucket = TokenBucket(params_.containment.leakPerMs * 1e3,
                            params_.containment.quarantineScore);
-    containment_.push_back(c);
-    lastDumpAt_.push_back(maxTick);
-    dumpSeq_.push_back(0);
+    if (idx == guests_.size()) {
+        guests_.push_back(std::move(g));
+        containment_.push_back(c);
+        lastDumpAt_.push_back(maxTick);
+        dumpSeq_.push_back(0);
+    } else {
+        guests_[idx] = std::move(g);
+        containment_[idx] = c;
+        lastDumpAt_[idx] = maxTick;
+        dumpSeq_[idx] = 0;
+        if (idx < heartbeat_.size())
+            heartbeat_[idx] = 0;
+        if (idx < migrating_.size())
+            migrating_[idx] = false;
+    }
 
-    BmGuest &gg = *guests_.back();
+    BmGuest &gg = *guests_[idx];
     if (params_.obs.enabled) {
         // Always-on black box: every datapath touch of this guest
         // lands in its ring, dumped on anomaly by flightDump().
@@ -378,14 +419,158 @@ BmHiveServer::tryProvision(const InstanceType &type,
             slo->record(obs::SloRole::Blk, e2e, now);
         });
     }
-    return guests_.back().get();
+    return guests_[idx].get();
+}
+
+Addr
+BmHiveServer::allocRegion()
+{
+    if (!freeRegions_.empty()) {
+        Addr r = freeRegions_.back();
+        freeRegions_.pop_back();
+        return r;
+    }
+    Addr r = nextShadowRegion_;
+    nextShadowRegion_ += params_.shadowRegionPerGuest;
+    return r;
+}
+
+void
+BmHiveServer::setMigrating(unsigned i, bool on)
+{
+    panic_if(i >= guests_.size() || !guests_[i],
+             name(), ": bad guest ", i);
+    if (migrating_.size() < guests_.size())
+        migrating_.resize(guests_.size(), false);
+    migrating_[i] = on;
+}
+
+BmHiveServer::ExportedGuest
+BmHiveServer::exportGuest(unsigned i)
+{
+    panic_if(i >= guests_.size() || !guests_[i],
+             name(), ": bad guest ", i);
+    ExportedGuest out;
+    out.guest = std::move(guests_[i]); // the slot becomes a tombstone
+    out.containment = containment_[i];
+    out.lastDumpAt = lastDumpAt_[i];
+    out.dumpSeq = dumpSeq_[i];
+    // Orphaned per-slot state: a quarantine-release timer or fault
+    // callback still holding this index must see a clean slot.
+    containment_[i] = Containment{};
+    if (i < migrating_.size())
+        migrating_[i] = false;
+    freeRegions_.push_back(out.guest->regionBase_);
+    --usedSlots_;
+    logDebug("guest", i, " exported (", out.guest->instance_.name,
+             ")");
+    return out;
+}
+
+unsigned
+BmHiveServer::adoptGuest(ExportedGuest eg,
+                         std::function<void(unsigned)> done)
+{
+    fatal_if(usedSlots_ >= params_.maxBoards,
+             name(), ": no free board slots to adopt into");
+    panic_if(!eg.guest, name(), ": adopting an empty export");
+    unsigned idx = unsigned(guests_.size());
+    for (unsigned i = 0; i < guests_.size(); ++i) {
+        if (!guests_[i]) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == guests_.size()) {
+        guests_.emplace_back();
+        containment_.emplace_back();
+        lastDumpAt_.push_back(maxTick);
+        dumpSeq_.push_back(0);
+    }
+    guests_[idx] = std::move(eg.guest);
+    containment_[idx] = eg.containment;
+    lastDumpAt_[idx] = eg.lastDumpAt;
+    dumpSeq_[idx] = eg.dumpSeq;
+    if (idx < heartbeat_.size())
+        heartbeat_[idx] = 0;
+    if (idx < migrating_.size())
+        migrating_[idx] = false;
+    ++usedSlots_;
+
+    BmGuest &g = *guests_[idx];
+    g.regionBase_ = allocRegion();
+
+    // The guest's containment and obs signals now belong to this
+    // server: re-wire every [server, index] capture.
+    g.bond_->setGuestFaultCallback(
+        [this, idx](fault::GuestFaultKind k) {
+            onGuestFault(idx, k);
+        });
+    if (g.flight_) {
+        g.bond_->setResetCallback([this, idx](unsigned fn) {
+            onDeviceReset(idx, fn);
+        });
+    }
+    if (g.slo_) {
+        g.slo_->setBreachCallback(
+            [this, idx](obs::SloRole role, double burn) {
+                onSloBreach(idx, role, burn);
+            });
+    }
+    // The source's quarantine-release timer died with the export;
+    // restart the dwell here so a quarantined adoptee still gets
+    // its release-and-reset.
+    if (containment_[idx].state == GuestHealth::Quarantined) {
+        containment_[idx].quarantinedAt = curTick();
+        auto *ev = new OneShotEvent(
+            [this, idx] { releaseQuarantine(idx); },
+            name() + ".quarantine_release");
+        scheduleIn(ev, params_.containment.quarantineDwell);
+    }
+
+    // Target core for the re-homed PMD: same placement policy as a
+    // fresh provision.
+    unsigned sched_core = 0;
+    hw::CpuExecutor *core = nullptr;
+    if (sched_) {
+        sched_core = sched_->leastLoadedCore();
+        core = &sched_->coreExecutor(sched_core);
+    } else {
+        core = &base_->core(nextCore_ % base_->coreCount());
+        ++nextCore_;
+    }
+
+    // Re-home the bond's base-memory side (replaying the in-flight
+    // window into this server's memory), then re-home the PMD and
+    // re-apply the travelled containment state at the scheduler.
+    g.bond_->rebase(
+        base_->memory(), g.regionBase_,
+        [this, idx, core, sched_core, done = std::move(done)] {
+            if (idx >= guests_.size() || !guests_[idx]) {
+                if (done)
+                    done(idx);
+                return;
+            }
+            BmGuest &gg = *guests_[idx];
+            gg.hv_->migrateTo(*core, sched_.get(), sched_core);
+            double w = 1.0;
+            if (containment_[idx].state == GuestHealth::Suspect)
+                w = params_.containment.suspectPollWeight;
+            else if (containment_[idx].state ==
+                     GuestHealth::Quarantined)
+                w = 0.0;
+            gg.hv_->setPollWeight(w);
+            if (done)
+                done(idx);
+        });
+    return idx;
 }
 
 void
 BmHiveServer::flightDump(unsigned i, const char *trigger)
 {
     obsDumpTriggers_.inc();
-    if (i >= guests_.size() || !guests_[i]->flight_)
+    if (i >= guests_.size() || !guests_[i] || !guests_[i]->flight_)
         return;
     Tick now = curTick();
     if (lastDumpAt_[i] != maxTick &&
@@ -397,9 +582,14 @@ BmHiveServer::flightDump(unsigned i, const char *trigger)
     unsigned seq = dumpSeq_[i]++;
     if (params_.obs.flightDumpDir.empty())
         return;
-    std::string path = params_.obs.flightDumpDir + "/flight_guest" +
-                       std::to_string(i) + "_" + trigger + "_" +
-                       std::to_string(seq) + ".json";
+    // Prefix with this server's (sanitized) name: in a fleet, two
+    // servers can host a guest with the same slot index, and their
+    // dumps must not clobber each other in a shared dump dir.
+    std::string who = name();
+    std::replace(who.begin(), who.end(), '.', '_');
+    std::string path = params_.obs.flightDumpDir + "/flight_" + who +
+                       "_guest" + std::to_string(i) + "_" + trigger +
+                       "_" + std::to_string(seq) + ".json";
     if (guests_[i]->flight_->writeChromeJson(
             path, params_.obs.flightDumpLast, trigger)) {
         obsDumps_.inc();
@@ -414,7 +604,7 @@ BmHiveServer::flightDump(unsigned i, const char *trigger)
 void
 BmHiveServer::onDeviceReset(unsigned idx, unsigned fn)
 {
-    if (idx >= guests_.size())
+    if (idx >= guests_.size() || !guests_[idx])
         return;
     // Quarantine release resets every function by design; those
     // resets belong to the quarantine story already dumped at
@@ -431,7 +621,8 @@ BmHiveServer::onSloBreach(unsigned idx, obs::SloRole role,
                           double burn)
 {
     sloBreaches_.inc();
-    if (idx < guests_.size() && guests_[idx]->flight_) {
+    if (idx < guests_.size() && guests_[idx] &&
+        guests_[idx]->flight_) {
         guests_[idx]->flight_->record(
             curTick(), obs::FlightEvent::SloBreach, 0, 0,
             std::uint64_t(role), std::uint64_t(burn * 100.0));
@@ -461,7 +652,11 @@ void
 BmHiveServer::onGuestFault(unsigned idx, fault::GuestFaultKind k)
 {
     guestFaultEvents_.inc();
-    if (!params_.containment.enabled || idx >= containment_.size())
+    // Out-of-range or tombstone index: a fault fired during a
+    // rolled-back provision, or from a bond whose guest has since
+    // been exported to another server.
+    if (!params_.containment.enabled || idx >= containment_.size() ||
+        idx >= guests_.size() || !guests_[idx])
         return;
     Containment &c = containment_[idx];
     if (c.state == GuestHealth::Quarantined)
@@ -504,6 +699,8 @@ void
 BmHiveServer::quarantineGuest(unsigned i)
 {
     panic_if(i >= guests_.size(), name(), ": bad guest ", i);
+    if (!guests_[i])
+        return; // exported mid-escalation
     Containment &c = containment_[i];
     if (c.state == GuestHealth::Quarantined)
         return;
@@ -527,8 +724,8 @@ BmHiveServer::quarantineGuest(unsigned i)
 void
 BmHiveServer::releaseQuarantine(unsigned i)
 {
-    if (i >= guests_.size())
-        return;
+    if (i >= guests_.size() || !guests_[i])
+        return; // exported while parked; the target restarts dwell
     Containment &c = containment_[i];
     if (c.state != GuestHealth::Quarantined)
         return;
@@ -556,13 +753,16 @@ BmHiveServer::release(BmGuest &g)
 {
     panic_if(usedSlots_ == 0, name(), ": release with no guests");
     g.hypervisor().powerOffGuest();
+    freeRegions_.push_back(g.regionBase_);
     --usedSlots_;
 }
 
 BmGuest &
 BmHiveServer::guest(unsigned i)
 {
-    panic_if(i >= guests_.size(), name(), ": bad guest ", i);
+    panic_if(i >= guests_.size() || !guests_[i],
+             name(), ": bad guest ", i,
+             guests_.size() > i ? " (migrated away)" : "");
     return *guests_[i];
 }
 

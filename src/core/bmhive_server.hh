@@ -142,6 +142,10 @@ class BmGuest
 
     InstanceType instance_;
     cloud::MacAddr mac_ = 0;
+    /** Base-memory shadow region currently backing the bond; owned
+     *  by whichever server hosts the guest (freed on release or
+     *  export, allocated afresh on adoption). */
+    Addr regionBase_ = 0;
     std::unique_ptr<hw::ComputeBoard> board_;
     std::unique_ptr<iobond::IoBond> bond_;
     std::unique_ptr<hv::BmHypervisor> hv_;
@@ -184,11 +188,18 @@ class BmHiveServer : public SimObject
                           cloud::Volume *vol = nullptr,
                           bool rate_limited = true);
 
-    /** Power a guest off and release its board slot. */
+    /** Power a guest off and release its board slot (and the
+     *  guest's shadow region back to the server's free list). */
     void release(BmGuest &g);
 
+    /** Slot count including tombstones of exported/released
+     *  guests; guest(i) panics on a tombstone — use hasGuest(). */
     unsigned guestCount() const { return unsigned(guests_.size()); }
     BmGuest &guest(unsigned i);
+    bool hasGuest(unsigned i) const
+    {
+        return i < guests_.size() && guests_[i] != nullptr;
+    }
 
     hw::BaseBoard &base() { return *base_; }
     cloud::VSwitch &vswitch() { return vswitch_; }
@@ -229,6 +240,85 @@ class BmHiveServer : public SimObject
     provisionFailures() const
     {
         return provisionFailures_.value();
+    }
+
+    // --- Live migration (fleet controller interface) ---
+
+    /**
+     * Leaky-bucket containment score of one guest, backed by the
+     * repo-wide TokenBucket: the bucket holds quarantineScore
+     * tokens and refills at leakPerMs; each fault force-consumes
+     * one, so score = quarantineScore - level (a full bucket is a
+     * clean guest).
+     */
+    struct Containment
+    {
+        GuestHealth state = GuestHealth::Healthy;
+        TokenBucket bucket = TokenBucket::unlimited();
+        Tick quarantinedAt = 0;
+    };
+
+    /** A guest detached from its source server mid-migration: the
+     *  full board+bond+hv assembly plus the per-guest server state
+     *  (containment score, dump cooldown) that travels with it. */
+    struct ExportedGuest
+    {
+        std::unique_ptr<BmGuest> guest;
+        Containment containment;
+        Tick lastDumpAt = maxTick;
+        unsigned dumpSeq = 0;
+    };
+
+    /**
+     * The migration commit point: detach guest @p i from this
+     * server. Its slot becomes a tombstone (watchdog, stats, and
+     * containment callbacks all skip it), its shadow region
+     * returns to the free list, and the caller owns the guest.
+     * The bond must already be drained and settled.
+     */
+    ExportedGuest exportGuest(unsigned i);
+
+    /**
+     * Adopt a previously exported guest: allocate a slot and a
+     * shadow region, re-wire the containment/obs callbacks onto
+     * this server, rebase the bond into this server's base memory
+     * (replaying the in-flight window), and re-home the
+     * bm-hypervisor onto a local core. @p done fires with the new
+     * guest index once the replay DMA has landed and the backend
+     * is polling again; the caller lifts the drain after that.
+     */
+    unsigned adoptGuest(ExportedGuest g,
+                        std::function<void(unsigned)> done);
+
+    /**
+     * Mark guest @p i as mid-migration: the watchdog must not
+     * respawn it (a respawn would republish the in-flight window
+     * on the source while the rebase replays it on the target —
+     * every chain would complete twice). A crash observed while
+     * the flag is set is reported through the abort callback so
+     * the fleet controller rolls the migration back instead.
+     */
+    void setMigrating(unsigned i, bool on);
+    bool migrating(unsigned i) const
+    {
+        return i < migrating_.size() && migrating_[i];
+    }
+    /** Test hook: disable the guard to demonstrate the
+     *  double-adoption race it prevents. */
+    void setMigrationWatchdogGuard(bool on)
+    {
+        migrationWatchdogGuard_ = on;
+    }
+    void setMigrationAbortCallback(std::function<void(unsigned)> cb)
+    {
+        migrationAbortCb_ = std::move(cb);
+    }
+
+    /** External anomaly trigger (e.g. a fleet migration abort);
+     *  honors the per-guest dump cooldown. */
+    void triggerFlightDump(unsigned i, const char *trigger)
+    {
+        flightDump(i, trigger);
     }
 
     // --- Adversarial-tenant containment ---
@@ -286,19 +376,9 @@ class BmHiveServer : public SimObject
     /** One watchdog sweep over all provisioned guests. */
     void watchdogCheck();
 
-    /**
-     * Leaky-bucket containment score of one guest, backed by the
-     * repo-wide TokenBucket: the bucket holds quarantineScore
-     * tokens and refills at leakPerMs; each fault force-consumes
-     * one, so score = quarantineScore - level (a full bucket is a
-     * clean guest).
-     */
-    struct Containment
-    {
-        GuestHealth state = GuestHealth::Healthy;
-        TokenBucket bucket = TokenBucket::unlimited();
-        Tick quarantinedAt = 0;
-    };
+    /** Next shadow region: free-list first, then fresh. Bounded by
+     *  the usedSlots_ < maxBoards admission checks. */
+    Addr allocRegion();
 
     /** IO-Bond classified one contained fault of guest @p idx. */
     void onGuestFault(unsigned idx, fault::GuestFaultKind k);
@@ -321,14 +401,27 @@ class BmHiveServer : public SimObject
     /** Declared before guests_ so their hypervisors can
      *  deregister from it during destruction. */
     std::unique_ptr<sched::PollScheduler> sched_;
+    /** Slots; a null entry is the tombstone of an exported or
+     *  released guest (indices stay stable for callbacks). */
     std::vector<std::unique_ptr<BmGuest>> guests_;
     unsigned usedSlots_ = 0;
     Addr nextShadowRegion_ = 0;
+    /** Shadow regions of released/exported guests, ready for
+     *  reuse — without this, repeated adoptions would walk the
+     *  bump cursor off the end of base memory. */
+    std::vector<Addr> freeRegions_;
+    /** Monotonic: guest object names never reuse an index, so a
+     *  migrated-away guest's SimObject/metric/fault-hook names
+     *  cannot collide with a later tenant of its old slot. */
+    unsigned nextGuestName_ = 0;
     unsigned nextCore_ = 0;
     Tick statsPeriod_ = 0; ///< 0: periodic dump disabled
     Tick watchdogPeriod_ = 0; ///< 0: watchdog disabled
     std::vector<std::uint64_t> heartbeat_;
     std::vector<Containment> containment_;
+    std::vector<bool> migrating_;
+    bool migrationWatchdogGuard_ = true;
+    std::function<void(unsigned)> migrationAbortCb_;
     Counter &statsDumps_;
     Counter &watchdogChecks_;
     Counter &watchdogRespawns_;

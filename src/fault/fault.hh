@@ -43,6 +43,9 @@ enum class FaultKind : unsigned {
     PortStall,    ///< cloud::VSwitch: port `magnitude` stalls
     HvStall,      ///< hv::BmHypervisor: poll loop stops for a while
     HvCrash,      ///< hv::BmHypervisor: process dies
+    ServerPowerLoss, ///< fleet: base server loses power
+    BoardFail,       ///< fleet: compute board `magnitude` dies
+    FabricPartition, ///< fleet: server unreachable for `duration`
 };
 
 /** One scheduled fault. Fields are kind-specific knobs. */

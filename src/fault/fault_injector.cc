@@ -28,6 +28,9 @@ constexpr KindEntry kindTable[] = {
     {FaultKind::PortStall, "port_stall"},
     {FaultKind::HvStall, "hv_stall"},
     {FaultKind::HvCrash, "hv_crash"},
+    {FaultKind::ServerPowerLoss, "server_power_loss"},
+    {FaultKind::BoardFail, "board_fail"},
+    {FaultKind::FabricPartition, "fabric_partition"},
 };
 
 /** Kind-appropriate knob defaults for randomly drawn faults. */
@@ -47,6 +50,9 @@ randomSpec(FaultKind k, Rng &rng)
       case FaultKind::HvStall:
         s.duration = usToTicks(rng.uniformInt(20, 200));
         break;
+      case FaultKind::FabricPartition:
+        s.duration = usToTicks(rng.uniformInt(100, 800));
+        break;
       case FaultKind::BlockLose:
         s.count = rng.uniformInt(1, 3);
         break;
@@ -56,6 +62,8 @@ randomSpec(FaultKind k, Rng &rng)
         break;
       case FaultKind::FunctionFail:
       case FaultKind::HvCrash:
+      case FaultKind::ServerPowerLoss:
+      case FaultKind::BoardFail:
         break;
     }
     return s;

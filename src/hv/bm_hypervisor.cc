@@ -156,6 +156,28 @@ BmHypervisor::crash()
 }
 
 void
+BmHypervisor::replaceService(const std::string &suffix)
+{
+    if (service_->alive())
+        service_->markDead();
+    unregisterService();
+    auto next = std::make_unique<VirtioIoService>(
+        sim_, name() + ".svc." + suffix, *core_, serviceParams_);
+    // The old process stays allocated until teardown so any event
+    // still holding it unwinds against a dead service, not freed
+    // memory.
+    retired_.push_back(std::move(service_));
+    service_ = std::move(next);
+    netFn_ = -1;
+    blkFn_ = -1;
+    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn)
+        attachFunction(fn);
+    wireTracers();
+    startService();
+    crashed_ = false;
+}
+
+void
 BmHypervisor::respawn()
 {
     panic_if(!connected_, name(), ": respawn before first connect");
@@ -173,25 +195,46 @@ BmHypervisor::respawn()
         }
     }
     ++respawnCount_;
-    unregisterService();
-    auto next = std::make_unique<VirtioIoService>(
-        sim_, name() + ".svc.r" + std::to_string(respawnCount_),
-        *core_, serviceParams_);
-    retired_.push_back(std::move(service_));
-    service_ = std::move(next);
-    netFn_ = -1;
-    blkFn_ = -1;
-    for (unsigned fn = 0; fn < bond_.numFunctions(); ++fn)
-        attachFunction(fn);
-    wireTracers();
-    startService();
+    replaceService("r" + std::to_string(respawnCount_));
     respawns_.inc();
-    crashed_ = false;
     if (flight_)
         flight_->record(curTick(), obs::FlightEvent::Respawn, 0, 0,
                         respawnCount_);
     logDebug("bm-hypervisor respawned (generation ",
              respawnCount_, ")");
+}
+
+void
+BmHypervisor::migrateTo(hw::CpuExecutor &core,
+                        sched::PollScheduler *sched,
+                        unsigned core_index)
+{
+    panic_if(!connected_, name(), ": migrate before first connect");
+    if (service_->alive())
+        service_->markDead();
+    // Drop the registration with the *source* scheduler before the
+    // member is re-pointed at the target's.
+    unregisterService();
+    core_ = &core;
+    sched_ = sched;
+    schedCore_ = core_index;
+    // Doorbell wakes must target the *new* scheduler (or nothing,
+    // under a dedicated loop on the target).
+    if (sched_) {
+        bond_.setDoorbellWake([this] {
+            if (handle_.valid())
+                sched_->wake(handle_);
+        });
+    } else {
+        bond_.setDoorbellWake(nullptr);
+    }
+    ++migrations_;
+    // No recoverQueue here: IoBond::rebase already republished the
+    // in-flight window into the target server's memory; the fresh
+    // views attach to the rebased layouts and resume mid-stream.
+    replaceService("m" + std::to_string(migrations_));
+    logDebug("bm-hypervisor migrated onto ", core.name(),
+             " (migration ", migrations_, ")");
 }
 
 void

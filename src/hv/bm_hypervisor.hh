@@ -159,8 +159,31 @@ class BmHypervisor : public SimObject
      */
     void respawn();
 
+    /**
+     * Stop taking new work (migration drain). In-flight block I/O
+     * keeps completing; the service restarts via migrateTo() on
+     * the target server, or respawn() rolls it back on the source
+     * if the migration aborts.
+     */
+    void quiesce() { service_->stop(); }
+
+    /**
+     * Re-home this process onto another base server: respawn minus
+     * the recoverQueue (IoBond::rebase already republished the
+     * in-flight window into the target's memory). The same
+     * BmHypervisor object survives — its vSwitch port, tracers,
+     * and retired service generations ride along — but the PMD
+     * now runs on @p core and the fresh service generation's
+     * device views resume from the rebased shadow rings. Pass a
+     * null @p sched for a dedicated poll loop on the target.
+     */
+    void migrateTo(hw::CpuExecutor &core,
+                   sched::PollScheduler *sched, unsigned core_index);
+
     bool crashed() const { return crashed_; }
     unsigned respawns() const { return respawnCount_; }
+    /** Completed migrateTo() re-homings. */
+    unsigned migrations() const { return migrations_; }
     /** When the last crash happened (recovery-time accounting). */
     Tick crashedAt() const { return crashedAt_; }
 
@@ -194,6 +217,7 @@ class BmHypervisor : public SimObject
     double pollWeight_ = 1.0;
     bool connected_ = false;
     unsigned upgrades_ = 0;
+    unsigned migrations_ = 0;
     bool crashed_ = false;
     Tick crashedAt_ = 0;
     unsigned respawnCount_ = 0;
@@ -218,6 +242,10 @@ class BmHypervisor : public SimObject
     /** Start the current service generation: dedicated poll loop,
      *  or registration with the shared scheduler. */
     void startService();
+    /** Retire service_ and attach a fresh generation named
+     *  "<name>.svc.<suffix>" on core_; shared by respawn (after
+     *  recoverQueue) and migrateTo (after IoBond::rebase). */
+    void replaceService(const std::string &suffix);
     /** Drop the current service's scheduler registration. */
     void unregisterService();
 

@@ -63,7 +63,7 @@ IoBond::IoBond(Simulation &sim, std::string name,
                hw::ComputeBoard &board, GuestMemory &base_memory,
                Addr shadow_region_base, IoBondParams params)
     : SimObject(sim, std::move(name)), board_(board),
-      baseMem_(base_memory), params_(params),
+      baseMem_(&base_memory), params_(params),
       dma_(sim, this->name() + ".dma", params.dmaBandwidth),
       pool_(shadow_region_base + 4 * MiB, params.shadowArenaBytes),
       shadowRings_(base_memory, shadow_region_base),
@@ -77,6 +77,8 @@ IoBond::IoBond(Simulation &sim, std::string name,
           metrics().counter(this->name() + ".fault.recovered")),
       droppedDoorbells_(metrics().counter(
           this->name() + ".fault.dropped_doorbells")),
+      drainDeferred_(metrics().counter(
+          this->name() + ".drain.deferred_doorbells")),
       guestFaultsTotal_(metrics().counter(
           this->name() + ".guest.faults_total")),
       quarantineDrops_(metrics().counter(
@@ -208,10 +210,156 @@ IoBond::setQuarantined(bool on)
 }
 
 void
+IoBond::setDrained(bool on)
+{
+    if (drained_ == on)
+        return;
+    drained_ = on;
+    trace(name() + (on ? ": drained (doorbells deferred)"
+                       : ": drain lifted"));
+    if (flight_)
+        flight_->record(curTick(), obs::FlightEvent::Drain, 0, 0,
+                        on ? 1 : 0);
+    // Lifting the drain sweeps up every doorbell deferred while it
+    // held — on the target server after a migration, or back on
+    // the source after an abort.
+    if (!on)
+        rescanReady();
+}
+
+void
+IoBond::drainCompletions()
+{
+    for (unsigned fi = 0; fi < functions_.size(); ++fi)
+        for (unsigned q = 0; q < shadow_[fi].size(); ++q)
+            if (shadow_[fi][q].ready)
+                backendCompleted(fi, q);
+}
+
+std::size_t
+IoBond::inflightChains() const
+{
+    std::size_t n = 0;
+    for (const auto &fn : shadow_)
+        for (const auto &sq : fn)
+            n += sq.inflight.size();
+    return n;
+}
+
+void
+IoBond::rebase(GuestMemory &new_base, Addr region_base,
+               std::function<void()> done)
+{
+    panic_if(!drained_, name(), ": rebase requires a drained bond");
+    panic_if(!dmaIdle(), name(),
+             ": rebase requires an idle DMA engine");
+    panic_if(region_base + 4 * MiB + params_.shadowArenaBytes >
+                 new_base.size(),
+             name(), ": shadow region exceeds target base memory");
+    baseMem_ = &new_base;
+    pool_ = PoolAllocator(region_base + 4 * MiB,
+                          params_.shadowArenaBytes);
+    shadowRings_.reseat(new_base, region_base);
+
+    // Rebuild every shadow ring in the new memory and replay the
+    // published-but-unfinished window. The guest-facing cursors
+    // carry over untouched: the guest never notices its I/O moved
+    // to a different base server.
+    std::vector<DmaEngine::CopySeg> segs;
+    Bytes meta = 0;
+    struct QueueFinish
+    {
+        unsigned fn;
+        unsigned q;
+        std::uint16_t avail;
+        std::uint64_t epoch;
+    };
+    std::vector<QueueFinish> finish;
+    unsigned replayed = 0;
+    for (unsigned fi = 0; fi < functions_.size(); ++fi) {
+        for (unsigned q = 0; q < shadow_[fi].size(); ++q) {
+            ShadowQueue &sq = shadow_[fi][q];
+            if (!sq.ringAllocated)
+                continue;
+            sq.ringBlock = shadowRings_.alloc(
+                VringLayout::bytesNeeded(
+                    functions_[fi]->queueState(q).sizeMax),
+                4096);
+            if (!sq.ready)
+                continue;
+            sq.shadowLayout = VringLayout::contiguous(
+                sq.shadowLayout.size(), sq.ringBlock);
+            sq.shadowLayout.setAvailFlags(*baseMem_, 0);
+            sq.shadowLayout.setUsedFlags(*baseMem_, 0);
+            // The fresh ring starts exactly where the old one
+            // stopped so the cursor arithmetic in
+            // backendCompleted stays seamless.
+            sq.shadowLayout.setAvailIdx(*baseMem_, sq.syncedUsed);
+            sq.shadowLayout.setUsedIdx(*baseMem_, sq.syncedUsed);
+            // Orphan anything still referencing the old server's
+            // rings (there should be nothing — DMA was idle).
+            ++sq.epoch;
+            // Re-mirror in original submission order: descriptors
+            // of an unfinished chain are device-owned until its
+            // used element lands, so guest memory still holds them
+            // verbatim — the same replay recoverQueue does after a
+            // backend crash.
+            auto old = std::move(sq.inflight);
+            sq.inflight.clear();
+            std::vector<std::pair<std::uint64_t, std::uint16_t>>
+                order;
+            for (const auto &[head, cs] : old)
+                order.emplace_back(cs.seq, head);
+            std::sort(order.begin(), order.end());
+            std::uint16_t window =
+                std::uint16_t(sq.shadowAvail - sq.syncedUsed);
+            if (order.size() != window)
+                warn(name(), ": rebase found ", order.size(),
+                     " inflight chains for a ", window,
+                     "-entry window");
+            std::uint16_t pos = sq.syncedUsed;
+            for (const auto &[seq, head] : order) {
+                if (!mirrorChain(fi, q, head, segs, meta))
+                    continue; // contained; completed as failed
+                sq.shadowLayout.setAvailRing(
+                    *baseMem_, pos % sq.shadowLayout.size(), head);
+                ++pos;
+            }
+            replayed += unsigned(std::uint16_t(pos - sq.syncedUsed));
+            sq.shadowAvail = pos;
+            finish.push_back({fi, q, pos, sq.epoch});
+        }
+    }
+
+    // The replay travels as one scatter-gather transfer; the avail
+    // windows publish only once every payload byte has landed in
+    // the new memory, exactly like a live sync burst.
+    segs.push_back(DmaEngine::CopySeg{nullptr, 0, nullptr, 0,
+                                      meta > 0 ? meta : 1});
+    if (replayed > 0)
+        faultRecovered_.inc(replayed);
+    trace(name() + ": rebased onto " + new_base.name() + ", " +
+          std::to_string(replayed) + " chains replayed");
+    dma_.copyv(
+        std::move(segs),
+        [this, finish = std::move(finish),
+         done = std::move(done)] {
+            for (const auto &f : finish) {
+                ShadowQueue &s = shadow_[f.fn][f.q];
+                if (!s.ready || s.epoch != f.epoch)
+                    continue; // reset raced with the replay
+                s.shadowLayout.setAvailIdx(*baseMem_, f.avail);
+            }
+            if (done)
+                done();
+        });
+}
+
+void
 IoBond::rescanReady()
 {
-    if (quarantined_)
-        return; // swept again at release
+    if (quarantined_ || drained_)
+        return; // swept again at release / drain lift
     unsigned recovered = 0;
     for (unsigned fi = 0; fi < functions_.size(); ++fi)
         for (unsigned q = 0; q < shadow_[fi].size(); ++q)
@@ -339,10 +487,10 @@ IoBond::driverReady(IoBondFunction &fn)
         }
         sq.shadowLayout =
             VringLayout::contiguous(qs.size, sq.ringBlock);
-        sq.shadowLayout.setAvailFlags(baseMem_, 0);
-        sq.shadowLayout.setAvailIdx(baseMem_, 0);
-        sq.shadowLayout.setUsedFlags(baseMem_, 0);
-        sq.shadowLayout.setUsedIdx(baseMem_, 0);
+        sq.shadowLayout.setAvailFlags(*baseMem_, 0);
+        sq.shadowLayout.setAvailIdx(*baseMem_, 0);
+        sq.shadowLayout.setUsedFlags(*baseMem_, 0);
+        sq.shadowLayout.setUsedIdx(*baseMem_, 0);
         sq.syncedAvail = sq.shadowAvail = 0;
         sq.syncedUsed = sq.guestUsed = 0;
         sq.nextSeq = 0;
@@ -415,6 +563,17 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
                             1);
         return;
     }
+    if (drained_) {
+        // Migration drain: the doorbell is deferred, not lost —
+        // the rescan sweep at drain-lift picks its work up on
+        // whichever base server the bond lands on.
+        drainDeferred_.inc();
+        if (flight_)
+            flight_->record(curTick(),
+                            obs::FlightEvent::DoorbellDrop, fi, q,
+                            3);
+        return;
+    }
     if (curTick() < linkDownUntil_ || dropDoorbells_ > 0) {
         // Injected loss: the notification never crosses the link.
         // The flap-end / resync sweep picks the work up later.
@@ -447,7 +606,7 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
                 [this, fi, q] {
                     ShadowQueue &s = shadow_[fi][q];
                     s.stormResync = false;
-                    if (!quarantined_ && s.ready &&
+                    if (!quarantined_ && !drained_ && s.ready &&
                         s.doorbells.tryConsume(curTick(), 1.0))
                         syncAvail(fi, q);
                 },
@@ -530,7 +689,7 @@ IoBond::syncAvail(unsigned fn, unsigned q)
                 return; // reset or crash recovery raced with the sync
             for (std::uint16_t head : heads) {
                 s.shadowLayout.setAvailRing(
-                    baseMem_, s.shadowAvail % s.shadowLayout.size(),
+                    *baseMem_, s.shadowAvail % s.shadowLayout.size(),
                     head);
                 ++s.shadowAvail;
                 if (s.reqTracer)
@@ -538,7 +697,7 @@ IoBond::syncAvail(unsigned fn, unsigned q)
                         obs::RequestTracer::flowKey(fn, q, head),
                         obs::Stage::ShadowSync, curTick());
             }
-            s.shadowLayout.setAvailIdx(baseMem_, s.shadowAvail);
+            s.shadowLayout.setAvailIdx(*baseMem_, s.shadowAvail);
             chains_.inc(heads.size());
             if (flight_)
                 flight_->record(curTick(),
@@ -634,14 +793,14 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
         for (std::uint16_t i = 0; i < walk.indirectCount; ++i) {
             const auto &seg = cs.segs[i];
             Addr a = cs.indirectBlock + Addr(i) * vringDescSize;
-            baseMem_.write64(a, seg.shadowAddr);
-            baseMem_.write32(a + 8, std::uint32_t(seg.len));
+            baseMem_->write64(a, seg.shadowAddr);
+            baseMem_->write32(a + 8, std::uint32_t(seg.len));
             std::uint16_t flags = std::uint16_t(
                 (seg.write ? VRING_DESC_F_WRITE : 0) |
                 (i + 1 < walk.indirectCount ? VRING_DESC_F_NEXT
                                             : 0));
-            baseMem_.write16(a + 12, flags);
-            baseMem_.write16(a + 14,
+            baseMem_->write16(a + 12, flags);
+            baseMem_->write16(a + 14,
                              std::uint16_t(i + 1 < walk.indirectCount
                                                ? i + 1
                                                : 0));
@@ -652,7 +811,7 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
                 std::uint32_t(vringDescSize);
         d.flags = VRING_DESC_F_INDIRECT;
         d.next = 0;
-        sq.shadowLayout.writeDesc(baseMem_, head, d);
+        sq.shadowLayout.writeDesc(*baseMem_, head, d);
         desc_count = std::uint16_t(walk.indirectCount + 1);
     } else {
         for (std::size_t i = 0; i < walk.path.size(); ++i) {
@@ -665,7 +824,7 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
                 (i + 1 < walk.path.size() ? VRING_DESC_F_NEXT : 0));
             d.next = std::uint16_t(
                 i + 1 < walk.path.size() ? walk.path[i + 1] : 0);
-            sq.shadowLayout.writeDesc(baseMem_, walk.path[i], d);
+            sq.shadowLayout.writeDesc(*baseMem_, walk.path[i], d);
         }
         desc_count = std::uint16_t(walk.path.size());
     }
@@ -676,7 +835,7 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
     for (const auto &seg : cs.segs) {
         if (!seg.write && seg.len > 0)
             segs.push_back(DmaEngine::CopySeg{
-                &gmem, seg.guestAddr, &baseMem_, seg.shadowAddr,
+                &gmem, seg.guestAddr, baseMem_, seg.shadowAddr,
                 seg.len});
     }
     meta += Bytes(desc_count) * vringDescSize + 2;
@@ -700,7 +859,7 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
     ShadowQueue &sq = shadow_[fn][q];
     if (!sq.ready)
         return;
-    std::uint16_t sused = sq.shadowLayout.usedIdx(baseMem_);
+    std::uint16_t sused = sq.shadowLayout.usedIdx(*baseMem_);
     if (sq.syncedUsed == sused)
         return;
     lastActiveFn_ = int(fn);
@@ -715,7 +874,7 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
     std::vector<DmaEngine::CopySeg> segs;
     while (sq.syncedUsed != sused) {
         VringUsedElem elem = sq.shadowLayout.usedRing(
-            baseMem_, sq.syncedUsed % sq.shadowLayout.size());
+            *baseMem_, sq.syncedUsed % sq.shadowLayout.size());
         ++sq.syncedUsed;
         auto it = sq.inflight.find(std::uint16_t(elem.id));
         if (it == sq.inflight.end()) {
@@ -734,7 +893,7 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
             if (n == 0)
                 break;
             segs.push_back(DmaEngine::CopySeg{
-                &baseMem_, seg.shadowAddr, &gmem, seg.guestAddr,
+                baseMem_, seg.shadowAddr, &gmem, seg.guestAddr,
                 n});
             budget -= n;
         }
@@ -851,12 +1010,12 @@ IoBond::recoverQueue(unsigned fn, unsigned q)
     }
     for (std::uint16_t i = 0; i < window; ++i) {
         sq.shadowLayout.setAvailRing(
-            baseMem_,
+            *baseMem_,
             std::uint16_t(sq.syncedUsed + i) %
                 sq.shadowLayout.size(),
             order[i].second);
     }
-    sq.shadowLayout.setAvailIdx(baseMem_, sq.shadowAvail);
+    sq.shadowLayout.setAvailIdx(*baseMem_, sq.shadowAvail);
     if (window > 0)
         faultRecovered_.inc(window);
     trace(name() + ": recovered fn=" + std::to_string(fn) +

@@ -206,9 +206,58 @@ class IoBond : public SimObject
 
     /** The guest requested a device reset while chains were in
      *  flight; the backend acknowledges via this. */
-    GuestMemory &baseMemory() { return baseMem_; }
+    GuestMemory &baseMemory() { return *baseMem_; }
     DmaEngine &dma() { return dma_; }
     const IoBondParams &params() const { return params_; }
+
+    // --- Live migration (drain / rebase) ---
+
+    /**
+     * Drain: doorbells are deferred at the bridge (counted in
+     * .drain.deferred_doorbells) and resync sweeps stand down, so
+     * no *new* guest work enters the shadow path while the bond's
+     * base-memory side is being re-homed. Work already accepted
+     * keeps flowing; queued-but-deferred work is swept up when the
+     * drain lifts. The guest itself never stops running.
+     */
+    void setDrained(bool on);
+    bool drained() const { return drained_; }
+
+    /** No transfer in flight and none queued — the settle
+     *  condition a migration waits for before snapshotting. */
+    bool dmaIdle() const
+    {
+        return !dma_.busy() && dma_.queued() == 0;
+    }
+
+    /** Sweep completions the (possibly dead) backend already
+     *  pushed on every shadow used ring back to the guest. */
+    void drainCompletions();
+
+    /** Published-but-unfinished chains across all queues. */
+    std::size_t inflightChains() const;
+
+    /**
+     * Re-home the bond's base-memory side onto @p new_base at
+     * @p region_base — the heart of live migration. The bond (it
+     * rides the compute board) keeps its guest-facing state;
+     * shadow rings and the buffer arena are rebuilt in the new
+     * memory and every published-but-unfinished chain is
+     * re-mirrored from guest memory (descriptors are device-owned
+     * until used, so the guest cannot have touched them) in
+     * original submission order — the same replay recoverQueue
+     * performs after a backend crash, aimed at a different server.
+     * Requires a drained bond and an idle DMA engine; @p done
+     * fires once the replay DMA has landed and the shadow avail
+     * windows are published for the target's backend.
+     */
+    void rebase(GuestMemory &new_base, Addr region_base,
+                std::function<void()> done);
+
+    std::uint64_t drainDeferredDoorbells() const
+    {
+        return drainDeferred_.value();
+    }
 
     /** Observe the datapath (used by the quickstart example). */
     void setTracer(Tracer t) { tracer_ = std::move(t); }
@@ -379,7 +428,9 @@ class IoBond : public SimObject
     void trace(const std::string &msg);
 
     hw::ComputeBoard &board_;
-    GuestMemory &baseMem_;
+    /** Pointer, not reference: rebase() re-homes the bond onto a
+     *  different base server's memory. */
+    GuestMemory *baseMem_;
     IoBondParams params_;
     DmaEngine dma_;
     PoolAllocator pool_;
@@ -407,12 +458,14 @@ class IoBond : public SimObject
     Counter &faultInjected_;
     Counter &faultRecovered_;
     Counter &droppedDoorbells_;
+    Counter &drainDeferred_;
     /** One counter per GuestFaultKind (".guest.faults.<kind>"). */
     std::array<Counter *, fault::guestFaultKinds> guestFaultCounters_{};
     Counter &guestFaultsTotal_;
     Counter &quarantineDrops_;
     GuestFaultCallback guestFaultCb_;
     bool quarantined_ = false;
+    bool drained_ = false;
 };
 
 } // namespace iobond

@@ -48,9 +48,9 @@ BumpAllocator::alloc(Bytes len, Bytes align)
     panic_if(align == 0 || (align & (align - 1)) != 0,
              "alignment must be a power of two: ", align);
     Addr aligned = (next_ + align - 1) & ~(align - 1);
-    panic_if(aligned + len > mem_.size(),
-             mem_.name(), ": bump allocator exhausted (",
-             aligned + len, " > ", mem_.size(), ")");
+    panic_if(aligned + len > mem_->size(),
+             mem_->name(), ": bump allocator exhausted (",
+             aligned + len, " > ", mem_->size(), ")");
     next_ = aligned + len;
     return aligned;
 }

@@ -96,7 +96,7 @@ class BumpAllocator
 {
   public:
     BumpAllocator(GuestMemory &mem, Addr base = 0)
-        : mem_(mem), base_(base), next_(base) {}
+        : mem_(&mem), base_(base), next_(base) {}
 
     /** Allocate @p len bytes aligned to @p align. */
     Addr alloc(Bytes len, Bytes align = 16);
@@ -104,10 +104,23 @@ class BumpAllocator
     /** Release everything. */
     void reset() { next_ = base_; }
 
+    /**
+     * Re-point the allocator at a different memory/region and
+     * release everything — used when a shadow region migrates to
+     * another base server's memory.
+     */
+    void
+    reseat(GuestMemory &mem, Addr base)
+    {
+        mem_ = &mem;
+        base_ = base;
+        next_ = base;
+    }
+
     Bytes used() const { return next_ - base_; }
 
   private:
-    GuestMemory &mem_;
+    GuestMemory *mem_;
     Addr base_;
     Addr next_;
 };

@@ -44,6 +44,18 @@ flightEventName(FlightEvent e)
         return "respawn";
       case FlightEvent::SloBreach:
         return "slo_breach";
+      case FlightEvent::Drain:
+        return "drain";
+      case FlightEvent::MigrateStart:
+        return "migrate_start";
+      case FlightEvent::MigrateCommit:
+        return "migrate_commit";
+      case FlightEvent::MigrateDone:
+        return "migrate_done";
+      case FlightEvent::MigrateAbort:
+        return "migrate_abort";
+      case FlightEvent::Failover:
+        return "failover";
     }
     return "?";
 }

@@ -50,6 +50,12 @@ enum class FlightEvent : std::uint8_t {
     Reset,              ///< DEVICE_NEEDS_RESET raised on fn
     Respawn,            ///< backend process respawned
     SloBreach,          ///< burn rate crossed the policy threshold
+    Drain,              ///< a: 1 doorbells deferred, 0 resumed
+    MigrateStart,       ///< migration left Drain (a=target server)
+    MigrateCommit,      ///< source exported the guest (a=target)
+    MigrateDone,        ///< guest resumed on target (a=blackout us)
+    MigrateAbort,       ///< rolled back to source (a=reason)
+    Failover,           ///< reactive migration off a dead server
 };
 
 const char *flightEventName(FlightEvent e);

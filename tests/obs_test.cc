@@ -797,7 +797,7 @@ TEST_F(FlightDumpTest, QuarantineEntryDumpsTheAttackerOnce)
     EXPECT_EQ(server.flightDumps(), 1u);
     auto files = dumpFiles(dir);
     ASSERT_EQ(files.size(), 1u);
-    EXPECT_NE(files[0].find("flight_guest0_quarantine"),
+    EXPECT_NE(files[0].find("flight_srv_guest0_quarantine"),
               std::string::npos);
     EXPECT_EQ(server.lastFlightDumpPath(), dir + "/" + files[0]);
 
@@ -830,7 +830,7 @@ TEST_F(FlightDumpTest, WatchdogRespawnDumps)
     ASSERT_GE(server.flightDumps(), 1u);
     auto files = dumpFiles(dir);
     ASSERT_GE(files.size(), 1u);
-    EXPECT_NE(files[0].find("flight_guest0_watchdog"),
+    EXPECT_NE(files[0].find("flight_srv_guest0_watchdog"),
               std::string::npos);
     std::string body = slurp(dir + "/" + files[0]);
     EXPECT_NE(body.find("\"trigger\":\"watchdog\""),
@@ -849,7 +849,7 @@ TEST_F(FlightDumpTest, DeviceResetDumps)
     EXPECT_EQ(server.flightDumps(), 1u);
     auto files = dumpFiles(dir);
     ASSERT_EQ(files.size(), 1u);
-    EXPECT_NE(files[0].find("flight_guest0_reset"),
+    EXPECT_NE(files[0].find("flight_srv_guest0_reset"),
               std::string::npos);
     std::string body = slurp(dir + "/" + files[0]);
     EXPECT_NE(body.find("\"trigger\":\"reset\""),

@@ -17,7 +17,10 @@ Every registry value is one of four shapes (MetricRegistry::toJson):
 
 Validation checks the wrapper, the schema_version of every registry,
 the shape of every metric, histogram bucket ordering / count
-consistency, and percentile monotonicity.
+consistency, and percentile monotonicity. Metric families with a
+declared kind (currently the fleet controller's fleet.* names) are
+additionally pinned: a fleet counter that turns into a histogram is
+a schema break even though both are valid shapes.
 
     metrics_check.py A.json [B.json ...]      validate each file
     metrics_check.py --diff A.json B.json     validate + require
@@ -43,6 +46,48 @@ LATENCY_KEYS = {
     "count", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us",
     "max_us",
 }
+
+
+# Declared-kind families: "<registry name>.<suffix>" -> kind. The
+# fleet controller is instantiable under any name, so match on the
+# dotted suffix. A name matching a suffix with the wrong shape is a
+# schema break even when the shape itself is valid.
+FLEET_KINDS = {
+    "placements": "counter",
+    "migration_starts": "counter",
+    "migrations": "counter",
+    "migration_aborts": "counter",
+    "failovers": "counter",
+    "fences": "counter",
+    "board_failures": "counter",
+    "hot_swaps": "counter",
+    "lost_guests": "counter",
+    "migration.blackout": "latency",
+    "migration.blackout_hist_us": "histogram",
+}
+
+
+def metric_kind(v):
+    """Classify a metric value; None when the shape is unknown."""
+    if is_num(v):
+        return "counter"
+    if not isinstance(v, dict):
+        return None
+    keys = set(v.keys())
+    if keys == GAUGE_KEYS:
+        return "gauge"
+    if keys == HISTOGRAM_KEYS:
+        return "histogram"
+    if keys == LATENCY_KEYS:
+        return "latency"
+    return None
+
+
+def declared_kind(name):
+    for suffix, kind in FLEET_KINDS.items():
+        if name == suffix or name.endswith("." + suffix):
+            return kind
+    return None
 
 
 def is_num(v):
@@ -164,6 +209,12 @@ def check_registry(errs, path, reg):
         if name == "schema_version":
             continue
         check_metric(errs, f"{path}.{name}", v)
+        want = declared_kind(name)
+        if want is not None:
+            got = metric_kind(v)
+            if got is not None and got != want:
+                errs.append(f"{path}.{name}: declared {want}, "
+                            f"shaped like {got}")
 
 
 def check_file(fname):
