@@ -114,6 +114,7 @@ class Session
         const std::string cores_flag = "--poll-cores=";
         const std::string sched_flag = "--sched=";
         const std::string obs_flag = "--obs=";
+        const std::string integrity_flag = "--integrity=";
         const std::string slo_window_flag = "--slo-window-ms=";
         const std::string slo_net_flag = "--slo-net-us=";
         const std::string slo_blk_flag = "--slo-blk-us=";
@@ -131,6 +132,11 @@ class Session
                 fatal_if(v != "on" && v != "off",
                          "--obs wants on|off, got '", v, "'");
                 obsEnabled = (v == "on");
+            } else if (a.rfind(integrity_flag, 0) == 0) {
+                std::string v = a.substr(integrity_flag.size());
+                fatal_if(v != "on" && v != "off",
+                         "--integrity wants on|off, got '", v, "'");
+                integrityOn = (v == "on");
             } else if (a.rfind(slo_window_flag, 0) == 0)
                 sloWindowMs = std::atof(
                     a.c_str() + slo_window_flag.size());
@@ -189,6 +195,12 @@ class Session
     inline static bool schedShared = false;
     inline static bool schedSet = false;
 
+    /** --integrity=off strips the end-to-end data-integrity layer
+     *  (ECRC DMA checks, DIF block tags, frame checksums, shadow
+     *  scrubber) — the overhead baseline every integrity row in
+     *  EXPERIMENTS.md compares against. */
+    inline static bool integrityOn = true;
+
     /** Observability flags: --obs=off turns the per-tenant SLO
      *  monitor and flight recorder off; the --slo- and --flight-
      *  knobs override the ObsParams defaults (0/"" = keep). */
@@ -242,6 +254,7 @@ class Testbed
           server(sim, "server", vswitch, &storage,
                  smallServer(max_boards))
     {
+        vswitch.setIntegrity(Session::integrityOn);
         static unsigned ordinal = 0;
         MetricsCapture::instance().attach(
             "testbed" + std::to_string(ordinal++), sim.metrics());
@@ -268,6 +281,7 @@ class Testbed
           server(sim, "server", vswitch, &storage,
                  withSessionObs(std::move(server_params)))
     {
+        vswitch.setIntegrity(Session::integrityOn);
         static unsigned ordinal = 0;
         MetricsCapture::instance().attach(
             "testbed_cfg" + std::to_string(ordinal++),
@@ -308,6 +322,7 @@ class Testbed
     static core::BmServerParams
     withSessionObs(core::BmServerParams p)
     {
+        p.integrity.enabled = Session::integrityOn;
         p.obs.enabled = Session::obsEnabled;
         if (Session::sloWindowMs > 0)
             p.obs.slo.window = msToTicks(Session::sloWindowMs);
@@ -393,7 +408,8 @@ class Testbed
             std::vector<fault::FaultInjector::RandomTarget> t = {
                 {"server.guest0.iobond",
                  {fault::FaultKind::LinkFlap,
-                  fault::FaultKind::DropDoorbell}},
+                  fault::FaultKind::DropDoorbell,
+                  fault::FaultKind::DmaCorruptMeta}},
                 {"server.guest0.iobond.dma",
                  {fault::FaultKind::DmaCorrupt,
                   fault::FaultKind::DmaFail}},
@@ -402,8 +418,10 @@ class Testbed
                   fault::FaultKind::HvCrash}},
                 {"storage",
                  {fault::FaultKind::BlockLose,
-                  fault::FaultKind::BlockDelay}},
-                {"vswitch", {fault::FaultKind::PortStall}},
+                  fault::FaultKind::BlockDelay,
+                  fault::FaultKind::FabricCorrupt}},
+                {"vswitch", {fault::FaultKind::PortStall,
+                             fault::FaultKind::FabricCorrupt}},
             };
             chaos->randomPlan(Session::faultSeed, t,
                               msToTicks(50.0), 24);

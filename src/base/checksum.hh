@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Checksum primitives for the end-to-end integrity layer: CRC32C
+ * (the polynomial PCIe ECRC and iSCSI use) for per-transfer and
+ * per-frame checks, and CRC16 with the T10-DIF polynomial for the
+ * per-sector guard tags the block path carries. Both are plain
+ * bit-serial implementations — integrity checks in the simulator
+ * are about catching injected corruption deterministically, not
+ * about throughput, so table-free keeps the header dependency-free.
+ */
+
+#ifndef BMHIVE_BASE_CHECKSUM_HH
+#define BMHIVE_BASE_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bmhive {
+
+/** CRC32C (Castagnoli, reflected 0x82F63B78), seedable so checks
+ *  over split buffers can chain: crc32c(b, n, crc32c(a, m)). */
+inline std::uint32_t
+crc32c(const std::uint8_t *data, std::size_t len,
+       std::uint32_t seed = 0)
+{
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= data[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+    }
+    return ~crc;
+}
+
+/** Fold one 64-bit word into a running CRC32C (for checksumming
+ *  structured records field by field without staging a buffer). */
+inline std::uint32_t
+crc32cWord(std::uint64_t word, std::uint32_t seed = 0)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = std::uint8_t(word >> (8 * i));
+    return crc32c(bytes, sizeof(bytes), seed);
+}
+
+/** CRC16 with the T10-DIF polynomial 0x8BB7 (non-reflected, zero
+ *  seed): the guard tag of one 512-byte protection-interval. */
+inline std::uint16_t
+crc16T10dif(const std::uint8_t *data, std::size_t len)
+{
+    std::uint16_t crc = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= std::uint16_t(data[i]) << 8;
+        for (int b = 0; b < 8; ++b) {
+            crc = std::uint16_t(
+                (crc << 1) ^ ((crc & 0x8000u) ? 0x8BB7u : 0u));
+        }
+    }
+    return crc;
+}
+
+} // namespace bmhive
+
+#endif // BMHIVE_BASE_CHECKSUM_HH

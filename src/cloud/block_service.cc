@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "cloud/dif.hh"
 
 namespace bmhive {
 namespace cloud {
@@ -44,6 +45,39 @@ Volume::readData(std::uint64_t lba, Bytes len) const
     return out;
 }
 
+void
+Volume::writeTags(std::uint64_t lba,
+                  const std::vector<std::uint8_t> &tags)
+{
+    std::size_t n = tags.size() / difTagBytes;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &t = tags_[lba + i];
+        std::copy_n(tags.begin() + long(i * difTagBytes),
+                    difTagBytes, t.begin());
+    }
+}
+
+std::vector<std::uint8_t>
+Volume::readTags(std::uint64_t lba, Bytes payload_len) const
+{
+    std::size_t n = payload_len / difSectorBytes;
+    auto data = readData(lba, n * difSectorBytes);
+    std::vector<std::uint8_t> out;
+    out.reserve(n * difTagBytes);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto it = tags_.find(lba + i);
+        if (it != tags_.end()) {
+            out.insert(out.end(), it->second.begin(),
+                       it->second.end());
+        } else {
+            auto t = difTag(data.data() + i * difSectorBytes,
+                            lba + i);
+            out.insert(out.end(), t.begin(), t.end());
+        }
+    }
+    return out;
+}
+
 BlockService::BlockService(Simulation &sim, std::string name,
                            Params params)
     : SimObject(sim, std::move(name)), params_(params),
@@ -54,6 +88,8 @@ BlockService::BlockService(Simulation &sim, std::string name,
       faultLost_(metrics().counter(this->name() + ".fault.lost")),
       faultDelayed_(
           metrics().counter(this->name() + ".fault.delayed")),
+      fabricCorruptions_(metrics().counter(
+          this->name() + ".integrity.fabric_corruptions")),
       serviceLatency_(metrics().latency(this->name() + ".service"))
 {
     panic_if(params.channels == 0, "storage needs >= 1 channel");
@@ -79,9 +115,22 @@ BlockService::injectFault(const fault::FaultSpec &spec)
                 : Tick(double(params_.gcPause) *
                        std::max(1.0, spec.magnitude));
         return true;
+      case fault::FaultKind::FabricCorrupt:
+        corruptBudget_ += spec.count ? spec.count : 1;
+        return true;
       default:
         return false;
     }
+}
+
+bool
+BlockService::takeCorruption()
+{
+    if (corruptBudget_ == 0)
+        return false;
+    --corruptBudget_;
+    fabricCorruptions_.inc();
+    return true;
 }
 
 Volume &

@@ -61,11 +61,24 @@ class Volume
     std::vector<std::uint8_t> readData(std::uint64_t lba,
                                        Bytes len) const;
 
+    /**
+     * DIF protection-information side-store: @p tags holds one
+     * 8-byte tag per sector written. On read, sectors without a
+     * stored tag (written before integrity was on) get a tag
+     * regenerated from their content.
+     */
+    void writeTags(std::uint64_t lba,
+                   const std::vector<std::uint8_t> &tags);
+    std::vector<std::uint8_t> readTags(std::uint64_t lba,
+                                       Bytes payload_len) const;
+
   private:
     std::string name_;
     Bytes capacity_;
     /** sector -> 512-byte block, sparse. */
     std::map<std::uint64_t, std::array<std::uint8_t, 512>> blocks_;
+    /** sector -> DIF tag, sparse (integrity writes only). */
+    std::map<std::uint64_t, std::array<std::uint8_t, 8>> tags_;
 };
 
 /** Configuration of the storage cluster model. */
@@ -116,6 +129,18 @@ class BlockService : public SimObject
     /** Requests dropped by injected BlockLose faults. */
     std::uint64_t lostIos() const { return faultLost_.value(); }
 
+    /**
+     * Consume one unit of injected FabricCorrupt budget. The
+     * backend calls this per read completion and flips a payload
+     * byte when it returns true, modelling corruption on the
+     * fabric between the storage cluster and the guest server.
+     */
+    bool takeCorruption();
+    std::uint64_t fabricCorruptions() const
+    {
+        return fabricCorruptions_.value();
+    }
+
   private:
     /** Pick the earliest-free channel and occupy it. */
     Tick occupyChannel(Tick start, Tick service);
@@ -129,6 +154,7 @@ class BlockService : public SimObject
      *  (never complete) or delayed by delayExtra_. */
     std::uint64_t loseBudget_ = 0;
     std::uint64_t delayBudget_ = 0;
+    std::uint64_t corruptBudget_ = 0;
     Tick delayExtra_ = 0;
     /** Registry-backed: accessors and exports read the same cell. */
     Counter &completed_;
@@ -136,6 +162,7 @@ class BlockService : public SimObject
     Counter &writes_;
     Counter &faultLost_;
     Counter &faultDelayed_;
+    Counter &fabricCorruptions_;
     /** Cluster-side latency (submit to completion callback). */
     LatencyRecorder &serviceLatency_;
 };

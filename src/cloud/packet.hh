@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "base/checksum.hh"
 #include "base/units.hh"
 
 namespace bmhive {
@@ -41,7 +42,42 @@ struct Packet
     Bytes len = 0;       ///< frame length on the wire
     Tick created = 0;    ///< when the sender formed the packet
     std::uint64_t seq = 0; ///< sender-assigned sequence number
+    /** Frame checksum sealed by the sending driver; every fabric
+     *  stage re-verifies it (integrity layer). 0 = unsealed. */
+    std::uint32_t csum = 0;
 };
+
+/** CRC32C over the frame's invariant fields — what the FCS of the
+ *  modelled frame would cover. The csum field itself is excluded. */
+inline std::uint32_t
+packetCsum(const Packet &p)
+{
+    std::uint32_t c = crc32cWord(p.src);
+    c = crc32cWord(p.dst, c);
+    c = crc32cWord(p.len, c);
+    c = crc32cWord(p.created, c);
+    c = crc32cWord(p.seq, c);
+    return c;
+}
+
+/** Seal @p p (compute and store its checksum). */
+inline void
+sealPacket(Packet &p)
+{
+    p.csum = packetCsum(p);
+}
+
+/**
+ * True unless the frame is provably corrupt. csum == 0 marks an
+ * unsealed frame from a legacy sender (hand-built test packets,
+ * vm-guest stacks) and passes unchecked; the bm-guest driver seals
+ * every frame it transmits, so the whole bm datapath is covered.
+ */
+inline bool
+packetCsumOk(const Packet &p)
+{
+    return p.csum == 0 || p.csum == packetCsum(p);
+}
 
 } // namespace cloud
 } // namespace bmhive

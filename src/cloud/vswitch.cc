@@ -16,7 +16,13 @@ VSwitch::VSwitch(Simulation &sim, std::string name, Params params)
       faultInjected_(
           metrics().counter(this->name() + ".fault.injected")),
       faultRecovered_(
-          metrics().counter(this->name() + ".fault.recovered"))
+          metrics().counter(this->name() + ".fault.recovered")),
+      framesChecked_(metrics().counter(
+          this->name() + ".integrity.frames_checked")),
+      frameDrops_(metrics().counter(
+          this->name() + ".integrity.frame_drops")),
+      fabricCorruptions_(metrics().counter(
+          this->name() + ".integrity.fabric_corruptions"))
 {
     sim_.faults().add(this->name(), [this](const fault::FaultSpec &s) {
         return injectFault(s);
@@ -28,6 +34,11 @@ VSwitch::~VSwitch() { sim_.faults().remove(name()); }
 bool
 VSwitch::injectFault(const fault::FaultSpec &spec)
 {
+    if (spec.kind == fault::FaultKind::FabricCorrupt) {
+        corruptBudget_ += spec.count ? spec.count : 1;
+        faultInjected_.inc();
+        return true;
+    }
     if (spec.kind != fault::FaultKind::PortStall)
         return false;
     auto id = PortId(spec.magnitude);
@@ -102,8 +113,28 @@ VSwitch::receiveFromUplink(const Packet &pkt)
 }
 
 void
-VSwitch::forward(const Packet &pkt)
+VSwitch::forward(const Packet &pktIn)
 {
+    Packet pkt = pktIn;
+    if (corruptBudget_ > 0) {
+        // Armed FabricCorrupt: flip a metadata field on the wire.
+        // The created timestamp keeps forwarding deterministic
+        // while still breaking the frame checksum.
+        --corruptBudget_;
+        pkt.created ^= 0xA5A5;
+        fabricCorruptions_.inc();
+    }
+    if (integrity_ && pkt.csum != 0) {
+        // Ingress FCS check: a sealed frame that fails its checksum
+        // never propagates — the receiver sees a loss, not garbage.
+        framesChecked_.inc();
+        if (!packetCsumOk(pkt)) {
+            frameDrops_.inc();
+            dropped_.inc();
+            return;
+        }
+    }
+
     // Serialize on the switching core: poll-mode processing.
     Tick start = std::max(curTick(), coreFree_);
     Tick done = start + params_.perPacketCost;

@@ -90,6 +90,21 @@ class VSwitch : public SimObject
     std::uint64_t uplinkTx() const { return uplinkTx_.value(); }
     std::uint64_t bytesSwitched() const { return bytes_.value(); }
 
+    /**
+     * Frame-checksum verification at switch ingress (the FCS check
+     * real switch silicon performs): a sealed frame that fails its
+     * checksum is dropped and counted, never forwarded. Unsealed
+     * frames (csum 0, legacy senders) pass unchecked.
+     */
+    void setIntegrity(bool on) { integrity_ = on; }
+    bool integrityEnabled() const { return integrity_; }
+
+    std::uint64_t frameDrops() const { return frameDrops_.value(); }
+    std::uint64_t fabricCorruptions() const
+    {
+        return fabricCorruptions_.value();
+    }
+
   private:
     struct Port
     {
@@ -118,6 +133,10 @@ class VSwitch : public SimObject
     std::function<void(const Packet &)> uplink_;
     Tick coreFree_ = 0;   ///< when the switching core is next idle
     Tick uplinkFree_ = 0; ///< when the uplink NIC is next idle
+    bool integrity_ = true;
+    /** Injected FabricCorrupt budget: the next N frames entering
+     *  the switch have a metadata field flipped on the wire. */
+    std::uint64_t corruptBudget_ = 0;
     /** Registry-backed: accessors and exports read the same cell. */
     Counter &forwarded_;
     Counter &dropped_;
@@ -125,6 +144,9 @@ class VSwitch : public SimObject
     Counter &bytes_;
     Counter &faultInjected_;
     Counter &faultRecovered_;
+    Counter &framesChecked_;
+    Counter &frameDrops_;
+    Counter &fabricCorruptions_;
 };
 
 /**

@@ -86,6 +86,10 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
           metrics().counter(this->name() + ".obs.dumps_suppressed")),
       sloBreaches_(
           metrics().counter(this->name() + ".obs.slo_breaches")),
+      integrityEscalations_(metrics().counter(
+          this->name() + ".integrity.escalations")),
+      serverUnhealthy_(metrics().counter(
+          this->name() + ".integrity.server_unhealthy")),
       recoveryTicks_(metrics().latency(
           this->name() + ".watchdog.recovery_ticks")),
       quarantineDwell_(metrics().latency(
@@ -100,6 +104,10 @@ BmHiveServer::BmHiveServer(Simulation &sim, std::string name,
              "a BM-Hive server carries 1..",
              paper::maxComputeBoards, " boards, got ",
              params_.maxBoards);
+    // The server-level integrity switch governs every layer a
+    // guest provisions with: the bond's ECRC+scrubber, the DIF
+    // block path, and the sealed net frames.
+    params_.bondParams.integrity = params_.integrity.enabled;
     Bytes base_mem =
         Bytes(params_.maxBoards) * params_.shadowRegionPerGuest +
         16 * MiB;
@@ -309,6 +317,13 @@ BmHiveServer::tryProvision(const InstanceType &type,
         [this, idx](fault::GuestFaultKind k) {
             onGuestFault(idx, k);
         });
+    // Escalation-ladder top: a bond that resets a queue over
+    // persistent corruption reports here, and enough of those
+    // marks the whole server unhealthy.
+    g->bond_->setIntegrityEscalationCallback(
+        [this, idx](unsigned fn) {
+            onIntegrityEscalation(idx, fn);
+        });
 
     // Emulated virtio functions on the board's bus. Every guest
     // gets a console (the paper's VGA-equivalent access path).
@@ -345,10 +360,14 @@ BmHiveServer::tryProvision(const InstanceType &type,
         g->board_->pciBus(), std::move(cpus));
     g->os_->enumeratePci();
 
+    bool integrity = params_.integrity.enabled;
+    g->hv_->setBlkIntegrity(integrity);
     g->net_ = std::make_unique<guest::NetDriver>(*g->os_, 3, mac);
+    g->net_->setIntegrity(integrity);
     g->net_->start();
     if (vol != nullptr) {
         g->blk_ = std::make_unique<guest::BlkDriver>(*g->os_, 4);
+        g->blk_->setIntegrity(integrity);
         g->blk_->start();
     }
     g->console_ = std::make_unique<guest::ConsoleDriver>(*g->os_, 5);
@@ -506,6 +525,10 @@ BmHiveServer::adoptGuest(ExportedGuest eg,
         [this, idx](fault::GuestFaultKind k) {
             onGuestFault(idx, k);
         });
+    g.bond_->setIntegrityEscalationCallback(
+        [this, idx](unsigned fn) {
+            onIntegrityEscalation(idx, fn);
+        });
     if (g.flight_) {
         g.bond_->setResetCallback([this, idx](unsigned fn) {
             onDeviceReset(idx, fn);
@@ -614,6 +637,35 @@ BmHiveServer::onDeviceReset(unsigned idx, unsigned fn)
         return;
     logDebug("guest", idx, " fn", fn, " DEVICE_NEEDS_RESET");
     flightDump(idx, "reset");
+}
+
+void
+BmHiveServer::onIntegrityEscalation(unsigned idx, unsigned fn)
+{
+    if (idx >= guests_.size() || !guests_[idx])
+        return;
+    integrityEscalations_.inc();
+    if (guests_[idx]->flight_)
+        guests_[idx]->flight_->record(
+            curTick(), obs::FlightEvent::IntegrityEscalate, int(fn),
+            0, idx, 0);
+    warn(name(), ": guest", idx, " fn", fn,
+         " persistent corruption escalated past reset");
+    flightDump(idx, "integrity_escalation");
+    // Repeated escalations point at the board or its IO-Bond, not
+    // one unlucky transfer: declare the server unhealthy once so
+    // the fleet controller can proactively migrate guests away.
+    if (!integrityUnhealthy_ &&
+        integrityEscalations_.value() >=
+            params_.integrity.serverUnhealthyThreshold) {
+        integrityUnhealthy_ = true;
+        serverUnhealthy_.inc();
+        warn(name(), ": integrity escalations reached ",
+             params_.integrity.serverUnhealthyThreshold,
+             "; marking server unhealthy");
+        if (serverUnhealthyCb_)
+            serverUnhealthyCb_();
+    }
 }
 
 void

@@ -85,6 +85,23 @@ struct ObsParams
     Tick flightDumpCooldown = msToTicks(1.0);
 };
 
+/**
+ * End-to-end data-integrity policy: DMA ECRC + shadow-ring
+ * scrubbing in IO-Bond, DIF tags on the block path, and frame
+ * checksums on the net path. Detection feeds a graduated ladder:
+ * mismatch -> targeted retry; repeated mismatch on one queue ->
+ * DEVICE_NEEDS_RESET for that function; @c serverUnhealthyThreshold
+ * function-level escalations on one server -> the server is
+ * declared unhealthy and the fleet controller drains it.
+ */
+struct IntegrityParams
+{
+    bool enabled = true;
+    /** Bond-level integrity escalations (queue resets) before the
+     *  whole server is reported unhealthy. */
+    unsigned serverUnhealthyThreshold = 3;
+};
+
 /** How bm-hypervisor PMDs map onto base-board cores. */
 enum class SchedMode {
     /** One always-busy-polling process per core (seed behavior). */
@@ -114,6 +131,8 @@ struct BmServerParams
     sched::PollSchedulerParams schedParams = {};
     /** Per-tenant SLO + flight-recorder policy. */
     ObsParams obs = {};
+    /** End-to-end data-integrity policy. */
+    IntegrityParams integrity = {};
 };
 
 /** Everything belonging to one provisioned bm-guest. */
@@ -350,6 +369,28 @@ class BmHiveServer : public SimObject
         return guestFaultEvents_.value();
     }
 
+    // --- End-to-end integrity (escalation ladder top) ---
+
+    /**
+     * Fires when the bond-level escalation count crosses the
+     * integrity threshold: persistent corruption localized to this
+     * server's hardware. A fleet controller responds by draining
+     * the server (proactive live migration of every guest).
+     */
+    void setServerUnhealthyCallback(std::function<void()> cb)
+    {
+        serverUnhealthyCb_ = std::move(cb);
+    }
+
+    /** Bond-level integrity escalations (queue resets) observed. */
+    std::uint64_t
+    integrityEscalations() const
+    {
+        return integrityEscalations_.value();
+    }
+    /** True once the threshold was crossed. */
+    bool integrityUnhealthy() const { return integrityUnhealthy_; }
+
     // --- Per-tenant observability (flight recorder + SLO) ---
 
     /** Anomaly dumps actually written to disk. */
@@ -382,6 +423,10 @@ class BmHiveServer : public SimObject
 
     /** IO-Bond classified one contained fault of guest @p idx. */
     void onGuestFault(unsigned idx, fault::GuestFaultKind k);
+
+    /** Guest @p idx's bond reset function @p fn over persistent
+     *  corruption; counts toward server health. */
+    void onIntegrityEscalation(unsigned idx, unsigned fn);
 
     /**
      * Dump guest @p i's flight-recorder tail as a Chrome trace,
@@ -421,7 +466,9 @@ class BmHiveServer : public SimObject
     std::vector<Containment> containment_;
     std::vector<bool> migrating_;
     bool migrationWatchdogGuard_ = true;
+    bool integrityUnhealthy_ = false;
     std::function<void(unsigned)> migrationAbortCb_;
+    std::function<void()> serverUnhealthyCb_;
     Counter &statsDumps_;
     Counter &watchdogChecks_;
     Counter &watchdogRespawns_;
@@ -433,6 +480,8 @@ class BmHiveServer : public SimObject
     Counter &obsDumps_;
     Counter &obsDumpSuppressed_;
     Counter &sloBreaches_;
+    Counter &integrityEscalations_;
+    Counter &serverUnhealthy_;
     LatencyRecorder &recoveryTicks_;
     LatencyRecorder &quarantineDwell_;
     /** Per-guest tick of the last dump (maxTick = never). */

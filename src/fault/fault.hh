@@ -35,6 +35,8 @@ namespace fault {
 enum class FaultKind : unsigned {
     DmaCorrupt,   ///< mem::DmaEngine: payload bytes flipped
     DmaFail,      ///< mem::DmaEngine: transfer dropped, error raised
+    DmaCorruptMeta, ///< iobond::IoBond: shadow-ring metadata flipped
+    FabricCorrupt,  ///< VSwitch/BlockService: bytes flipped in fabric
     LinkFlap,     ///< iobond::IoBond: PCIe link down for `duration`
     DropDoorbell, ///< iobond::IoBond: next `count` doorbells lost
     FunctionFail, ///< iobond::IoBond: function `magnitude` is dead

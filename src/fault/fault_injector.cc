@@ -20,6 +20,8 @@ struct KindEntry
 constexpr KindEntry kindTable[] = {
     {FaultKind::DmaCorrupt, "dma_corrupt"},
     {FaultKind::DmaFail, "dma_fail"},
+    {FaultKind::DmaCorruptMeta, "dma_corrupt_meta"},
+    {FaultKind::FabricCorrupt, "fabric_corrupt"},
     {FaultKind::LinkFlap, "link_flap"},
     {FaultKind::DropDoorbell, "drop_doorbell"},
     {FaultKind::FunctionFail, "function_fail"},
@@ -42,6 +44,8 @@ randomSpec(FaultKind k, Rng &rng)
     switch (k) {
       case FaultKind::DmaCorrupt:
       case FaultKind::DmaFail:
+      case FaultKind::DmaCorruptMeta:
+      case FaultKind::FabricCorrupt:
       case FaultKind::DropDoorbell:
         s.count = rng.uniformInt(1, 4);
         break;

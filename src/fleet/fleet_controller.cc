@@ -27,6 +27,8 @@ FleetController::FleetController(Simulation &sim, std::string name,
           metrics().counter(this->name() + ".board_failures")),
       hotSwaps_(metrics().counter(this->name() + ".hot_swaps")),
       lostGuests_(metrics().counter(this->name() + ".lost_guests")),
+      integrityDrains_(
+          metrics().counter(this->name() + ".integrity.drains")),
       blackout_(metrics().latency(
           this->name() + ".migration.blackout")),
       blackoutHist_(metrics().histogram(
@@ -51,6 +53,20 @@ FleetController::FleetController(Simulation &sim, std::string name,
         // the watchdog guard exists for).
         srv.setMigrationAbortCallback([this, s](unsigned idx) {
             onAbortSignal(s, idx);
+        });
+        // Top of the integrity escalation ladder: a server whose
+        // corruption persisted past per-queue resets is evacuated
+        // proactively while its guests are still live, instead of
+        // waiting for it to fail outright. Deferred one event: the
+        // signal fires from deep inside a poll/completion path.
+        srv.setServerUnhealthyCallback([this, s] {
+            integrityDrains_.inc();
+            warn(this->name(), ": s", s,
+                 " integrity-unhealthy; draining its guests");
+            auto *ev = new OneShotEvent(
+                [this, s] { drainServer(s); },
+                this->name() + ".integrity_drain");
+            scheduleIn(ev, 0);
         });
         // Server-level fault surface: power, boards, fabric.
         faults().add(srv.name(),

@@ -172,6 +172,12 @@ class FleetController : public SimObject
     }
     std::uint64_t hotSwaps() const { return hotSwaps_.value(); }
     std::uint64_t lostGuests() const { return lostGuests_.value(); }
+    /** Proactive evacuations of integrity-unhealthy servers. */
+    std::uint64_t
+    integrityDrains() const
+    {
+        return integrityDrains_.value();
+    }
     /** Drain-to-resume interval of every completed migration. */
     const LatencyRecorder &blackout() const { return blackout_; }
 
@@ -256,6 +262,7 @@ class FleetController : public SimObject
     Counter &boardFailures_;
     Counter &hotSwaps_;
     Counter &lostGuests_;
+    Counter &integrityDrains_;
     LatencyRecorder &blackout_;
     Histogram &blackoutHist_;
     EventFunctionWrapper healthEvent_;

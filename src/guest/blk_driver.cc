@@ -1,6 +1,7 @@
 #include "guest/blk_driver.hh"
 
 #include "base/logging.hh"
+#include "cloud/dif.hh"
 
 namespace bmhive {
 namespace guest {
@@ -29,7 +30,10 @@ BlkDriver::start(std::uint16_t queue_size, Bytes max_io)
     for (std::uint16_t i = 0; i < inflight; ++i) {
         slots_[i].hdr = os_.allocator().alloc(
             VirtioBlkReqHdr::wireSize, 16);
-        slots_[i].data = os_.allocator().alloc(max_io, 512);
+        // Headroom for DIF tags so integrity can be toggled
+        // without reshaping the arena.
+        slots_[i].data = os_.allocator().alloc(
+            cloud::difWireBytes(max_io), 512);
         slots_[i].status = os_.allocator().alloc(1, 1);
         freeSlots_.push_back(i);
     }
@@ -84,13 +88,47 @@ BlkDriver::submitIo(std::uint32_t type, std::uint64_t sector,
         panic_if(data->size() > len, "write data exceeds length");
         os_.memory().writeBlob(s.data, *data);
     }
+    if (integrity_ && type == VIRTIO_BLK_T_OUT && len > 0) {
+        // Seal the payload: per-sector guard/ref tags appended
+        // after it, verified by the backend before persisting.
+        auto payload = os_.memory().readBlob(s.data, len);
+        os_.memory().writeBlob(
+            s.data + len, cloud::difBuildTags(payload, sector));
+    }
 
-    bool is_write = (type == VIRTIO_BLK_T_OUT);
+    s.type = type;
+    s.sector = sector;
+    s.len = len;
+    s.retries = 0;
+
+    if (!resubmit(slot))
+        return false;
+    freeSlots_.pop_back();
+    s.cb = std::move(cb);
+
+    if (queue(0).shouldKick())
+        kick(0, cpu_ctx);
+    return true;
+}
+
+bool
+BlkDriver::resubmit(std::uint16_t slot)
+{
+    Slot &s = slots_[slot];
+    // Poison the status byte before every attempt: a completion
+    // whose status still reads as the sentinel means the device
+    // never wrote it (lost or malformed on the device side), which
+    // must surface as an error — the arena's initial zero would
+    // otherwise read as a stale VIRTIO_BLK_S_OK.
+    os_.memory().write8(s.status, statusUnwritten);
+    bool is_write = (s.type == VIRTIO_BLK_T_OUT);
+    auto data_len = std::uint32_t(
+        integrity_ ? cloud::difWireBytes(s.len) : s.len);
     std::vector<Segment> out = {
         {s.hdr, std::uint32_t(VirtioBlkReqHdr::wireSize), false}};
     std::vector<Segment> in;
-    if (len > 0) {
-        Segment dataseg{s.data, std::uint32_t(len), !is_write};
+    if (s.len > 0) {
+        Segment dataseg{s.data, data_len, !is_write};
         if (is_write)
             out.push_back(dataseg);
         else
@@ -101,12 +139,7 @@ BlkDriver::submitIo(std::uint32_t type, std::uint64_t sector,
     auto head = queue(0).submit(out, in, slot);
     if (!head)
         return false;
-    freeSlots_.pop_back();
-    s.cb = std::move(cb);
     slotOfHead_[*head] = slot;
-
-    if (queue(0).shouldKick())
-        kick(0, cpu_ctx);
     return true;
 }
 
@@ -144,19 +177,49 @@ BlkDriver::completionInterrupt()
         resetAndReinit();
         return;
     }
+    bool resubmitted = false;
     for (const auto &c : queue(0).collectUsed()) {
         std::uint16_t slot = slotOfHead_[c.head];
         Slot &s = slots_[slot];
         std::uint8_t status = os_.memory().read8(s.status);
+        if (status == statusUnwritten)
+            status = VIRTIO_BLK_S_IOERR;
+        if (integrity_ && status == VIRTIO_BLK_S_OK &&
+            s.type == VIRTIO_BLK_T_IN && s.len > 0) {
+            // Verify the returned payload against its tags: a
+            // corruption on the completion path (shadow ring, DMA
+            // back to us) surfaces here instead of in the data.
+            auto buf = os_.memory().readBlob(
+                s.data, cloud::difWireBytes(s.len));
+            if (cloud::difCheck(buf, s.sector) >= 0) {
+                difDetects_.inc();
+                status = VIRTIO_BLK_S_IOERR;
+            }
+        }
+        if (integrity_ && status != VIRTIO_BLK_S_OK &&
+            s.retries < maxIntegrityRetries) {
+            // Heal before the caller sees anything: the bounce
+            // buffer still holds the pristine payload (writes),
+            // and storage still holds the good copy (reads).
+            ++s.retries;
+            difRetries_.inc();
+            if (resubmit(slot)) {
+                resubmitted = true;
+                continue;
+            }
+            // Ring full: fall through and report the error.
+        }
+        done_.inc();
         if (status != VIRTIO_BLK_S_OK)
             errors_.inc();
-        done_.inc();
         IoCallback cb = std::move(s.cb);
         s.cb = nullptr;
         freeSlots_.push_back(slot);
         if (cb)
             cb(status, s.data);
     }
+    if (resubmitted && queue(0).shouldKick())
+        kick(0, os_.cpu(0));
 }
 
 } // namespace guest

@@ -56,19 +56,57 @@ class BlkDriver : public VirtioDriver
     std::uint64_t errors() const { return errors_.value(); }
     std::uint64_t resets() const { return resets_.value(); }
 
+    /**
+     * T10-DIF protection: writes carry per-sector tags after the
+     * payload, reads are verified on completion, and a failed
+     * request is resubmitted (bounded) before its error reaches
+     * the caller. Set before issuing I/O; must match the backend.
+     */
+    void setIntegrity(bool on) { integrity_ = on; }
+    bool integrityEnabled() const { return integrity_; }
+
+    /** Read completions whose DIF tags failed verification. */
+    std::uint64_t integrityDetects() const
+    {
+        return difDetects_.value();
+    }
+    /** Requests resubmitted by the integrity layer. */
+    std::uint64_t integrityRetries() const
+    {
+        return difRetries_.value();
+    }
+
   private:
     struct Slot
     {
         Addr hdr;    ///< 16-byte request header
-        Addr data;   ///< bounce buffer (max_io bytes)
+        Addr data;   ///< bounce buffer (max_io bytes + DIF tags)
         Addr status; ///< 1-byte status
         IoCallback cb;
+        /** Request shape, kept for integrity resubmission. */
+        std::uint32_t type = 0;
+        std::uint64_t sector = 0;
+        Bytes len = 0;
+        unsigned retries = 0;
     };
+
+    /** Integrity resubmissions before the error reaches the
+     *  caller; each resubmit re-DMAs from the pristine bounce
+     *  buffer (writes) or re-fetches from storage (reads). */
+    static constexpr unsigned maxIntegrityRetries = 2;
+
+    /** Sentinel written to the status byte before every submit: a
+     *  completion that still carries it means the device never
+     *  wrote status, so it must be treated as an I/O error rather
+     *  than a stale VIRTIO_BLK_S_OK. No real status uses 0xFF. */
+    static constexpr std::uint8_t statusUnwritten = 0xFF;
 
     bool submitIo(std::uint32_t type, std::uint64_t sector,
                   Bytes len, const std::vector<std::uint8_t> *data,
                   hw::CpuExecutor &cpu_ctx, IoCallback cb);
     void completionInterrupt();
+    /** Re-queue the request parked in @p slot. */
+    bool resubmit(std::uint16_t slot);
 
     /**
      * DEVICE_NEEDS_RESET recovery: fail every outstanding request
@@ -87,6 +125,9 @@ class BlkDriver : public VirtioDriver
     Counter done_;
     Counter errors_;
     Counter resets_;
+    Counter difDetects_;
+    Counter difRetries_;
+    bool integrity_ = false;
 };
 
 } // namespace guest

@@ -109,7 +109,10 @@ NetDriver::sendPacket(const cloud::Packet &pkt, bool kick_now,
     Addr buf = txBuf(slot);
     VirtioNetHdr hdr;
     hdr.writeTo(os_.memory(), buf);
-    packPacket(os_.memory(), buf + VirtioNetHdr::wireSize, pkt);
+    cloud::Packet sealed = pkt;
+    if (integrity_)
+        cloud::sealPacket(sealed);
+    packPacket(os_.memory(), buf + VirtioNetHdr::wireSize, sealed);
 
     Bytes payload = VirtioNetHdr::wireSize + packetWireBytes;
     Bytes claim = VirtioNetHdr::wireSize + pkt.len;
@@ -184,6 +187,14 @@ NetDriver::napiPoll()
         Addr buf = rxBuf(slot);
         cloud::Packet pkt = unpackPacket(
             os_.memory(), buf + VirtioNetHdr::wireSize);
+        if (integrity_ && !cloud::packetCsumOk(pkt)) {
+            // Corrupted on the memory path between the backend and
+            // us: drop like a NIC discarding a bad-FCS frame. The
+            // buffer is recycled by the fillRx below.
+            rxCsumDrops_.inc();
+            ++drained;
+            continue;
+        }
         rxDone_.inc();
         if (rxHandler_) {
             if (rxCost_ == 0) {

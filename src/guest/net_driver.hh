@@ -68,6 +68,16 @@ class NetDriver : public VirtioDriver
     std::uint64_t txCompleted() const { return txDone_.value(); }
     std::uint64_t rxDelivered() const { return rxDone_.value(); }
     std::uint64_t resets() const { return resets_.value(); }
+    /** Received frames discarded for a bad checksum. */
+    std::uint64_t rxCsumDrops() const { return rxCsumDrops_.value(); }
+
+    /**
+     * Seal every transmitted frame and verify every received one
+     * (drop + count on mismatch). On by default; off restores the
+     * pre-integrity wire format semantics for A/B benchmarks.
+     */
+    void setIntegrity(bool on) { integrity_ = on; }
+    bool integrityEnabled() const { return integrity_; }
 
   private:
     void fillRx();
@@ -100,6 +110,8 @@ class NetDriver : public VirtioDriver
     Counter txDone_;
     Counter rxDone_;
     Counter resets_;
+    Counter rxCsumDrops_;
+    bool integrity_ = true;
     std::uint64_t wanted_ = 0;
     std::uint16_t queueSize_ = 0;
     Tick rxCost_ = 0;

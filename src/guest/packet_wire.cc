@@ -13,6 +13,7 @@ packPacket(GuestMemory &m, Addr a, const cloud::Packet &p)
     m.write64(a + 16, p.len);
     m.write64(a + 24, p.created);
     m.write64(a + 32, p.seq);
+    m.write64(a + 40, p.csum);
 }
 
 cloud::Packet
@@ -24,6 +25,7 @@ unpackPacket(const GuestMemory &m, Addr a)
     p.len = m.read64(a + 16);
     p.created = m.read64(a + 24);
     p.seq = m.read64(a + 32);
+    p.csum = std::uint32_t(m.read64(a + 40));
     return p;
 }
 

@@ -17,8 +17,10 @@
 namespace bmhive {
 namespace guest {
 
-/** Serialized packet metadata size (fits any frame >= 64B). */
-constexpr Bytes packetWireBytes = 40;
+/** Serialized packet metadata size (fits any frame >= 64B). The
+ *  frame checksum travels with the metadata, so a corruption
+ *  anywhere on the memory path lands in verifiable bytes. */
+constexpr Bytes packetWireBytes = 48;
 
 /** Write packet metadata at @p a. */
 void packPacket(GuestMemory &m, Addr a, const cloud::Packet &p);

@@ -103,6 +103,13 @@ VirtioDriver::initialize(std::uint64_t wanted,
 
         queues_.push_back(std::make_unique<VirtQueueDriver>(
             os_.memory(), layout, indirect, ind, event_idx));
+        // Ring-metadata corruption the driver detects while
+        // reaping (scribbled chain links) lands in a per-device
+        // counter rather than the log alone.
+        queues_.back()->setMetaFaultCounter(
+            &os_.metrics().counter(os_.name() + ".virtio" +
+                                   std::to_string(slot_) +
+                                   ".integrity.meta_faults"));
     }
 
     cfgWrite(COMMON_STATUS,

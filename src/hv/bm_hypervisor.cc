@@ -163,6 +163,7 @@ BmHypervisor::replaceService(const std::string &suffix)
     unregisterService();
     auto next = std::make_unique<VirtioIoService>(
         sim_, name() + ".svc." + suffix, *core_, serviceParams_);
+    next->setIntegrity(blkIntegrity_);
     // The old process stays allocated until teardown so any event
     // still holding it unwinds against a dead service, not freed
     // memory.
@@ -175,6 +176,13 @@ BmHypervisor::replaceService(const std::string &suffix)
     wireTracers();
     startService();
     crashed_ = false;
+}
+
+void
+BmHypervisor::setBlkIntegrity(bool on)
+{
+    blkIntegrity_ = on;
+    service_->setIntegrity(on);
 }
 
 void

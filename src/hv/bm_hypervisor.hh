@@ -194,6 +194,15 @@ class BmHypervisor : public SimObject
     cloud::PortId port() const { return port_; }
     bool connected() const { return connected_; }
 
+    /**
+     * DIF protection on the blk backend: applied to the current
+     * service generation and to every future one (respawn,
+     * migration, live upgrade), so a crash can't silently drop
+     * the protection.
+     */
+    void setBlkIntegrity(bool on);
+    bool blkIntegrity() const { return blkIntegrity_; }
+
     /** Provider firmware-signing key (shared by the fleet). */
     static constexpr std::uint64_t providerKey = 0xa11baba;
 
@@ -216,6 +225,7 @@ class BmHypervisor : public SimObject
     sched::PollScheduler::Handle handle_;
     double pollWeight_ = 1.0;
     bool connected_ = false;
+    bool blkIntegrity_ = false;
     unsigned upgrades_ = 0;
     unsigned migrations_ = 0;
     bool crashed_ = false;

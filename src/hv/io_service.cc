@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "cloud/dif.hh"
 #include "guest/packet_wire.hh"
 #include "virtio/virtio_blk.hh"
 
@@ -33,6 +34,12 @@ VirtioIoService::VirtioIoService(Simulation &sim, std::string name,
           metrics().counter(this->name() + ".blk.io_failures")),
       blkRangeErrors_(
           metrics().counter(this->name() + ".blk.range_errors")),
+      difDetects_(metrics().counter(
+          this->name() + ".integrity.dif_detects")),
+      difRetries_(metrics().counter(
+          this->name() + ".integrity.dif_retries")),
+      difFails_(metrics().counter(
+          this->name() + ".integrity.dif_failures")),
       pollBatch_(
           metrics().histogram(this->name() + ".poll.batch", 0, 1024,
                               32))
@@ -162,6 +169,10 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     blkDupDone_.inc(old.blkDupDone_.value());
     blkFailures_.inc(old.blkFailures_.value());
     blkRangeErrors_.inc(old.blkRangeErrors_.value());
+    difDetects_.inc(old.difDetects_.value());
+    difRetries_.inc(old.difRetries_.value());
+    difFails_.inc(old.difFails_.value());
+    blkIntegrity_ = old.blkIntegrity_;
     // Suppression flags follow the new flavour.
     if (netRx_ && params_.suppressGuestNotify) {
         netRx_->setNoNotify(true);
@@ -473,12 +484,40 @@ VirtioIoService::pollBlk(unsigned max)
             done_now.push_back(VringUsedElem{chain->head, 1});
             continue;
         }
+        // The data descriptor's direction must agree with the
+        // header: a read needs a device-writable buffer, a write a
+        // device-readable one. A disagreement means the header and
+        // the chain describe different requests — a zeroed/rotted
+        // header in front of a write chain would otherwise read
+        // back as a well-formed IN and falsely ack the guest's
+        // write. Shape error, contained as IOERR.
+        if (has_data &&
+            (hdr.type == VIRTIO_BLK_T_IN) != data.deviceWrites) {
+            blkMem_->write8(status.addr, VIRTIO_BLK_S_IOERR);
+            done_now.push_back(VringUsedElem{chain->head, 1});
+            blkRangeErrors_.inc();
+            continue;
+        }
+
+        // With DIF protection on, the data segment carries an
+        // 8-byte tag per 512-byte sector after the payload.
+        Bytes payload_len = data.len;
+        if (blkIntegrity_ && has_data) {
+            if (data.len % cloud::difProtectedSectorBytes != 0) {
+                // Untagged request on a protected path.
+                blkMem_->write8(status.addr, VIRTIO_BLK_S_IOERR);
+                done_now.push_back(VringUsedElem{chain->head, 1});
+                difFails_.inc();
+                continue;
+            }
+            payload_len = cloud::difPayloadBytes(data.len);
+        }
 
         // The header content is guest-authored (IO-Bond shadows it
         // verbatim): a hostile sector/length must become an I/O
         // error toward the guest, never a storage-fabric panic.
         if (hdr.sector > vol_->capacity() / 512 ||
-            Bytes(data.len) >
+            payload_len >
                 vol_->capacity() - hdr.sector * 512) {
             blkMem_->write8(status.addr, VIRTIO_BLK_S_IOERR);
             done_now.push_back(VringUsedElem{chain->head, 1});
@@ -490,14 +529,37 @@ VirtioIoService::pollBlk(unsigned max)
 
         if (is_write) {
             // Data already sits in ring memory; persist it now.
-            vol_->writeData(hdr.sector,
-                            blkMem_->readBlob(data.addr, data.len));
+            auto buf = blkMem_->readBlob(data.addr, data.len);
+            if (blkIntegrity_) {
+                // Verify the guest's tags before persisting: a
+                // payload corrupted between the guest and here
+                // (shadow ring, DMA residue) must never become
+                // durable. IOERR sends the guest back to its
+                // pristine bounce buffer for a fresh attempt.
+                if (cloud::difCheck(buf, hdr.sector) >= 0) {
+                    difDetects_.inc();
+                    blkMem_->write8(status.addr,
+                                    VIRTIO_BLK_S_IOERR);
+                    done_now.push_back(
+                        VringUsedElem{chain->head, 1});
+                    continue;
+                }
+                vol_->writeData(
+                    hdr.sector,
+                    {buf.begin(), buf.begin() + long(payload_len)});
+                vol_->writeTags(
+                    hdr.sector,
+                    {buf.begin() + long(payload_len), buf.end()});
+            } else {
+                vol_->writeData(hdr.sector, buf);
+            }
         }
 
         PendingBlk p;
         p.write = is_write;
         p.lba = hdr.sector;
         p.len = data.len;
+        p.payloadLen = payload_len;
         p.dataAddr = data.addr;
         p.statusAddr = status.addr;
         p.head = chain->head;
@@ -589,6 +651,39 @@ VirtioIoService::onBlkServiceDone(std::uint64_t seq,
         blkDupDone_.inc();
         return;
     }
+
+    // Read payloads cross the storage fabric here; with DIF on,
+    // assemble and verify the tagged buffer before it reaches the
+    // guest-facing path. A mismatch (injected fabric flip) heals
+    // through the same sequence-tagged resubmit the timeout path
+    // uses, so completion toward the guest stays exactly-once.
+    std::vector<std::uint8_t> rbuf;
+    if (blkIntegrity_ && !it->second.write) {
+        const PendingBlk &q = it->second;
+        rbuf = vol_->readData(q.lba, q.payloadLen);
+        auto tags = vol_->readTags(q.lba, q.payloadLen);
+        rbuf.insert(rbuf.end(), tags.begin(), tags.end());
+        if (blkSvc_->takeCorruption() && !rbuf.empty())
+            rbuf[0] ^= 0xA5;
+        if (cloud::difCheck(rbuf, q.lba) >= 0) {
+            difDetects_.inc();
+            if (it->second.attempt < params_.blkMaxRetries) {
+                ++it->second.attempt;
+                difRetries_.inc();
+                blkRetries_.inc();
+                submitBlkAttempt(seq, 0);
+                return;
+            }
+            // Persistent mismatch: fail, never deliver garbage.
+            PendingBlk bad = it->second;
+            blkPending_.erase(it);
+            difFails_.inc();
+            blkFailures_.inc();
+            failBlkToGuest(bad, gen);
+            return;
+        }
+    }
+
     PendingBlk p = it->second;
     blkPending_.erase(it);
 
@@ -607,12 +702,15 @@ VirtioIoService::onBlkServiceDone(std::uint64_t seq,
         cost += Tick(double(p.len) / params_.blkCopyBytesPerSec *
                      double(tickSec));
     }
-    core->run(cost, [this, p, gen] {
+    core->run(cost, [this, p, gen, rbuf = std::move(rbuf)] {
         if (gen != blkGen_)
             return; // the rings this head refers to are gone
         if (!p.write) {
-            blkMem_->writeBlob(p.dataAddr,
-                               vol_->readData(p.lba, p.len));
+            if (blkIntegrity_)
+                blkMem_->writeBlob(p.dataAddr, rbuf);
+            else
+                blkMem_->writeBlob(p.dataAddr,
+                                   vol_->readData(p.lba, p.len));
         }
         blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_OK);
         blk_->pushUsed(p.head,
@@ -642,25 +740,32 @@ VirtioIoService::onBlkTimeout(std::uint64_t seq, std::uint64_t gen,
         PendingBlk p = it->second;
         blkPending_.erase(it);
         blkFailures_.inc();
-        hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
-        core->run(
-            params_.blkTouchCost + params_.completionRegisterCost,
-            [this, p, gen] {
-                if (gen != blkGen_)
-                    return;
-                blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_IOERR);
-                blk_->pushUsed(p.head, 1);
-                panic_if(blkInflight_ == 0,
-                         name(), ": inflight underflow");
-                --blkInflight_;
-                if (blkDone_)
-                    blkDone_();
-            });
+        failBlkToGuest(p, gen);
         return;
     }
     ++it->second.attempt;
     blkRetries_.inc();
     submitBlkAttempt(seq, 0);
+}
+
+void
+VirtioIoService::failBlkToGuest(const PendingBlk &p,
+                                std::uint64_t gen)
+{
+    hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
+    core->run(
+        params_.blkTouchCost + params_.completionRegisterCost,
+        [this, p, gen] {
+            if (gen != blkGen_)
+                return;
+            blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_IOERR);
+            blk_->pushUsed(p.head, 1);
+            panic_if(blkInflight_ == 0,
+                     name(), ": inflight underflow");
+            --blkInflight_;
+            if (blkDone_)
+                blkDone_();
+        });
 }
 
 } // namespace hv

@@ -233,6 +233,23 @@ class VirtioIoService : public SimObject, public sched::Pollable
         return blkRangeErrors_.value();
     }
 
+    /**
+     * T10-DIF-style protection on the block path: expect tagged
+     * writes from the guest (verified before persisting) and
+     * return tagged reads, verified against fabric corruption with
+     * a bounded resubmit through the sequence-tagged retry path.
+     * Must match the guest driver's setting.
+     */
+    void setIntegrity(bool on) { blkIntegrity_ = on; }
+    bool integrityEnabled() const { return blkIntegrity_; }
+
+    /** DIF mismatches detected (either direction). */
+    std::uint64_t difDetects() const { return difDetects_.value(); }
+    /** Read attempts resubmitted after a DIF mismatch. */
+    std::uint64_t difRetries() const { return difRetries_.value(); }
+    /** Requests failed toward the guest on persistent mismatch. */
+    std::uint64_t difFailures() const { return difFails_.value(); }
+
     std::uint64_t txPackets() const { return txPkts_.value(); }
     std::uint64_t rxPackets() const { return rxPkts_.value(); }
     std::uint64_t blkIos() const { return blkIos_.value(); }
@@ -287,7 +304,8 @@ class VirtioIoService : public SimObject, public sched::Pollable
     {
         bool write = false;
         std::uint64_t lba = 0;
-        Bytes len = 0;
+        Bytes len = 0;        ///< data segment (wire) length
+        Bytes payloadLen = 0; ///< len minus DIF tags
         Addr dataAddr = 0;
         Addr statusAddr = 0;
         std::uint16_t head = 0;
@@ -304,6 +322,8 @@ class VirtioIoService : public SimObject, public sched::Pollable
     void onBlkServiceDone(std::uint64_t seq, std::uint64_t gen);
     void onBlkTimeout(std::uint64_t seq, std::uint64_t gen,
                       unsigned attempt);
+    /** Push an IOERR completion for @p p toward the guest. */
+    void failBlkToGuest(const PendingBlk &p, std::uint64_t gen);
 
     hw::CpuExecutor &core_;
     hw::CpuExecutor *blkCore_ = nullptr; ///< defaults to &core_
@@ -341,6 +361,7 @@ class VirtioIoService : public SimObject, public sched::Pollable
 
     bool running_ = false;
     bool externallyDriven_ = false;
+    bool blkIntegrity_ = false;
     std::function<void()> wakeHook_;
     std::uint64_t blkInflight_ = 0;
     std::map<std::uint64_t, PendingBlk> blkPending_;
@@ -362,6 +383,9 @@ class VirtioIoService : public SimObject, public sched::Pollable
     Counter &blkDupDone_;
     Counter &blkFailures_;
     Counter &blkRangeErrors_;
+    Counter &difDetects_;
+    Counter &difRetries_;
+    Counter &difFails_;
     Histogram &pollBatch_; ///< work items per poll iteration
 
     // Request tracing (optional, wired by the platform glue).

@@ -82,7 +82,17 @@ IoBond::IoBond(Simulation &sim, std::string name,
       guestFaultsTotal_(metrics().counter(
           this->name() + ".guest.faults_total")),
       quarantineDrops_(metrics().counter(
-          this->name() + ".guest.quarantine_drops"))
+          this->name() + ".guest.quarantine_drops")),
+      scrubRuns_(metrics().counter(
+          this->name() + ".integrity.scrub.runs")),
+      scrubChecked_(metrics().counter(
+          this->name() + ".integrity.scrub.checked")),
+      scrubRepairs_(metrics().counter(
+          this->name() + ".integrity.scrub.repairs")),
+      metaInjected_(metrics().counter(
+          this->name() + ".integrity.meta_injected")),
+      queueResets_(metrics().counter(
+          this->name() + ".integrity.queue_resets"))
 {
     panic_if(shadow_region_base + 4 * MiB +
                      params.shadowArenaBytes >
@@ -96,6 +106,9 @@ IoBond::IoBond(Simulation &sim, std::string name,
         return injectFault(s);
     });
     dma_.setErrorHandler([this] { onDmaError(); });
+    dma_.setIntegrityHandler([this] { onIntegrityEscalation(); });
+    integrity_ = params.integrity;
+    dma_.setIntegrity(integrity_);
 }
 
 IoBond::~IoBond() { sim_.faults().remove(name()); }
@@ -140,6 +153,33 @@ IoBond::injectFault(const fault::FaultSpec &spec)
                                      : usToTicks(100));
         return true;
       }
+      case fault::FaultKind::DmaCorruptMeta: {
+        std::uint64_t budget = spec.count ? spec.count : 1;
+        faultInjected_.inc();
+        if (flight_)
+            flight_->record(curTick(), obs::FlightEvent::FaultInject,
+                            0, 0, std::uint64_t(spec.kind));
+        // Rot metadata of chains live right now; any leftover
+        // budget lands in the next mirrored chains, so every armed
+        // unit ends up in bytes the scrubber must catch.
+        for (unsigned fi = 0;
+             budget > 0 && fi < functions_.size(); ++fi) {
+            for (unsigned q = 0;
+                 budget > 0 && q < shadow_[fi].size(); ++q) {
+                ShadowQueue &sq = shadow_[fi][q];
+                if (!sq.ready)
+                    continue;
+                for (auto &[head, cs] : sq.inflight) {
+                    if (budget == 0)
+                        break;
+                    corruptShadowMeta(sq, head, cs);
+                    --budget;
+                }
+            }
+        }
+        metaCorruptBudget_ += budget;
+        return true;
+      }
       case fault::FaultKind::FunctionFail: {
         auto fn = unsigned(spec.magnitude);
         if (fn >= functions_.size())
@@ -164,6 +204,218 @@ IoBond::onDmaError()
     if (lastActiveFn_ >= 0 &&
         unsigned(lastActiveFn_) < functions_.size())
         failFunction(unsigned(lastActiveFn_));
+}
+
+void
+IoBond::setIntegrity(bool on)
+{
+    integrity_ = on;
+    dma_.setIntegrity(on);
+    if (on && inflightChains() > 0)
+        scheduleScrub();
+}
+
+void
+IoBond::onIntegrityEscalation()
+{
+    // Containment-ladder rung two: the DMA engine saw the same
+    // transfer mismatch through every replay, so corruption on
+    // this path is persistent — reset the active function's queues
+    // rather than retry forever.
+    queueResets_.inc();
+    if (lastActiveFn_ < 0 ||
+        unsigned(lastActiveFn_) >= functions_.size())
+        return;
+    unsigned fn = unsigned(lastActiveFn_);
+    trace(name() + ": ECRC retries exhausted, resetting fn=" +
+          std::to_string(fn));
+    failFunction(fn);
+    if (integrityEscalationCb_)
+        integrityEscalationCb_(fn);
+}
+
+void
+IoBond::corruptShadowMeta(ShadowQueue &sq, std::uint16_t head,
+                          const ChainShadow &cs)
+{
+    metaInjected_.inc();
+    if (cs.indirectBlock != PoolAllocator::nullAddr) {
+        // Rot the len field of the first indirect-table entry.
+        Addr a = cs.indirectBlock + 8;
+        baseMem_->write32(a, baseMem_->read32(a) ^ 0xA5);
+    } else if (!cs.path.empty()) {
+        VringDesc d =
+            sq.shadowLayout.readDesc(*baseMem_, cs.path[0]);
+        d.len ^= 0xA5;
+        sq.shadowLayout.writeDesc(*baseMem_, cs.path[0], d);
+    }
+    (void)head;
+}
+
+void
+IoBond::scheduleScrub()
+{
+    if (!integrity_ || scrubScheduled_)
+        return;
+    scrubScheduled_ = true;
+    auto *ev = new OneShotEvent([this] { scrubPass(); },
+                                name() + ".scrub");
+    scheduleIn(ev, params_.scrubPeriod);
+}
+
+void
+IoBond::scrubPass()
+{
+    scrubScheduled_ = false;
+    if (!integrity_)
+        return;
+    scrubRuns_.inc();
+    std::vector<unsigned> escalate;
+    for (unsigned fi = 0; fi < functions_.size(); ++fi) {
+        for (unsigned q = 0; q < shadow_[fi].size(); ++q) {
+            ShadowQueue &sq = shadow_[fi][q];
+            if (!sq.ready) {
+                sq.scrubStrikes = 0;
+                continue;
+            }
+            unsigned repairs = scrubQueue(fi, q);
+            if (repairs == 0) {
+                sq.scrubStrikes = 0;
+                continue;
+            }
+            scrubRepairs_.inc(repairs);
+            if (flight_)
+                flight_->record(curTick(),
+                                obs::FlightEvent::IntegrityDetect,
+                                fi, q, /*where=*/1, repairs);
+            trace(name() + ": scrub repaired " +
+                  std::to_string(repairs) +
+                  " shadow-metadata fields fn=" +
+                  std::to_string(fi) + " q=" + std::to_string(q));
+            // A repair IS the heal for metadata: the chain keeps
+            // flowing on the corrected descriptors. Repeated dirt
+            // on one queue escalates to a reset instead.
+            if (++sq.scrubStrikes >= params_.scrubEscalateAfter) {
+                sq.scrubStrikes = 0;
+                if (std::find(escalate.begin(), escalate.end(),
+                              fi) == escalate.end())
+                    escalate.push_back(fi);
+            }
+        }
+    }
+    for (unsigned fn : escalate) {
+        queueResets_.inc();
+        if (flight_)
+            flight_->record(curTick(),
+                            obs::FlightEvent::IntegrityEscalate, fn,
+                            0, /*where=*/1);
+        trace(name() + ": persistent metadata corruption, " +
+              "resetting fn=" + std::to_string(fn));
+        failFunction(fn);
+        if (integrityEscalationCb_)
+            integrityEscalationCb_(fn);
+    }
+    if (inflightChains() > 0)
+        scheduleScrub();
+}
+
+unsigned
+IoBond::scrubQueue(unsigned fn, unsigned q)
+{
+    ShadowQueue &sq = shadow_[fn][q];
+    unsigned repairs = 0;
+    for (auto &[head, cs] : sq.inflight) {
+        scrubChecked_.inc();
+        if (cs.indirectBlock != PoolAllocator::nullAddr) {
+            // Head descriptor pointing at the indirect table.
+            VringDesc want;
+            want.addr = cs.indirectBlock;
+            want.len = std::uint32_t(cs.segs.size()) *
+                       std::uint32_t(vringDescSize);
+            want.flags = VRING_DESC_F_INDIRECT;
+            want.next = 0;
+            VringDesc got =
+                sq.shadowLayout.readDesc(*baseMem_, head);
+            if (got.addr != want.addr || got.len != want.len ||
+                got.flags != want.flags || got.next != want.next) {
+                sq.shadowLayout.writeDesc(*baseMem_, head, want);
+                ++repairs;
+            }
+            // Indirect-table entries, re-derived from the layout
+            // recorded at mirror time.
+            for (std::size_t i = 0; i < cs.segs.size(); ++i) {
+                const auto &seg = cs.segs[i];
+                Addr a = cs.indirectBlock + Addr(i) * vringDescSize;
+                bool last = i + 1 >= cs.segs.size();
+                std::uint16_t flags = std::uint16_t(
+                    (seg.write ? VRING_DESC_F_WRITE : 0) |
+                    (last ? 0 : VRING_DESC_F_NEXT));
+                std::uint16_t next =
+                    std::uint16_t(last ? 0 : i + 1);
+                if (baseMem_->read64(a) != seg.shadowAddr) {
+                    baseMem_->write64(a, seg.shadowAddr);
+                    ++repairs;
+                }
+                if (baseMem_->read32(a + 8) !=
+                    std::uint32_t(seg.len)) {
+                    baseMem_->write32(a + 8,
+                                      std::uint32_t(seg.len));
+                    ++repairs;
+                }
+                if (baseMem_->read16(a + 12) != flags) {
+                    baseMem_->write16(a + 12, flags);
+                    ++repairs;
+                }
+                if (baseMem_->read16(a + 14) != next) {
+                    baseMem_->write16(a + 14, next);
+                    ++repairs;
+                }
+            }
+        } else {
+            for (std::size_t i = 0; i < cs.path.size(); ++i) {
+                const auto &seg = cs.segs[i];
+                VringDesc want;
+                want.addr = seg.shadowAddr;
+                want.len = std::uint32_t(seg.len);
+                want.flags = std::uint16_t(
+                    (seg.write ? VRING_DESC_F_WRITE : 0) |
+                    (i + 1 < cs.path.size() ? VRING_DESC_F_NEXT
+                                            : 0));
+                want.next = std::uint16_t(
+                    i + 1 < cs.path.size() ? cs.path[i + 1] : 0);
+                VringDesc got = sq.shadowLayout.readDesc(
+                    *baseMem_, cs.path[i]);
+                if (got.addr != want.addr || got.len != want.len ||
+                    got.flags != want.flags ||
+                    got.next != want.next) {
+                    sq.shadowLayout.writeDesc(*baseMem_, cs.path[i],
+                                              want);
+                    ++repairs;
+                }
+            }
+        }
+    }
+    // Avail-ring audit. Chains complete out of order (blk), so ring
+    // positions cannot be paired with the inflight table sorted by
+    // seq — each chain records the cursor its publish DMA actually
+    // landed at, and only that slot is checked. A slot whose cursor
+    // has since lapped the ring belongs to a newer chain; skip it.
+    for (auto &[head, cs] : sq.inflight) {
+        if (!cs.published ||
+            std::uint16_t(sq.shadowAvail - cs.availPos) >=
+                sq.shadowLayout.size())
+            continue;
+        std::uint16_t pos = cs.availPos % sq.shadowLayout.size();
+        if (sq.shadowLayout.availRing(*baseMem_, pos) != head) {
+            sq.shadowLayout.setAvailRing(*baseMem_, pos, head);
+            ++repairs;
+        }
+    }
+    if (sq.shadowLayout.availIdx(*baseMem_) != sq.shadowAvail) {
+        sq.shadowLayout.setAvailIdx(*baseMem_, sq.shadowAvail);
+        ++repairs;
+    }
+    return repairs;
 }
 
 void
@@ -323,6 +575,9 @@ IoBond::rebase(GuestMemory &new_base, Addr region_base,
                     continue; // contained; completed as failed
                 sq.shadowLayout.setAvailRing(
                     *baseMem_, pos % sq.shadowLayout.size(), head);
+                ChainShadow &ncs = sq.inflight.at(head);
+                ncs.availPos = pos;
+                ncs.published = true;
                 ++pos;
             }
             replayed += unsigned(std::uint16_t(pos - sq.syncedUsed));
@@ -494,6 +749,7 @@ IoBond::driverReady(IoBondFunction &fn)
         sq.syncedAvail = sq.shadowAvail = 0;
         sq.syncedUsed = sq.guestUsed = 0;
         sq.nextSeq = 0;
+        sq.scrubStrikes = 0;
         sq.doorbells =
             TokenBucket(params_.doorbellRate, params_.doorbellBurst);
         sq.stormResync = false;
@@ -687,10 +943,30 @@ IoBond::syncAvail(unsigned fn, unsigned q)
             ShadowQueue &s = shadow_[fn][q];
             if (!s.ready || s.epoch != epoch)
                 return; // reset or crash recovery raced with the sync
+            if (!dma_.lastDelivered()) {
+                // The mirror copy never landed (DmaFail drop or
+                // exhausted ECRC replay): the shadow bounce still
+                // holds stale bytes, and the shadow descriptors for
+                // these heads describe data that was never written.
+                // Publishing would hand the backend zero-filled
+                // headers it would happily complete OK — a silently
+                // corrupted acknowledgement. Leave the burst
+                // unpublished and pin the blame on this function so
+                // the engine's error/integrity handler (which runs
+                // right after this callback) resets *us*, not
+                // whichever function touched the datapath last.
+                lastActiveFn_ = int(fn);
+                return;
+            }
             for (std::uint16_t head : heads) {
                 s.shadowLayout.setAvailRing(
                     *baseMem_, s.shadowAvail % s.shadowLayout.size(),
                     head);
+                auto ci = s.inflight.find(head);
+                if (ci != s.inflight.end()) {
+                    ci->second.availPos = s.shadowAvail;
+                    ci->second.published = true;
+                }
                 ++s.shadowAvail;
                 if (s.reqTracer)
                     s.reqTracer->stamp(
@@ -827,6 +1103,7 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
             sq.shadowLayout.writeDesc(*baseMem_, walk.path[i], d);
         }
         desc_count = std::uint16_t(walk.path.size());
+        cs.path = walk.path;
     }
 
     // Everything allocated: the chain joins the burst. Payload
@@ -842,6 +1119,16 @@ IoBond::mirrorChain(unsigned fn, unsigned q, std::uint16_t head,
 
     cs.seq = sq.nextSeq++;
     sq.inflight[head] = std::move(cs);
+
+    // A DmaCorruptMeta armed while no chain was live lands in the
+    // freshly-written descriptors; the scrubber (armed below) is
+    // what must catch it.
+    if (metaCorruptBudget_ > 0) {
+        --metaCorruptBudget_;
+        corruptShadowMeta(sq, head, sq.inflight[head]);
+    }
+    if (integrity_)
+        scheduleScrub();
 
     // The request's life begins at the doorbell that announced it,
     // not at descriptor fetch; stamp with the earlier tick.
@@ -924,6 +1211,18 @@ IoBond::backendCompleted(unsigned fn, unsigned q)
             }
             if (s.epoch != epoch)
                 return; // function reset/re-init while in flight
+            if (!dma_.lastDelivered()) {
+                // The completion copy never landed: device-written
+                // payloads (read data, RX frames) are still only in
+                // the shadow bounce, so the guest buffers hold
+                // stale bytes. Pushing these used elements would
+                // present them as fresh completions. Drop the batch
+                // unpublished and pin the blame here — the engine's
+                // handler resets this function and the guest driver
+                // re-issues everything that was in flight.
+                lastActiveFn_ = int(fn);
+                return;
+            }
             std::uint16_t before = s.guestUsed;
             for (const auto &r : batch) {
                 s.guestLayout.setUsedRing(
@@ -1009,11 +1308,13 @@ IoBond::recoverQueue(unsigned fn, unsigned q)
         window = std::uint16_t(order.size());
     }
     for (std::uint16_t i = 0; i < window; ++i) {
+        auto pos = std::uint16_t(sq.syncedUsed + i);
         sq.shadowLayout.setAvailRing(
-            *baseMem_,
-            std::uint16_t(sq.syncedUsed + i) %
-                sq.shadowLayout.size(),
+            *baseMem_, pos % sq.shadowLayout.size(),
             order[i].second);
+        ChainShadow &cs = sq.inflight.at(order[i].second);
+        cs.availPos = pos;
+        cs.published = true;
     }
     sq.shadowLayout.setAvailIdx(*baseMem_, sq.shadowAvail);
     if (window > 0)

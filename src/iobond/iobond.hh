@@ -83,6 +83,19 @@ struct IoBondParams
      */
     Bytes maxChainBytes = 4 * MiB;
 
+    /**
+     * End-to-end integrity: ECRC verification on every internal
+     * DMA transfer plus a periodic scrubber that audits the shadow
+     * vring metadata of every in-flight chain against the content
+     * recorded at mirror time and repairs silent flips in place.
+     */
+    bool integrity = true;
+    /** Scrub cadence while chains are in flight. */
+    Tick scrubPeriod = usToTicks(50);
+    /** Consecutive dirty scrub passes on one queue before the
+     *  function is reset (containment-ladder rung two). */
+    unsigned scrubEscalateAfter = 2;
+
     /** FPGA timing (default). ASIC variant for the section 6
      *  ablation: both hops drop to 0.2 us. */
     static IoBondParams
@@ -341,6 +354,43 @@ class IoBond : public SimObject
         return quarantineDrops_.value();
     }
 
+    // --- End-to-end integrity ---
+
+    /**
+     * Enable/disable the integrity layer at runtime: ECRC on the
+     * internal DMA engine plus the shadow-metadata scrubber. Off,
+     * an injected corruption is delivered silently (the pre-PR-8
+     * behaviour benches compare against with --integrity=off).
+     */
+    void setIntegrity(bool on);
+    bool integrityEnabled() const { return integrity_; }
+
+    /**
+     * Invoked (with the function index) whenever the integrity
+     * ladder escalates to a queue reset — ECRC retries exhausted or
+     * repeated scrub repairs on one queue. BmHiveServer scores
+     * these per server; a persistent pattern marks the whole
+     * server unhealthy and triggers a proactive migration.
+     */
+    void setIntegrityEscalationCallback(std::function<void(unsigned)> cb)
+    {
+        integrityEscalationCb_ = std::move(cb);
+    }
+
+    std::uint64_t scrubRepairs() const
+    {
+        return scrubRepairs_.value();
+    }
+    std::uint64_t scrubRuns() const { return scrubRuns_.value(); }
+    std::uint64_t integrityQueueResets() const
+    {
+        return queueResets_.value();
+    }
+    std::uint64_t metaFaultsInjected() const
+    {
+        return metaInjected_.value();
+    }
+
   private:
     friend class IoBondFunction;
 
@@ -357,8 +407,20 @@ class IoBond : public SimObject
         std::vector<Seg> segs;
         Addr bufBlock = PoolAllocator::nullAddr;
         Addr indirectBlock = PoolAllocator::nullAddr;
+        /** Direct shadow descriptor ids written at mirror time
+         *  (empty for indirect chains) — the scrubber re-derives
+         *  the expected descriptor bytes from segs + path, never
+         *  from guest memory a hostile tenant could rewrite. */
+        std::vector<std::uint16_t> path;
         /** Submission order, for crash-recovery replay. */
         std::uint64_t seq = 0;
+        /** Absolute avail cursor this chain was published at, once
+         *  its publish DMA landed. Chains complete out of order,
+         *  so the scrubber can only audit the avail slot through
+         *  this recorded position — never by pairing sorted
+         *  inflight entries with ring positions. */
+        std::uint16_t availPos = 0;
+        bool published = false;
     };
 
     /** One completed chain travelling back to the guest as part of
@@ -394,6 +456,9 @@ class IoBond : public SimObject
          *  under an older epoch must not touch the rings. */
         std::uint64_t epoch = 0;
         std::uint64_t nextSeq = 0; ///< next ChainShadow::seq
+        /** Consecutive scrub passes that found (and repaired)
+         *  corrupted shadow metadata on this queue. */
+        unsigned scrubStrikes = 0;
         obs::RequestTracer *reqTracer = nullptr;
         std::map<std::uint16_t, ChainShadow> inflight;
     };
@@ -419,8 +484,24 @@ class IoBond : public SimObject
     bool injectFault(const fault::FaultSpec &spec);
     /** DMA engine dropped a transfer: fail the active function. */
     void onDmaError();
+    /** DMA ECRC retries exhausted: reset the active function. */
+    void onIntegrityEscalation();
     /** Re-scan every ready queue (post-flap / resync sweep). */
     void rescanReady();
+
+    /** Flip the len field of one shadow descriptor of @p cs (the
+     *  DmaCorruptMeta payload: metadata rot the scrubber must
+     *  catch, distinct from payload corruption). */
+    void corruptShadowMeta(ShadowQueue &sq, std::uint16_t head,
+                           const ChainShadow &cs);
+    /** Arm the next scrub pass (lazily: only while chains are in
+     *  flight, so an idle bond schedules nothing). */
+    void scheduleScrub();
+    /** One scrub pass over every ready queue. */
+    void scrubPass();
+    /** Audit one queue's in-flight chains + avail window; returns
+     *  the number of fields repaired. */
+    unsigned scrubQueue(unsigned fn, unsigned q);
 
     /** Count + trace + escalate one contained guest fault. */
     void guestFault(fault::GuestFaultKind k);
@@ -447,6 +528,12 @@ class IoBond : public SimObject
     Tick linkDownUntil_ = 0;
     /** Injected doorbell-loss budget. */
     std::uint64_t dropDoorbells_ = 0;
+    /** Injected shadow-metadata corruption budget (applied to the
+     *  next mirrored chains when no chain is live at delivery). */
+    std::uint64_t metaCorruptBudget_ = 0;
+    bool integrity_ = true;
+    bool scrubScheduled_ = false;
+    std::function<void(unsigned)> integrityEscalationCb_;
     /** Function of the most recent guest/backend activity — the
      *  one a failed internal DMA transfer is attributed to. */
     int lastActiveFn_ = -1;
@@ -463,6 +550,11 @@ class IoBond : public SimObject
     std::array<Counter *, fault::guestFaultKinds> guestFaultCounters_{};
     Counter &guestFaultsTotal_;
     Counter &quarantineDrops_;
+    Counter &scrubRuns_;
+    Counter &scrubChecked_;
+    Counter &scrubRepairs_;
+    Counter &metaInjected_;
+    Counter &queueResets_;
     GuestFaultCallback guestFaultCb_;
     bool quarantined_ = false;
     bool drained_ = false;

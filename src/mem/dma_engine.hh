@@ -111,11 +111,49 @@ class DmaEngine : public SimObject
      */
     void setErrorHandler(Callback h) { errorHandler_ = std::move(h); }
 
+    /**
+     * PCIe ECRC-style end-to-end protection: every data transfer is
+     * checksummed at the source and verified before it lands. A
+     * mismatch is never delivered — the transfer retries (link-level
+     * replay re-reads the clean source), and after ecrcMaxRetries
+     * consecutive mismatches the integrity handler fires so the
+     * owner can escalate (IO-Bond resets the active function).
+     */
+    void setIntegrity(bool on) { integrity_ = on; }
+    bool integrity() const { return integrity_; }
+
+    /** Called after a transfer exhausts its ECRC retries (the
+     *  data-less completion has run, like the DmaFail path). */
+    void setIntegrityHandler(Callback h)
+    {
+        integrityHandler_ = std::move(h);
+    }
+
+    std::uint64_t ecrcDetected() const
+    {
+        return ecrcDetected_.value();
+    }
+    std::uint64_t ecrcHealed() const { return ecrcHealed_.value(); }
+    std::uint64_t ecrcEscalations() const
+    {
+        return ecrcEscalations_.value();
+    }
+
     /** Injected faults consumed so far (corruptions + failures). */
     std::uint64_t faultsInjected() const
     {
         return faultInjected_.value();
     }
+
+    /**
+     * True iff the completion currently unwinding (or the most
+     * recent one) actually landed its bytes at the destination.
+     * False for DmaFail drops and exhausted-ECRC escalations, whose
+     * completion callbacks run data-less: an owner that publishes
+     * shared state from @c done must check this first, or it hands
+     * downstream consumers a destination that was never written.
+     */
+    bool lastDelivered() const { return lastDelivered_; }
 
     /** Attach the owning guest's flight recorder: every transfer
      *  records CopyvSubmit/CopyvComplete (a=segs, b=bytes). */
@@ -127,6 +165,10 @@ class DmaEngine : public SimObject
         std::vector<CopySeg> segs;
         Bytes len = 0; ///< summed over segs
         Callback done;
+        /** ECRC replay state: attempts burned and when the first
+         *  mismatch was seen (for the healed-retry latency). */
+        unsigned retries = 0;
+        Tick firstDetect = 0;
     };
 
     /** Queue a transfer; starts it unless serialized behind
@@ -153,12 +195,23 @@ class DmaEngine : public SimObject
     std::uint64_t corruptBudget_ = 0;
     std::uint64_t failBudget_ = 0;
     Callback errorHandler_;
+    Callback integrityHandler_;
+    bool integrity_ = false;
+    /** Whether the unwinding completion delivered its data. */
+    bool lastDelivered_ = true;
+    /** Consecutive mismatches tolerated before escalation. */
+    static constexpr unsigned ecrcMaxRetries = 2;
     obs::FlightRecorder *flight_ = nullptr;
     /** Registry-backed so exports and accessors read one cell. */
     Counter &bytesMoved_;
     Counter &transfers_;
     Counter &batchedSegments_;
     Counter &faultInjected_;
+    Counter &ecrcChecked_;
+    Counter &ecrcDetected_;
+    Counter &ecrcHealed_;
+    Counter &ecrcEscalations_;
+    LatencyRecorder &retryLatency_;
     Gauge &queueDepth_;
     Histogram &batchSegs_;
     EventFunctionWrapper completeEvent_;

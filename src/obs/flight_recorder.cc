@@ -56,6 +56,12 @@ flightEventName(FlightEvent e)
         return "migrate_abort";
       case FlightEvent::Failover:
         return "failover";
+      case FlightEvent::IntegrityDetect:
+        return "integrity_detect";
+      case FlightEvent::IntegrityRetry:
+        return "integrity_retry";
+      case FlightEvent::IntegrityEscalate:
+        return "integrity_escalate";
     }
     return "?";
 }

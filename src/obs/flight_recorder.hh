@@ -56,6 +56,9 @@ enum class FlightEvent : std::uint8_t {
     MigrateDone,        ///< guest resumed on target (a=blackout us)
     MigrateAbort,       ///< rolled back to source (a=reason)
     Failover,           ///< reactive migration off a dead server
+    IntegrityDetect,    ///< checksum/scrub mismatch (a=where)
+    IntegrityRetry,     ///< detected corruption healed by retry
+    IntegrityEscalate,  ///< repeated corruption -> reset/migrate
 };
 
 const char *flightEventName(FlightEvent e);

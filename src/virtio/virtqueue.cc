@@ -152,6 +152,8 @@ VirtQueueDriver::freeChain(std::uint16_t head)
         if (d.next >= layout_.size()) {
             warn("virtqueue: corrupted chain link ", d.next,
                  " from desc ", id);
+            if (metaFaults_)
+                metaFaults_->inc();
             break;
         }
         id = d.next;

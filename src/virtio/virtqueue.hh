@@ -150,9 +150,18 @@ class VirtQueueDriver
     /** used->idx value collectUsed() has consumed up to. */
     std::uint16_t usedIdxSeen() const { return lastUsed_; }
 
+    /**
+     * Count detected ring-metadata corruption (a chain link
+     * scribbled outside the table) in @p c instead of log-only.
+     * The driver has no registry of its own, so the owner donates
+     * a counter (typically named `...integrity.meta_faults`).
+     */
+    void setMetaFaultCounter(Counter *c) { metaFaults_ = c; }
+
   private:
     GuestMemory &mem_;
     VringLayout layout_;
+    Counter *metaFaults_ = nullptr;
     bool indirect_;
     Addr indirectBase_;
     bool eventIdx_;

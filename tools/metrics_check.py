@@ -18,9 +18,10 @@ Every registry value is one of four shapes (MetricRegistry::toJson):
 Validation checks the wrapper, the schema_version of every registry,
 the shape of every metric, histogram bucket ordering / count
 consistency, and percentile monotonicity. Metric families with a
-declared kind (currently the fleet controller's fleet.* names) are
-additionally pinned: a fleet counter that turns into a histogram is
-a schema break even though both are valid shapes.
+declared kind (the fleet controller's fleet.* names and the
+end-to-end *.integrity.* family) are additionally pinned: a fleet
+counter that turns into a histogram is a schema break even though
+both are valid shapes.
 
     metrics_check.py A.json [B.json ...]      validate each file
     metrics_check.py --diff A.json B.json     validate + require
@@ -66,6 +67,32 @@ FLEET_KINDS = {
     "migration.blackout_hist_us": "histogram",
 }
 
+# End-to-end data-integrity family: every component that detects,
+# heals, or escalates corruption exports under "<name>.integrity.*".
+# The healed-retry latency is the one non-counter (SLO-visible).
+INTEGRITY_KINDS = {
+    "integrity.ecrc_checked": "counter",
+    "integrity.ecrc_detected": "counter",
+    "integrity.ecrc_healed": "counter",
+    "integrity.ecrc_escalations": "counter",
+    "integrity.retry": "latency",
+    "integrity.scrub.runs": "counter",
+    "integrity.scrub.checked": "counter",
+    "integrity.scrub.repairs": "counter",
+    "integrity.queue_resets": "counter",
+    "integrity.meta_injected": "counter",
+    "integrity.meta_faults": "counter",
+    "integrity.dif_detects": "counter",
+    "integrity.dif_retries": "counter",
+    "integrity.dif_failures": "counter",
+    "integrity.frames_checked": "counter",
+    "integrity.frame_drops": "counter",
+    "integrity.fabric_corruptions": "counter",
+    "integrity.escalations": "counter",
+    "integrity.server_unhealthy": "counter",
+    "integrity.drains": "counter",
+}
+
 
 def metric_kind(v):
     """Classify a metric value; None when the shape is unknown."""
@@ -84,9 +111,10 @@ def metric_kind(v):
 
 
 def declared_kind(name):
-    for suffix, kind in FLEET_KINDS.items():
-        if name == suffix or name.endswith("." + suffix):
-            return kind
+    for kinds in (FLEET_KINDS, INTEGRITY_KINDS):
+        for suffix, kind in kinds.items():
+            if name == suffix or name.endswith("." + suffix):
+                return kind
     return None
 
 
