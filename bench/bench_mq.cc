@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Multi-queue scaling sweep: the Fig. 9 (small-UDP PPS) and
+ * Fig. 11 (4 KiB random-read IOPS) shapes swept over the
+ * negotiated queue count (1/2/4/8) in both backend modes —
+ * shared DWRR scheduling of the per-queue units, and negotiated
+ * passthrough (each queue 1:1 on a dedicated poller).
+ *
+ * Exit status is the regression gate for the PR's headline claim:
+ * rc=1 unless 4-queue uncapped PPS is at least 1.5x single-queue
+ * on the 4-core poll pool.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "workloads/fio.hh"
+#include "workloads/net_perf.hh"
+
+using namespace bmhive;
+using namespace bmhive::bench;
+using namespace bmhive::workloads;
+
+namespace {
+
+/** Shared-pool server with @p q-queue devices on 4 poll cores. */
+core::BmServerParams
+mqServer(unsigned net_pairs, unsigned blk_queues, bool passthrough)
+{
+    core::BmServerParams p;
+    p.maxBoards = 4;
+    p.schedMode = core::SchedMode::Shared;
+    p.pollCores = 4;
+    p.netQueuePairs = net_pairs;
+    p.blkQueues = blk_queues;
+    p.mqPassthrough = passthrough;
+    return Testbed::withSessionObs(p);
+}
+
+/** Local SSD (no fabric hop), as in the section 4.3 storage rows:
+ *  fast enough that the virtio backend is the bottleneck the queue
+ *  count is supposed to widen. */
+cloud::BlockServiceParams
+localSsd()
+{
+    cloud::BlockServiceParams p;
+    p.networkLatency = usToTicks(2);
+    p.readServiceMedian = usToTicks(45);
+    p.writeServiceMedian = usToTicks(18);
+    p.gcChance = 5e-4;
+    p.gcPause = msToTicks(0.8);
+    p.streamBandwidth = Bandwidth::gbps(6);
+    return p;
+}
+
+/** Uncapped DPDK-style small-UDP blast, Fig. 9 shape. */
+double
+runPps(std::uint64_t seed, unsigned pairs, bool passthrough)
+{
+    // Uncapped run: lift the anti-storm doorbell budget along with
+    // the instance rate limits — a legitimate DPDK blaster kicking
+    // 4+ tx queues at full tilt is not the attack that budget is
+    // sized against, and quarantining it would corrupt the sweep.
+    auto sp = mqServer(pairs, 1, passthrough);
+    sp.bondParams.doorbellRate = 64e6;
+    sp.bondParams.doorbellBurst = 1 << 20;
+    Testbed bed(seed, sp);
+    auto a = bed.bmGuest(0xaa, 0, /*rate_limited=*/false);
+    auto b = bed.bmGuest(0xbb, 0, /*rate_limited=*/false);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    a.svc->setPerPacketCost(nsToTicks(55)); // PMD burst mode
+    b.svc->setPerPacketCost(nsToTicks(55));
+    PacketFloodParams p;
+    p.payloadBytes = 1;
+    p.flows = 32; // multiple of every swept pair count
+    p.batch = 64;
+    p.stack = NetStack::Dpdk;
+    p.window = Session::window(msToTicks(20));
+    PacketFlood flood(bed.sim, "flood", a, b, p);
+    return flood.run().pps;
+}
+
+/** 4 KiB random reads against a local SSD, Fig. 11 shape. */
+FioResult
+runIops(std::uint64_t seed, unsigned queues, bool passthrough)
+{
+    Testbed bed(seed, mqServer(1, queues, passthrough),
+                localSsd());
+    auto g = bed.bmGuest(0xaa, 128, /*rate_limited=*/false);
+    bed.sim.run(bed.sim.now() + msToTicks(1));
+    FioParams fp;
+    fp.jobs = 16; // every queue sees jobs at any swept count
+    fp.window = Session::window(msToTicks(200));
+    FioRunner fio(bed.sim, "fio", g, fp);
+    return fio.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bmhive::bench::Session session(argc, argv);
+    const unsigned counts[] = {1, 2, 4, 8};
+
+    banner("MQ/net", "uncapped small-UDP PPS vs negotiated queue "
+                     "pairs (4 poll cores)");
+    double pps[2][4] = {};
+    std::printf("  %-12s %6s %12s %12s\n", "mode", "pairs",
+                "PPS (M)", "vs 1q");
+    for (int mode = 0; mode < 2; ++mode) {
+        bool pass = (mode == 1);
+        for (unsigned i = 0; i < 4; ++i) {
+            pps[mode][i] = runPps(910 + counts[i], counts[i], pass);
+            std::printf("  %-12s %6u %12.2f %12.2f\n",
+                        pass ? "passthrough" : "shared", counts[i],
+                        pps[mode][i] / 1e6,
+                        pps[mode][i] / pps[mode][0]);
+        }
+    }
+
+    banner("MQ/blk", "local-SSD 4K read IOPS vs negotiated blk "
+                     "queues (4 poll cores)");
+    std::printf("  %-12s %6s %12s %12s %10s\n", "mode", "queues",
+                "IOPS", "vs 1q", "avg us");
+    for (int mode = 0; mode < 2; ++mode) {
+        bool pass = (mode == 1);
+        double base = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            FioResult r =
+                runIops(920 + counts[i], counts[i], pass);
+            if (i == 0)
+                base = r.iops;
+            std::printf("  %-12s %6u %12.0f %12.2f %10.1f\n",
+                        pass ? "passthrough" : "shared", counts[i],
+                        r.iops, r.iops / base, r.avgUs);
+        }
+    }
+    note("IOPS here is bounded by the SSD service time, not the "
+         "backend: the queue");
+    note("sweep shows MQ keeps it there (no per-queue regression) "
+         "rather than a speedup.");
+
+    // The PR's headline gate: per-queue scheduling must actually
+    // buy parallel service — 4 pairs on 4 cores >= 1.5x one pair.
+    double scale = pps[0][2] / pps[0][0];
+    std::printf("  4q/1q shared PPS scaling = %.2fx (gate: "
+                ">= 1.50x)\n", scale);
+    if (scale < 1.5) {
+        std::printf("  FAIL: multi-queue PPS scaling regressed\n");
+        return 1;
+    }
+    // Passthrough removes the DWRR dispatch stage; at equal queue
+    // count it should never lose to shared scheduling.
+    for (unsigned i = 0; i < 4; ++i) {
+        if (pps[1][i] < 0.95 * pps[0][i]) {
+            std::printf("  FAIL: passthrough PPS below shared at "
+                        "%u pairs (%.2fM < %.2fM)\n",
+                        counts[i], pps[1][i] / 1e6,
+                        pps[0][i] / 1e6);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -63,6 +63,49 @@ main(int argc, char **argv)
                     r.pps / 1e6);
     }
 
+    banner("Sec. 4.3", "uncapped PPS vs negotiated queue pairs "
+                       "(multi-queue, shared 4-core pool)");
+    {
+        // Same uncapped flood, swept over the VIRTIO_NET_F_MQ
+        // pair count: per-queue scheduling units spread one
+        // guest's backend over the poll pool. The full 1/2/4/8 x
+        // {shared, passthrough} sweep (and the scaling gate) lives
+        // in bench_mq.
+        std::printf("  %6s %12s %8s\n", "pairs", "PPS (M)",
+                    "vs 1q");
+        double base = 0;
+        for (unsigned pairs : {1u, 2u, 4u, 8u}) {
+            core::BmServerParams sp;
+            sp.maxBoards = 4;
+            sp.schedMode = core::SchedMode::Shared;
+            sp.pollCores = 4;
+            sp.netQueuePairs = pairs;
+            // Uncapped: the doorbell anti-storm budget is lifted
+            // with the rate limits (a full-tilt DPDK blaster is
+            // not the attack it is sized against).
+            sp.bondParams.doorbellRate = 64e6;
+            sp.bondParams.doorbellBurst = 1 << 20;
+            Testbed bed(436 + pairs, Testbed::withSessionObs(sp));
+            auto a = bed.bmGuest(0xaa, 0, /*rate_limited=*/false);
+            auto b = bed.bmGuest(0xbb, 0, /*rate_limited=*/false);
+            bed.sim.run(bed.sim.now() + msToTicks(1));
+            a.svc->setPerPacketCost(nsToTicks(55));
+            b.svc->setPerPacketCost(nsToTicks(55));
+            PacketFloodParams p;
+            p.payloadBytes = 1;
+            p.flows = 32;
+            p.batch = 64;
+            p.stack = NetStack::Dpdk;
+            p.window = Session::window(msToTicks(20));
+            PacketFlood flood(bed.sim, "flood", a, b, p);
+            auto r = flood.run();
+            if (pairs == 1)
+                base = r.pps;
+            std::printf("  %6u %12.2f %8.2f\n", pairs,
+                        r.pps / 1e6, r.pps / base);
+        }
+    }
+
     banner("Sec. 4.3", "local SSD (limits lifted): bm vs vm");
     {
         FioParams fp;

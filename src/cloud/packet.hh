@@ -42,6 +42,10 @@ struct Packet
     Bytes len = 0;       ///< frame length on the wire
     Tick created = 0;    ///< when the sender formed the packet
     std::uint64_t seq = 0; ///< sender-assigned sequence number
+    /** Flow identity (the UDP port pair of the modelled frame).
+     *  RSS hashes over (src, dst, flow) so one sender can spread
+     *  distinct flows across a multi-queue NIC's rx queues. */
+    std::uint32_t flow = 0;
     /** Frame checksum sealed by the sending driver; every fabric
      *  stage re-verifies it (integrity layer). 0 = unsealed. */
     std::uint32_t csum = 0;
@@ -57,6 +61,7 @@ packetCsum(const Packet &p)
     c = crc32cWord(p.len, c);
     c = crc32cWord(p.created, c);
     c = crc32cWord(p.seq, c);
+    c = crc32cWord(std::uint64_t(p.flow), c);
     return c;
 }
 

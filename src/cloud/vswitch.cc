@@ -97,6 +97,33 @@ VSwitch::removePort(PortId id)
     panic_if(id >= ports_.size(), name(), ": bad port ", id);
     macTable_.erase(ports_[id].mac);
     ports_[id].rx = nullptr;
+    ports_[id].rxq = nullptr;
+}
+
+void
+VSwitch::setPortRss(PortId id, unsigned queues,
+                    QueuedPacketHandler rxq, std::uint64_t key)
+{
+    panic_if(id >= ports_.size(), name(), ": bad port ", id);
+    Port &port = ports_[id];
+    port.rxq = std::move(rxq);
+    port.rss = mq::RssTable(queues ? queues : 1, key);
+}
+
+void
+VSwitch::setPortRssQueues(PortId id, unsigned queues)
+{
+    panic_if(id >= ports_.size(), name(), ": bad port ", id);
+    Port &port = ports_[id];
+    if (port.rxq)
+        port.rss.resize(queues ? queues : 1);
+}
+
+unsigned
+VSwitch::portRssQueues(PortId id) const
+{
+    panic_if(id >= ports_.size(), name(), ": bad port ", id);
+    return ports_[id].rxq ? ports_[id].rss.queues() : 1;
 }
 
 void
@@ -191,8 +218,14 @@ VSwitch::deliverTo(PortId pid, const Packet &pkt, Tick ready)
     auto *ev = new OneShotEvent(
         [this, pid, copy] {
             Port &p = ports_[pid];
-            if (p.rx)
+            if (p.rxq) {
+                // RSS: hash the flow tuple through the port's
+                // indirection table to pick the rx queue.
+                p.rxq(copy, p.rss.queueFor(copy.src, copy.dst,
+                                           copy.flow));
+            } else if (p.rx) {
                 p.rx(copy);
+            }
         },
         name() + ".deliver");
     eventq().schedule(ev, arrive);

@@ -22,6 +22,7 @@
 #include "base/stats.hh"
 #include "base/units.hh"
 #include "cloud/packet.hh"
+#include "mq/rss.hh"
 #include "sim/sim_object.hh"
 
 namespace bmhive {
@@ -31,6 +32,10 @@ using PortId = std::uint32_t;
 
 /** Receives a packet delivered to a port. */
 using PacketHandler = std::function<void(const Packet &)>;
+
+/** Receives a packet RSS-steered onto a specific rx queue. */
+using QueuedPacketHandler =
+    std::function<void(const Packet &, unsigned)>;
 
 /** Configuration of a VSwitch. */
 struct VSwitchParams
@@ -85,6 +90,28 @@ class VSwitch : public SimObject
      */
     void stallPort(PortId id, Tick duration);
 
+    /**
+     * Enable RSS steering on a port (VIRTIO_NET_F_MQ receiver):
+     * frames are hashed over (src, dst, flow) through a per-port
+     * indirection table and handed to @p rxq with the selected rx
+     * queue. The plain handler from addPort stays as the fallback
+     * while @p rxq is unset. The keyed hash is deterministic, so
+     * a flow's packets always land on the same queue and the
+     * same seed steers identically (byte-identical metrics gate).
+     */
+    void setPortRss(PortId id, unsigned queues,
+                    QueuedPacketHandler rxq,
+                    std::uint64_t key = mq::defaultRssKey);
+
+    /**
+     * Re-spread the indirection table over @p queues (the guest
+     * wrote set-queue-pairs). No-op for ports without RSS.
+     */
+    void setPortRssQueues(PortId id, unsigned queues);
+
+    /** Active rx queues a port steers over (1 = no RSS). */
+    unsigned portRssQueues(PortId id) const;
+
     std::uint64_t forwarded() const { return forwarded_.value(); }
     std::uint64_t dropped() const { return dropped_.value(); }
     std::uint64_t uplinkTx() const { return uplinkTx_.value(); }
@@ -110,6 +137,9 @@ class VSwitch : public SimObject
     {
         MacAddr mac;
         PacketHandler rx;
+        /** RSS receiver; when set it takes over from rx. */
+        QueuedPacketHandler rxq;
+        mq::RssTable rss{1};
         Tick linkFree = 0;   ///< when the port link is next idle
         Tick stallUntil = 0; ///< injected stall deadline
         std::deque<Packet> stalled;

@@ -327,9 +327,10 @@ BmHiveServer::tryProvision(const InstanceType &type,
 
     // Emulated virtio functions on the board's bus. Every guest
     // gets a console (the paper's VGA-equivalent access path).
-    g->bond_->addNetFunction(3, mac);
+    g->bond_->addNetFunction(3, mac, params_.netQueuePairs);
     if (vol != nullptr)
-        g->bond_->addBlkFunction(4, vol->capacity() / 512);
+        g->bond_->addBlkFunction(4, vol->capacity() / 512,
+                                 params_.blkQueues);
     g->bond_->addConsoleFunction(5);
 
     // One bm-hypervisor process: a dedicated base core, or a slot
@@ -347,8 +348,10 @@ BmHiveServer::tryProvision(const InstanceType &type,
         sim_, base_name + ".hv", *g->board_, *g->bond_, *core,
         vswitch_, mac, vol != nullptr ? storage_ : nullptr, vol,
         rate_limited);
-    if (sched_)
+    if (sched_) {
         g->hv_->useScheduler(*sched_, sched_core);
+        g->hv_->setMqPassthrough(params_.mqPassthrough);
+    }
 
     // Power on; firmware enumerates PCI; drivers come up.
     g->hv_->powerOnGuest();

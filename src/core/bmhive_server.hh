@@ -127,6 +127,16 @@ struct BmServerParams
     SchedMode schedMode = SchedMode::Dedicated;
     /** Base cores in the shared poll pool (Shared mode only). */
     unsigned pollCores = 4;
+    /** Rx/tx queue pairs offered per guest NIC (> 1 offers
+     *  VIRTIO_NET_F_MQ; the guest driver commits to a count). */
+    unsigned netQueuePairs = 1;
+    /** Submission queues per guest disk (> 1 offers
+     *  VIRTIO_BLK_F_MQ; one per vCPU is the classic shape). */
+    unsigned blkQueues = 1;
+    /** Bind MQ queue units 1:1 to dedicated passthrough pollers
+     *  instead of the shared DWRR stage (Shared mode only;
+     *  containment demotes a misbehaving guest back to shared). */
+    bool mqPassthrough = false;
     /** DWRR / governor tuning of the shared pool. */
     sched::PollSchedulerParams schedParams = {};
     /** Per-tenant SLO + flight-recorder policy. */

@@ -54,6 +54,9 @@ enum class GuestFaultKind {
     IndirectMalformed,
     /** Doorbell rate above the token-bucket contract. */
     DoorbellStorm,
+    /** Multi-queue set-queue-pairs write of zero or more pairs than
+     *  the device offered (clamped, counted, contained). */
+    BadQueuePairs,
     kCount,
 };
 
@@ -93,6 +96,8 @@ guestFaultName(GuestFaultKind k)
         return "indirect_malformed";
       case GuestFaultKind::DoorbellStorm:
         return "doorbell_storm";
+      case GuestFaultKind::BadQueuePairs:
+        return "bad_queue_pairs";
       default:
         return "unknown";
     }

@@ -16,17 +16,32 @@ void
 BlkDriver::start(std::uint16_t queue_size, Bytes max_io)
 {
     wanted_ = VIRTIO_BLK_F_SEG_MAX | VIRTIO_BLK_F_FLUSH |
-              VIRTIO_RING_F_INDIRECT_DESC;
+              VIRTIO_BLK_F_MQ | VIRTIO_RING_F_INDIRECT_DESC;
     queueSize_ = queue_size;
     initialize(wanted_, queue_size);
     maxIo_ = max_io;
+
+    // blk-mq: use every submission queue the device exposes (the
+    // config field is authoritative when F_MQ is negotiated).
+    activeQueues_ = 1;
+    if (features_ & VIRTIO_BLK_F_MQ) {
+        activeQueues_ = cfgRead(
+            deviceCfgOffset + VirtioBlkConfig::numQueuesOffset, 2);
+        activeQueues_ =
+            std::max(1u, std::min(activeQueues_, numQueues()));
+    }
 
     std::uint16_t n = queue(0).layout().size();
     // Keep the in-flight window modest so the bounce arena stays
     // small; 64 concurrent requests far exceeds fio's 8 jobs.
     std::uint16_t inflight = std::min<std::uint16_t>(n, 64);
     slots_.resize(inflight);
-    slotOfHead_.assign(n, 0);
+    slotOfHead_.assign(activeQueues_, {});
+    for (unsigned q = 0; q < activeQueues_; ++q) {
+        slotOfHead_[q].assign(queue(q).layout().size(), 0);
+        onQueueInterrupt(q,
+                         [this, q] { completionInterrupt(q); });
+    }
     for (std::uint16_t i = 0; i < inflight; ++i) {
         slots_[i].hdr = os_.allocator().alloc(
             VirtioBlkReqHdr::wireSize, 16);
@@ -37,7 +52,6 @@ BlkDriver::start(std::uint16_t queue_size, Bytes max_io)
         slots_[i].status = os_.allocator().alloc(1, 1);
         freeSlots_.push_back(i);
     }
-    onQueueInterrupt(0, [this] { completionInterrupt(); });
 }
 
 std::uint64_t
@@ -65,6 +79,20 @@ BlkDriver::write(std::uint64_t sector, Bytes len,
 {
     return submitIo(VIRTIO_BLK_T_OUT, sector, len, data, cpu_ctx,
                     std::move(cb));
+}
+
+unsigned
+BlkDriver::queueForCpu(const hw::CpuExecutor &cpu_ctx) const
+{
+    if (activeQueues_ <= 1)
+        return 0;
+    // The issuing vCPU owns a queue (vCPU index mod queue count),
+    // the blk-mq software->hardware context map.
+    for (unsigned i = 0; i < os_.cpuCount(); ++i) {
+        if (&os_.cpu(i) == &cpu_ctx)
+            return i % activeQueues_;
+    }
+    return 0; // non-vCPU context (firmware, tests): queue 0
 }
 
 bool
@@ -100,14 +128,15 @@ BlkDriver::submitIo(std::uint32_t type, std::uint64_t sector,
     s.sector = sector;
     s.len = len;
     s.retries = 0;
+    s.q = queueForCpu(cpu_ctx);
 
     if (!resubmit(slot))
         return false;
     freeSlots_.pop_back();
     s.cb = std::move(cb);
 
-    if (queue(0).shouldKick())
-        kick(0, cpu_ctx);
+    if (queue(s.q).shouldKick())
+        kick(s.q, cpu_ctx);
     return true;
 }
 
@@ -136,10 +165,10 @@ BlkDriver::resubmit(std::uint16_t slot)
     }
     in.push_back({s.status, 1, true});
 
-    auto head = queue(0).submit(out, in, slot);
+    auto head = queue(s.q).submit(out, in, slot);
     if (!head)
         return false;
-    slotOfHead_[*head] = slot;
+    slotOfHead_[s.q][*head] = slot;
     return true;
 }
 
@@ -158,7 +187,9 @@ BlkDriver::resetAndReinit()
     }
     teardownForReset();
     initialize(wanted_, queueSize_);
-    slotOfHead_.assign(queue(0).layout().size(), 0);
+    slotOfHead_.assign(activeQueues_, {});
+    for (unsigned q = 0; q < activeQueues_; ++q)
+        slotOfHead_[q].assign(queue(q).layout().size(), 0);
     freeSlots_.clear();
     for (std::uint16_t i = 0; i < slots_.size(); ++i)
         freeSlots_.push_back(i);
@@ -171,15 +202,15 @@ BlkDriver::resetAndReinit()
 }
 
 void
-BlkDriver::completionInterrupt()
+BlkDriver::completionInterrupt(unsigned q)
 {
     if (deviceNeedsReset()) {
         resetAndReinit();
         return;
     }
     bool resubmitted = false;
-    for (const auto &c : queue(0).collectUsed()) {
-        std::uint16_t slot = slotOfHead_[c.head];
+    for (const auto &c : queue(q).collectUsed()) {
+        std::uint16_t slot = slotOfHead_[q][c.head];
         Slot &s = slots_[slot];
         std::uint8_t status = os_.memory().read8(s.status);
         if (status == statusUnwritten)
@@ -218,8 +249,8 @@ BlkDriver::completionInterrupt()
         if (cb)
             cb(status, s.data);
     }
-    if (resubmitted && queue(0).shouldKick())
-        kick(0, os_.cpu(0));
+    if (resubmitted && queue(q).shouldKick())
+        kick(q, os_.cpu(0));
 }
 
 } // namespace guest

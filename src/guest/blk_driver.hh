@@ -5,6 +5,13 @@
  * (device-writes)] chains, completion callbacks on MSI. The
  * firmware boot path (boot-over-virtio-blk, paper section 3.2) and
  * the fio workload both drive this driver.
+ *
+ * With VIRTIO_BLK_F_MQ negotiated the driver uses every submission
+ * queue the device exposes, blk-mq style: the issuing vCPU selects
+ * the queue (vCPU index modulo queue count), so I/O from different
+ * vCPUs never contends on one ring, and each queue has its own MSI
+ * vector. Request slots are shared across queues; each remembers
+ * the queue it was submitted on so retries stay on it.
  */
 
 #ifndef BMHIVE_GUEST_BLK_DRIVER_HH
@@ -56,6 +63,9 @@ class BlkDriver : public VirtioDriver
     std::uint64_t errors() const { return errors_.value(); }
     std::uint64_t resets() const { return resets_.value(); }
 
+    /** Submission queues in use after negotiation. */
+    unsigned activeQueues() const { return activeQueues_; }
+
     /**
      * T10-DIF protection: writes carry per-sector tags after the
      * payload, reads are verified on completion, and a failed
@@ -88,6 +98,7 @@ class BlkDriver : public VirtioDriver
         std::uint64_t sector = 0;
         Bytes len = 0;
         unsigned retries = 0;
+        unsigned q = 0; ///< submission queue this request rides
     };
 
     /** Integrity resubmissions before the error reaches the
@@ -104,9 +115,11 @@ class BlkDriver : public VirtioDriver
     bool submitIo(std::uint32_t type, std::uint64_t sector,
                   Bytes len, const std::vector<std::uint8_t> *data,
                   hw::CpuExecutor &cpu_ctx, IoCallback cb);
-    void completionInterrupt();
-    /** Re-queue the request parked in @p slot. */
+    void completionInterrupt(unsigned q);
+    /** Re-queue the request parked in @p slot (on its queue). */
     bool resubmit(std::uint16_t slot);
+    /** blk-mq map: the issuing vCPU picks the queue. */
+    unsigned queueForCpu(const hw::CpuExecutor &cpu_ctx) const;
 
     /**
      * DEVICE_NEEDS_RESET recovery: fail every outstanding request
@@ -118,7 +131,9 @@ class BlkDriver : public VirtioDriver
 
     std::vector<Slot> slots_;
     std::vector<std::uint16_t> freeSlots_;
-    std::vector<std::uint16_t> slotOfHead_;
+    /** Per-queue head -> slot map. */
+    std::vector<std::vector<std::uint16_t>> slotOfHead_;
+    unsigned activeQueues_ = 1;
     Bytes maxIo_ = 0;
     std::uint64_t wanted_ = 0;
     std::uint16_t queueSize_ = 0;

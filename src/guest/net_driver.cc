@@ -13,45 +13,80 @@ NetDriver::NetDriver(GuestOs &os, int slot, cloud::MacAddr mac)
 }
 
 void
-NetDriver::start(std::uint16_t queue_size)
+NetDriver::start(std::uint16_t queue_size, unsigned queue_pairs)
 {
     wanted_ = VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
-              VIRTIO_RING_F_INDIRECT_DESC;
+              VIRTIO_NET_F_MQ | VIRTIO_RING_F_INDIRECT_DESC;
     queueSize_ = queue_size;
+    requestedPairs_ = queue_pairs;
     initialize(wanted_, queue_size);
     panic_if(numQueues() < 2, "virtio-net needs rx+tx queues");
-
-    std::uint16_t rxn = queue(NET_RXQ).layout().size();
-    std::uint16_t txn = queue(NET_TXQ).layout().size();
-    rxArena_ = os_.allocator().alloc(Bytes(rxn) * bufBytes, 4096);
-    txArena_ = os_.allocator().alloc(Bytes(txn) * bufBytes, 4096);
-
-    onQueueInterrupt(NET_RXQ, [this] { rxInterrupt(); });
-    onQueueInterrupt(NET_TXQ, [this] { txInterrupt(); });
-
     setupRings();
 }
 
 void
 NetDriver::setupRings()
 {
-    txSlotOfHead_.assign(queue(NET_TXQ).layout().size(), 0);
-    rxSlotOfHead_.assign(queue(NET_RXQ).layout().size(), 0);
-    txFreeSlots_.clear();
-    for (std::uint16_t i = 0; i < txSlotOfHead_.size(); ++i)
-        txFreeSlots_.push_back(i);
-    // Like Linux virtio-net, run tx without completion interrupts:
-    // buffers are reaped opportunistically in the xmit path.
-    queue(NET_TXQ).setNoInterrupt(true);
+    // Commit the pair count through device config (the ctrl-style
+    // set-queue-pairs). The requested count is written raw: asking
+    // for more than the offer is the device's to clamp (and count
+    // as a contained guest fault); what the device reads back is
+    // what the driver runs with.
+    activePairs_ = 1;
+    if (features_ & VIRTIO_NET_F_MQ) {
+        unsigned max_pairs = cfgRead(
+            deviceCfgOffset + VirtioNetConfig::maxPairsOffset, 2);
+        unsigned want = requestedPairs_ ? requestedPairs_
+                                        : max_pairs;
+        if (want != 1) {
+            cfgWrite(deviceCfgOffset +
+                         VirtioNetConfig::currPairsOffset,
+                     want, 2);
+        }
+        activePairs_ = cfgRead(
+            deviceCfgOffset + VirtioNetConfig::currPairsOffset, 2);
+        if (activePairs_ < 1)
+            activePairs_ = 1;
+    }
+    panic_if(numQueues() < 2 * activePairs_,
+             "virtio-net device exposes fewer queues than pairs");
 
-    fillRx();
-    kickNow(NET_RXQ);
+    if (pairs_.size() < activePairs_)
+        pairs_.resize(activePairs_);
+    for (unsigned p = 0; p < activePairs_; ++p) {
+        PairState &ps = pairs_[p];
+        auto &rxq = queue(netRxQueue(p));
+        auto &txq = queue(netTxQueue(p));
+        // Arenas are allocated once per pair and survive resets:
+        // the ring sizes match across reinitializations.
+        if (ps.rxArena == 0) {
+            ps.rxArena = os_.allocator().alloc(
+                Bytes(rxq.layout().size()) * bufBytes, 4096);
+            ps.txArena = os_.allocator().alloc(
+                Bytes(txq.layout().size()) * bufBytes, 4096);
+            onQueueInterrupt(netRxQueue(p),
+                             [this, p] { rxInterrupt(p); });
+            onQueueInterrupt(netTxQueue(p),
+                             [this, p] { txInterrupt(p); });
+        }
+        ps.napiActive = false;
+        ps.txSlotOfHead.assign(txq.layout().size(), 0);
+        ps.rxSlotOfHead.assign(rxq.layout().size(), 0);
+        ps.txFreeSlots.clear();
+        for (std::uint16_t i = 0; i < ps.txSlotOfHead.size(); ++i)
+            ps.txFreeSlots.push_back(i);
+        // Like Linux virtio-net, run tx without completion
+        // interrupts: buffers are reaped in the xmit path.
+        txq.setNoInterrupt(true);
+
+        fillRx(p);
+        kickNow(netRxQueue(p));
+    }
 }
 
 void
 NetDriver::resetAndReinit()
 {
-    napiActive_ = false;
     teardownForReset();
     initialize(wanted_, queueSize_);
     resets_.inc();
@@ -59,21 +94,22 @@ NetDriver::resetAndReinit()
 }
 
 Addr
-NetDriver::txBuf(std::uint16_t slot) const
+NetDriver::txBuf(unsigned pair, std::uint16_t slot) const
 {
-    return txArena_ + Addr(slot) * bufBytes;
+    return pairs_[pair].txArena + Addr(slot) * bufBytes;
 }
 
 Addr
-NetDriver::rxBuf(std::uint16_t slot) const
+NetDriver::rxBuf(unsigned pair, std::uint16_t slot) const
 {
-    return rxArena_ + Addr(slot) * bufBytes;
+    return pairs_[pair].rxArena + Addr(slot) * bufBytes;
 }
 
 void
-NetDriver::fillRx()
+NetDriver::fillRx(unsigned pair)
 {
-    auto &rxq = queue(NET_RXQ);
+    auto &rxq = queue(netRxQueue(pair));
+    PairState &ps = pairs_[pair];
     // Post one 2 KiB writable buffer per free descriptor; slot
     // number mirrors the chosen head (single-desc chains).
     while (rxq.freeDescs() > 0) {
@@ -87,9 +123,9 @@ NetDriver::fillRx()
         // Rewrite the descriptor with the slot-specific address.
         std::uint16_t slot = *head;
         VringDesc d = rxq.layout().readDesc(os_.memory(), slot);
-        d.addr = rxBuf(slot);
+        d.addr = rxBuf(pair, slot);
         rxq.layout().writeDesc(os_.memory(), slot, d);
-        rxSlotOfHead_[*head] = slot;
+        ps.rxSlotOfHead[*head] = slot;
     }
 }
 
@@ -97,16 +133,21 @@ bool
 NetDriver::sendPacket(const cloud::Packet &pkt, bool kick_now,
                       hw::CpuExecutor &cpu_ctx)
 {
-    auto &txq = queue(NET_TXQ);
+    // XPS analog: a flow sticks to one pair, preserving per-flow
+    // order while different flows spread over the pairs.
+    unsigned pair =
+        activePairs_ > 1 ? pkt.flow % activePairs_ : 0;
+    PairState &ps = pairs_[pair];
+    auto &txq = queue(netTxQueue(pair));
     // Opportunistic reap, as virtio-net does in its xmit path:
     // completed tx buffers are recycled without an interrupt.
-    if (txFreeSlots_.empty())
-        txInterrupt();
-    if (txFreeSlots_.empty())
+    if (ps.txFreeSlots.empty())
+        txInterrupt(pair);
+    if (ps.txFreeSlots.empty())
         return false;
-    std::uint16_t slot = txFreeSlots_.back();
+    std::uint16_t slot = ps.txFreeSlots.back();
 
-    Addr buf = txBuf(slot);
+    Addr buf = txBuf(pair, slot);
     VirtioNetHdr hdr;
     hdr.writeTo(os_.memory(), buf);
     cloud::Packet sealed = pkt;
@@ -123,42 +164,48 @@ NetDriver::sendPacket(const cloud::Packet &pkt, bool kick_now,
     auto head = txq.submit(out, {}, slot);
     if (!head)
         return false;
-    txFreeSlots_.pop_back();
-    txSlotOfHead_[*head] = slot;
+    ps.txFreeSlots.pop_back();
+    ps.txSlotOfHead[*head] = slot;
 
     if (kick_now && txq.shouldKick())
-        kick(NET_TXQ, cpu_ctx);
+        kick(netTxQueue(pair), cpu_ctx);
     return true;
 }
 
 void
 NetDriver::kickTx(hw::CpuExecutor &cpu_ctx)
 {
-    if (queue(NET_TXQ).shouldKick())
-        kick(NET_TXQ, cpu_ctx);
+    for (unsigned p = 0; p < activePairs_; ++p) {
+        if (queue(netTxQueue(p)).shouldKick())
+            kick(netTxQueue(p), cpu_ctx);
+    }
 }
 
 std::uint16_t
 NetDriver::txSpace() const
 {
-    return std::uint16_t(txFreeSlots_.size());
+    std::size_t space = 0;
+    for (unsigned p = 0; p < activePairs_; ++p)
+        space += pairs_[p].txFreeSlots.size();
+    return std::uint16_t(space);
 }
 
 void
-NetDriver::txInterrupt()
+NetDriver::txInterrupt(unsigned pair)
 {
     if (deviceNeedsReset()) {
         resetAndReinit();
         return;
     }
-    for (const auto &c : queue(NET_TXQ).collectUsed()) {
-        txFreeSlots_.push_back(std::uint16_t(c.cookie));
+    PairState &ps = pairs_[pair];
+    for (const auto &c : queue(netTxQueue(pair)).collectUsed()) {
+        ps.txFreeSlots.push_back(std::uint16_t(c.cookie));
         txDone_.inc();
     }
 }
 
 void
-NetDriver::rxInterrupt()
+NetDriver::rxInterrupt(unsigned pair)
 {
     if (deviceNeedsReset()) {
         resetAndReinit();
@@ -166,25 +213,30 @@ NetDriver::rxInterrupt()
     }
     // NAPI: mask further rx interrupts and switch to polling until
     // the ring runs dry; one interrupt can serve a long burst.
-    if (napiActive_)
+    // Each pair runs its own NAPI instance, as Linux does.
+    PairState &ps = pairs_[pair];
+    if (ps.napiActive)
         return;
-    napiActive_ = true;
-    queue(NET_RXQ).setNoInterrupt(true);
-    napiPoll();
+    ps.napiActive = true;
+    queue(netRxQueue(pair)).setNoInterrupt(true);
+    napiPoll(pair);
 }
 
 void
-NetDriver::napiPoll()
+NetDriver::napiPoll(unsigned pair)
 {
     if (deviceNeedsReset()) {
         resetAndReinit();
         return;
     }
-    auto &rxq = queue(NET_RXQ);
+    if (pair >= activePairs_)
+        return; // pair count shrank across a reset
+    PairState &ps = pairs_[pair];
+    auto &rxq = queue(netRxQueue(pair));
     unsigned drained = 0;
     for (const auto &c : rxq.collectUsed()) {
-        std::uint16_t slot = rxSlotOfHead_[c.head];
-        Addr buf = rxBuf(slot);
+        std::uint16_t slot = ps.rxSlotOfHead[c.head];
+        Addr buf = rxBuf(pair, slot);
         cloud::Packet pkt = unpackPacket(
             os_.memory(), buf + VirtioNetHdr::wireSize);
         if (integrity_ && !cloud::packetCsumOk(pkt)) {
@@ -213,12 +265,12 @@ NetDriver::napiPoll()
         ++drained;
     }
     if (drained > 0) {
-        fillRx();
-        kickNow(NET_RXQ);
+        fillRx(pair);
+        kickNow(netRxQueue(pair));
         // Stay in polling mode: softirq re-poll after a budgetary
         // slice (charged to the interrupt CPU).
         os_.cpu(0).charge(nsToTicks(300));
-        auto *ev = new OneShotEvent([this] { napiPoll(); },
+        auto *ev = new OneShotEvent([this, pair] { napiPoll(pair); },
                                     "napi.repoll");
         os_.eventq().schedule(ev, os_.curTick() + usToTicks(2));
         return;
@@ -228,10 +280,10 @@ NetDriver::napiPoll()
     // a delivered-packet count: a faulty device completion (bad
     // id, unowned head) advances used->idx without delivering a
     // packet, and counting deliveries would re-arm forever.
-    napiActive_ = false;
-    queue(NET_RXQ).setNoInterrupt(false);
+    ps.napiActive = false;
+    rxq.setNoInterrupt(false);
     if (rxq.layout().usedIdx(os_.memory()) != rxq.usedIdxSeen()) {
-        rxInterrupt();
+        rxInterrupt(pair);
     }
 }
 

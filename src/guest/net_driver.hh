@@ -4,6 +4,16 @@
  * standard virtio optimization: publish several buffers, ring the
  * doorbell once) and an rx path that keeps the receive ring
  * replenished and delivers packets to the guest network stack.
+ *
+ * With VIRTIO_NET_F_MQ negotiated the driver runs several rx/tx
+ * queue pairs: tx is spread XPS-style by flow id (a flow always
+ * uses the same pair, keeping per-flow order), each pair has its
+ * own buffer arenas, MSI vector, and NAPI state, and the committed
+ * pair count is written through the device's curr_pairs config
+ * field (the ctrl-style set-queue-pairs command). The driver
+ * writes its *requested* count raw — a request above the offered
+ * maximum is the device's to clamp and count as a guest fault —
+ * and then trusts the device's read-back.
  */
 
 #ifndef BMHIVE_GUEST_NET_DRIVER_HH
@@ -27,23 +37,34 @@ class NetDriver : public VirtioDriver
 
     NetDriver(GuestOs &os, int slot, cloud::MacAddr mac);
 
-    /** Initialize the device and fill the rx ring. */
-    void start(std::uint16_t queue_size = 256);
+    /**
+     * Initialize the device and fill the rx ring(s).
+     * @param queue_size  ring size to program
+     * @param queue_pairs pairs to request: 0 = everything the
+     *        device offers; a count above the offer is written
+     *        anyway and the device clamps it (contained fault).
+     */
+    void start(std::uint16_t queue_size = 256,
+               unsigned queue_pairs = 0);
 
     cloud::MacAddr mac() const { return mac_; }
 
+    /** Pair count actually in effect after negotiation. */
+    unsigned activeQueuePairs() const { return activePairs_; }
+
     /**
-     * Queue one packet for transmission.
+     * Queue one packet for transmission on the pair its flow id
+     * steers to (XPS analog: flow % active pairs).
      * @param kick_now  ring the doorbell immediately; otherwise the
      *        caller batches and calls kickTx() later
      * @param cpu_ctx   vCPU doing the send (charged the doorbell)
-     * @return false if the tx ring is full (caller retries after
-     *         completions).
+     * @return false if that pair's tx ring is full (caller retries
+     *         after completions).
      */
     bool sendPacket(const cloud::Packet &pkt, bool kick_now,
                     hw::CpuExecutor &cpu_ctx);
 
-    /** Ring the tx doorbell (after a batch of sendPacket calls). */
+    /** Ring every pending tx doorbell (after a sendPacket batch). */
     void kickTx(hw::CpuExecutor &cpu_ctx);
 
     /** Packets are delivered to @p fn as they arrive. */
@@ -62,7 +83,7 @@ class NetDriver : public VirtioDriver
         rxWorkers_ = workers ? workers : 1;
     }
 
-    /** Free tx slots right now. */
+    /** Free tx slots right now (summed over the active pairs). */
     std::uint16_t txSpace() const;
 
     std::uint64_t txCompleted() const { return txDone_.value(); }
@@ -80,12 +101,23 @@ class NetDriver : public VirtioDriver
     bool integrityEnabled() const { return integrity_; }
 
   private:
-    void fillRx();
-    void txInterrupt();
-    void rxInterrupt();
-    void napiPoll();
+    /** Per-pair rings, arenas, and NAPI state. */
+    struct PairState
+    {
+        Addr txArena = 0;
+        Addr rxArena = 0;
+        std::vector<std::uint16_t> txFreeSlots;
+        std::vector<std::uint16_t> txSlotOfHead;
+        std::vector<std::uint16_t> rxSlotOfHead;
+        bool napiActive = false;
+    };
 
-    /** Slot bookkeeping + rx ring fill, shared by start and reset. */
+    void fillRx(unsigned pair);
+    void txInterrupt(unsigned pair);
+    void rxInterrupt(unsigned pair);
+    void napiPoll(unsigned pair);
+
+    /** Commit the pair count, then slots + rx fill per pair. */
     void setupRings();
 
     /**
@@ -97,16 +129,14 @@ class NetDriver : public VirtioDriver
     void resetAndReinit();
 
     /** Per-descriptor-slot buffer base (2 KiB each). */
-    Addr txBuf(std::uint16_t slot) const;
-    Addr rxBuf(std::uint16_t slot) const;
+    Addr txBuf(unsigned pair, std::uint16_t slot) const;
+    Addr rxBuf(unsigned pair, std::uint16_t slot) const;
 
     cloud::MacAddr mac_;
     RxHandler rxHandler_;
-    Addr txArena_ = 0;
-    Addr rxArena_ = 0;
-    std::vector<std::uint16_t> txFreeSlots_;
-    std::vector<std::uint16_t> txSlotOfHead_;
-    std::vector<std::uint16_t> rxSlotOfHead_;
+    std::vector<PairState> pairs_;
+    unsigned activePairs_ = 1;
+    unsigned requestedPairs_ = 0;
     Counter txDone_;
     Counter rxDone_;
     Counter resets_;
@@ -117,7 +147,6 @@ class NetDriver : public VirtioDriver
     Tick rxCost_ = 0;
     unsigned rxWorkers_ = 1;
     unsigned rxNext_ = 0;
-    bool napiActive_ = false;
 
     static constexpr Bytes bufBytes = 2048;
 };

@@ -13,7 +13,11 @@ packPacket(GuestMemory &m, Addr a, const cloud::Packet &p)
     m.write64(a + 16, p.len);
     m.write64(a + 24, p.created);
     m.write64(a + 32, p.seq);
-    m.write64(a + 40, p.csum);
+    // Flow identity and checksum share the last word: both are
+    // 32-bit, and growing the 48-byte wire format would outgrow
+    // the rx buffers guests already post.
+    m.write64(a + 40,
+              std::uint64_t(p.csum) | (std::uint64_t(p.flow) << 32));
 }
 
 cloud::Packet
@@ -25,7 +29,9 @@ unpackPacket(const GuestMemory &m, Addr a)
     p.len = m.read64(a + 16);
     p.created = m.read64(a + 24);
     p.seq = m.read64(a + 32);
-    p.csum = std::uint32_t(m.read64(a + 40));
+    std::uint64_t w = m.read64(a + 40);
+    p.csum = std::uint32_t(w);
+    p.flow = std::uint32_t(w >> 32);
     return p;
 }
 

@@ -21,7 +21,13 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
       volume_(volume), rateLimited_(rate_limited),
       faultInjected_(
           metrics().counter(this->name() + ".fault.injected")),
-      respawns_(metrics().counter(this->name() + ".respawns"))
+      respawns_(metrics().counter(this->name() + ".respawns")),
+      mqQueueRegs_(
+          metrics().counter(this->name() + ".mq.queue_regs")),
+      mqPassBinds_(metrics().counter(this->name() +
+                                     ".mq.passthrough_binds")),
+      mqPassDemotions_(metrics().counter(
+          this->name() + ".mq.passthrough_demotions"))
 {
     IoServiceParams params;
     params.pollPeriod = paper::bmPollPeriod;
@@ -44,6 +50,13 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
 
     bond_.setReadyCallback(
         [this](unsigned fn) { onFunctionReady(fn); });
+    // Guest set-queue-pairs commits reshape the vSwitch RSS spread
+    // (a no-op until the port is in RSS mode).
+    bond_.setQueuePairsCallback([this](unsigned fn,
+                                       unsigned pairs) {
+        if (connected_ && int(fn) == netFn_)
+            vswitch_.setPortRssQueues(port_, pairs);
+    });
     sim_.faults().add(this->name(),
                       [this](const fault::FaultSpec &s) {
                           return injectFault(s);
@@ -56,6 +69,8 @@ BmHypervisor::~BmHypervisor()
     sim_.faults().remove(name());
     bond_.setReadyCallback(nullptr);
     bond_.setDoorbellWake(nullptr);
+    bond_.setQueueWake(nullptr);
+    bond_.setQueuePairsCallback(nullptr);
 }
 
 void
@@ -74,21 +89,78 @@ BmHypervisor::useScheduler(sched::PollScheduler &s,
         if (handle_.valid())
             sched_->wake(handle_);
     });
+    // MQ doorbells carry (fn, q) so only the queue's own unit
+    // spins up; falls back to the whole-service handle when the
+    // guest runs single-queue.
+    bond_.setQueueWake(
+        [this](unsigned fn, unsigned q) { wakeQueue(fn, q); });
 }
 
 void
 BmHypervisor::setPollWeight(double w)
 {
     pollWeight_ = w;
-    if (sched_ && handle_.valid())
+    if (!sched_)
+        return;
+    if (handle_.valid())
         sched_->setWeight(handle_, w);
+    if (queueRegs_.empty())
+        return;
+    bool want_pass = passthroughWanted_ && w >= 1.0;
+    if (want_pass != passthroughActive_) {
+        // Quarantine/Suspect demotes a passthrough guest back
+        // under the shared scheduler, where a fractional weight
+        // actually bites; full weight re-promotes.
+        if (!want_pass)
+            mqPassDemotions_.inc();
+        unregisterQueueUnits();
+        registerQueueUnits();
+        return;
+    }
+    for (auto &r : queueRegs_) {
+        if (r.handle.valid())
+            sched_->setWeight(r.handle, w);
+    }
+    if (conHandle_.valid())
+        sched_->setWeight(conHandle_, w);
+}
+
+void
+BmHypervisor::setMqPassthrough(bool on)
+{
+    passthroughWanted_ = on;
+    if (!sched_ || queueRegs_.empty())
+        return;
+    if ((passthroughWanted_ && pollWeight_ >= 1.0) !=
+        passthroughActive_) {
+        unregisterQueueUnits();
+        registerQueueUnits();
+    }
+}
+
+unsigned
+BmHypervisor::passthroughQueues() const
+{
+    unsigned n = 0;
+    for (const auto &r : queueRegs_)
+        n += r.pass && r.pass->bound() ? 1 : 0;
+    return n;
 }
 
 bool
 BmHypervisor::pollWedged(Tick window) const
 {
-    return sched_ && handle_.valid() &&
-           sched_->wedged(handle_, window);
+    if (!sched_)
+        return false;
+    if (handle_.valid() && sched_->wedged(handle_, window))
+        return true;
+    for (const auto &r : queueRegs_) {
+        // Passthrough units self-schedule; they cannot be starved
+        // by the shared scheduler, so they have no wedge signal.
+        if (r.handle.valid() && sched_->wedged(r.handle, window))
+            return true;
+    }
+    return conHandle_.valid() && sched_->wedged(conHandle_, window);
 }
 
 void
@@ -100,6 +172,14 @@ BmHypervisor::startService()
     }
     service_->setExternallyDriven(true);
     service_->start();
+    if (service_->netPairCount() > 1 ||
+        service_->blkQueueCount() > 1) {
+        // Multi-queue: the DWRR scheduler (or a passthrough
+        // poller) owns each queue individually — registering the
+        // whole service as well would double-serve every ring.
+        registerQueueUnits();
+        return;
+    }
     handle_ = sched_->add(schedCore_, *service_, pollWeight_);
     if (flight_)
         sched_->setFlightRecorder(handle_, flight_);
@@ -112,20 +192,172 @@ BmHypervisor::startService()
 }
 
 void
+BmHypervisor::registerQueueUnits()
+{
+    VirtioIoService *svc = service_.get();
+    bool pass = passthroughWanted_ && pollWeight_ >= 1.0;
+    unsigned ncores = sched_->coreCount();
+    unsigned k = 0;
+    auto add = [&](bool net, unsigned idx) {
+        QueueReg r;
+        r.net = net;
+        r.idx = idx;
+        // Round-robin outward from the home core: one guest's
+        // queues burn different poll cores in parallel.
+        r.core = (schedCore_ + k++) % ncores;
+        hw::CpuExecutor *exec = &sched_->coreExecutor(r.core);
+        std::string qn = name() +
+                         (net ? ".mq.netp" : ".mq.blkq") +
+                         std::to_string(idx);
+        mq::QueuePollable::PollFn poll;
+        if (net) {
+            poll = [svc, idx, exec](unsigned b) {
+                return svc->servicePollNetPair(idx, b, exec);
+            };
+        } else {
+            poll = [svc, idx, exec](unsigned b) {
+                return svc->servicePollBlkQueue(idx, b, exec);
+            };
+        }
+        r.pollable = std::make_unique<mq::QueuePollable>(
+            qn, std::move(poll));
+        r.pollable->setAlive([svc] { return svc->alive(); });
+        r.pollable->setBlockedUntil(
+            [svc] { return svc->pollBlockedUntil(); });
+        if (pass) {
+            // Generation-independent poller name: metric cells
+            // are get-or-create, so counters accumulate across
+            // respawns and demote/promote cycles.
+            r.pass = std::make_unique<mq::PassthroughPoller>(
+                sim_,
+                name() + (net ? ".mq.pass.netp" : ".mq.pass.blkq") +
+                    std::to_string(idx),
+                *exec);
+            r.pass->bind([p = r.pollable.get()](unsigned b) {
+                return p->servicePoll(b);
+            });
+            mqPassBinds_.inc();
+        } else {
+            r.handle =
+                sched_->add(r.core, *r.pollable, pollWeight_);
+            if (flight_)
+                sched_->setFlightRecorder(r.handle, flight_);
+        }
+        mqQueueRegs_.inc();
+        queueRegs_.push_back(std::move(r));
+    };
+    for (unsigned p = 0; p < svc->netPairCount(); ++p)
+        add(true, p);
+    for (unsigned q = 0; q < svc->blkQueueCount(); ++q)
+        add(false, q);
+    passthroughActive_ = pass;
+
+    // The console stays a small shared unit on the home core even
+    // under passthrough — it is never the fast path.
+    conPollable_ = std::make_unique<mq::QueuePollable>(
+        name() + ".mq.con", [svc](unsigned b) {
+            return svc->servicePollConsole(b);
+        });
+    conPollable_->setAlive([svc] { return svc->alive(); });
+    conPollable_->setBlockedUntil(
+        [svc] { return svc->pollBlockedUntil(); });
+    conHandle_ = sched_->add(schedCore_, *conPollable_,
+                             pollWeight_);
+    if (flight_)
+        sched_->setFlightRecorder(conHandle_, flight_);
+
+    // Steered rx wakes only the target pair's unit; everything
+    // else backend-side (console input) wakes the home unit.
+    service_->setRxWakeHook([this](unsigned pair) {
+        for (auto &r : queueRegs_) {
+            if (r.net && r.idx == pair) {
+                if (r.pass)
+                    r.pass->wake();
+                else if (r.handle.valid())
+                    sched_->wake(r.handle);
+                return;
+            }
+        }
+    });
+    service_->setWakeHook([this] {
+        if (conHandle_.valid())
+            sched_->wake(conHandle_);
+    });
+}
+
+void
+BmHypervisor::unregisterQueueUnits()
+{
+    for (auto &r : queueRegs_) {
+        if (r.handle.valid())
+            sched_->remove(r.handle);
+        if (r.pass)
+            r.pass->unbind();
+    }
+    queueRegs_.clear();
+    if (conHandle_.valid()) {
+        sched_->remove(conHandle_);
+        conHandle_ = {};
+    }
+    conPollable_.reset();
+    passthroughActive_ = false;
+}
+
+void
+BmHypervisor::wakeQueue(unsigned fn, unsigned q)
+{
+    if (!queueRegs_.empty()) {
+        bool net = int(fn) == netFn_;
+        bool blk = int(fn) == blkFn_;
+        if (net || blk) {
+            // Net shadow queues interleave rx0,tx0,rx1,tx1: both
+            // directions of pair q/2 land on the same unit.
+            unsigned idx = net ? q / 2 : q;
+            for (auto &r : queueRegs_) {
+                if (r.net == net && r.idx == idx) {
+                    if (r.pass)
+                        r.pass->wake();
+                    else if (r.handle.valid())
+                        sched_->wake(r.handle);
+                    return;
+                }
+            }
+        }
+        // Console function (or a pair beyond what registered).
+        if (conHandle_.valid())
+            sched_->wake(conHandle_);
+        return;
+    }
+    if (handle_.valid())
+        sched_->wake(handle_);
+}
+
+void
 BmHypervisor::setFlightRecorder(obs::FlightRecorder *fr)
 {
     flight_ = fr;
-    if (sched_ && handle_.valid())
+    if (!sched_)
+        return;
+    if (handle_.valid())
         sched_->setFlightRecorder(handle_, fr);
+    for (auto &r : queueRegs_) {
+        if (r.handle.valid())
+            sched_->setFlightRecorder(r.handle, fr);
+    }
+    if (conHandle_.valid())
+        sched_->setFlightRecorder(conHandle_, fr);
 }
 
 void
 BmHypervisor::unregisterService()
 {
-    if (sched_ && handle_.valid()) {
+    if (!sched_)
+        return;
+    if (handle_.valid()) {
         sched_->remove(handle_);
         handle_ = {};
     }
+    unregisterQueueUnits();
 }
 
 bool
@@ -233,8 +465,11 @@ BmHypervisor::migrateTo(hw::CpuExecutor &core,
             if (handle_.valid())
                 sched_->wake(handle_);
         });
+        bond_.setQueueWake(
+            [this](unsigned fn, unsigned q) { wakeQueue(fn, q); });
     } else {
         bond_.setDoorbellWake(nullptr);
+        bond_.setQueueWake(nullptr);
     }
     ++migrations_;
     // No recoverQueue here: IoBond::rebase already republished the
@@ -284,6 +519,34 @@ BmHypervisor::attachFunction(unsigned fn)
             },
             vswitch_, port_, limiter);
         netFn_ = int(fn);
+        // Every further pair whose shadow rings the guest driver
+        // enabled (VIRTIO_NET_F_MQ). The device serves all live
+        // rings; the set-queue-pairs commitment governs only how
+        // wide RSS spreads arriving traffic.
+        auto &f = bond_.function(fn);
+        for (unsigned p = 1; p < f.maxQueuePairs(); ++p) {
+            if (!bond_.shadowReady(fn, virtio::netRxQueue(p)) ||
+                !bond_.shadowReady(fn, virtio::netTxQueue(p)))
+                continue;
+            service_->attachNetPair(
+                p, bond_.shadowLayout(fn, virtio::netRxQueue(p)),
+                bond_.shadowLayout(fn, virtio::netTxQueue(p)),
+                [this, fn, p] {
+                    bond_.backendCompleted(fn,
+                                           virtio::netRxQueue(p));
+                },
+                [this, fn, p] {
+                    bond_.backendCompleted(fn,
+                                           virtio::netTxQueue(p));
+                });
+        }
+        if (service_->netPairCount() > 1) {
+            vswitch_.setPortRss(
+                port_, f.activeQueuePairs(),
+                [this](const cloud::Packet &pkt, unsigned q) {
+                    service_->enqueueRx(pkt, q);
+                });
+        }
         return true;
     }
     if (type == virtio::DeviceType::Console) {
@@ -314,6 +577,15 @@ BmHypervisor::attachFunction(unsigned fn)
             [this, fn] { bond_.backendCompleted(fn, 0); },
             *storage_, *volume_, limiter);
         blkFn_ = int(fn);
+        // Further submission queues (VIRTIO_BLK_F_MQ).
+        for (unsigned q = 1; q < bond_.function(fn).maxQueuePairs();
+             ++q) {
+            if (!bond_.shadowReady(fn, q))
+                continue;
+            service_->attachBlkQueue(
+                q, bond_.shadowLayout(fn, q),
+                [this, fn, q] { bond_.backendCompleted(fn, q); });
+        }
         return true;
     }
     return false;
@@ -381,12 +653,30 @@ BmHypervisor::wireTracers()
             netTracer_.get(),
             obs::RequestTracer::flowKey(unsigned(netFn_),
                                         virtio::NET_TXQ, 0));
+        // Per-pair key bases keep MQ spans distinct: the flow key
+        // carries the pair's tx shadow-queue index.
+        for (unsigned p = 1; p < service_->netPairCount(); ++p) {
+            bond_.setQueueTracer(unsigned(netFn_),
+                                 virtio::netTxQueue(p),
+                                 netTracer_.get());
+            service_->setNetTxKeyBase(
+                p, obs::RequestTracer::flowKey(
+                       unsigned(netFn_), virtio::netTxQueue(p),
+                       0));
+        }
     }
     if (blkFn_ >= 0) {
         bond_.setQueueTracer(unsigned(blkFn_), 0, blkTracer_.get());
         service_->setBlkTracer(
             blkTracer_.get(),
             obs::RequestTracer::flowKey(unsigned(blkFn_), 0, 0));
+        for (unsigned q = 1; q < service_->blkQueueCount(); ++q) {
+            bond_.setQueueTracer(unsigned(blkFn_), q,
+                                 blkTracer_.get());
+            service_->setBlkKeyBase(
+                q, obs::RequestTracer::flowKey(unsigned(blkFn_), q,
+                                               0));
+        }
     }
 }
 

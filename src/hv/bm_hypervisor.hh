@@ -25,6 +25,7 @@
 #include "hv/io_service.hh"
 #include "hw/compute_board.hh"
 #include "iobond/iobond.hh"
+#include "mq/queue_pollable.hh"
 #include "obs/request_tracer.hh"
 #include "sched/poll_scheduler.hh"
 
@@ -92,6 +93,24 @@ class BmHypervisor : public SimObject
      *  mode only; meaningless under dedicated polling). */
     unsigned schedCore() const { return schedCore_; }
     bool scheduled() const { return sched_ != nullptr; }
+
+    /**
+     * Negotiated passthrough queue mode: each net pair / blk queue
+     * binds 1:1 to a dedicated backend poller with no shared DWRR
+     * dispatch stage in between (IO-Bond shadow-sync and copyv
+     * batching still apply). Takes effect when the queues register
+     * (connect, respawn, migration); deprioritizing the guest below
+     * full weight — Suspect or Quarantined — demotes the queues
+     * back to shared scheduling, and restoring full weight
+     * re-promotes them. Shared-scheduler mode only.
+     */
+    void setMqPassthrough(bool on);
+    bool mqPassthrough() const { return passthroughWanted_; }
+    /** Queue units currently bound to dedicated pollers. */
+    unsigned passthroughQueues() const;
+    /** Per-queue scheduling in effect (MQ device under a shared
+     *  scheduler). */
+    bool perQueueScheduled() const { return !queueRegs_.empty(); }
 
     /**
      * Apply a guest firmware update; refused unless signed by the
@@ -224,6 +243,27 @@ class BmHypervisor : public SimObject
     unsigned schedCore_ = 0;
     sched::PollScheduler::Handle handle_;
     double pollWeight_ = 1.0;
+
+    /**
+     * One per-queue scheduling unit: a net pair or blk submission
+     * queue registered with the shared scheduler (DWRR schedules
+     * queues, not guests) or bound 1:1 to a passthrough poller.
+     */
+    struct QueueReg
+    {
+        std::unique_ptr<mq::QueuePollable> pollable;
+        sched::PollScheduler::Handle handle; ///< shared mode
+        std::unique_ptr<mq::PassthroughPoller> pass;
+        unsigned core = 0; ///< scheduler core index
+        bool net = false;  ///< net pair vs blk queue
+        unsigned idx = 0;  ///< pair / queue index
+    };
+    std::vector<QueueReg> queueRegs_;
+    /** Console as its own small unit on the home core. */
+    sched::PollScheduler::Handle conHandle_;
+    std::unique_ptr<mq::QueuePollable> conPollable_;
+    bool passthroughWanted_ = false;
+    bool passthroughActive_ = false;
     bool connected_ = false;
     bool blkIntegrity_ = false;
     unsigned upgrades_ = 0;
@@ -233,6 +273,9 @@ class BmHypervisor : public SimObject
     unsigned respawnCount_ = 0;
     Counter &faultInjected_;
     Counter &respawns_;
+    Counter &mqQueueRegs_;
+    Counter &mqPassBinds_;
+    Counter &mqPassDemotions_;
 
     // Request tracing (enableIoTracing).
     std::unique_ptr<obs::RequestTracer> netTracer_;
@@ -252,6 +295,12 @@ class BmHypervisor : public SimObject
     /** Start the current service generation: dedicated poll loop,
      *  or registration with the shared scheduler. */
     void startService();
+    /** Per-queue registration (MQ under a shared scheduler):
+     *  spread the queue units across the scheduler's cores. */
+    void registerQueueUnits();
+    void unregisterQueueUnits();
+    /** Route an IO-Bond (fn, q) doorbell to its queue unit. */
+    void wakeQueue(unsigned fn, unsigned q);
     /** Retire service_ and attach a fresh generation named
      *  "<name>.svc.<suffix>" on core_; shared by respawn (after
      *  recoverQueue) and migrateTo (after IoBond::rebase). */

@@ -62,16 +62,42 @@ VirtioIoService::attachNet(GuestMemory &ring_mem,
                            cloud::DualRateLimiter limiter)
 {
     netMem_ = &ring_mem;
-    netRx_ = std::make_unique<VirtQueueDevice>(ring_mem, rx);
-    netTx_ = std::make_unique<VirtQueueDevice>(ring_mem, tx);
-    netRxDone_ = std::move(rx_done);
-    netTxDone_ = std::move(tx_done);
+    netPairs_.clear();
+    netPairs_.resize(1);
+    NetPair &np = netPairs_[0];
+    np.rx = std::make_unique<VirtQueueDevice>(ring_mem, rx);
+    np.tx = std::make_unique<VirtQueueDevice>(ring_mem, tx);
+    np.rxDone = std::move(rx_done);
+    np.txDone = std::move(tx_done);
     vswitch_ = &vswitch;
     port_ = port;
     netLimiter_ = limiter;
     if (params_.suppressGuestNotify) {
-        netRx_->setNoNotify(true);
-        netTx_->setNoNotify(true);
+        np.rx->setNoNotify(true);
+        np.tx->setNoNotify(true);
+    }
+}
+
+void
+VirtioIoService::attachNetPair(unsigned pair, const VringLayout &rx,
+                               const VringLayout &tx,
+                               CompletionBarrier rx_done,
+                               CompletionBarrier tx_done)
+{
+    panic_if(netMem_ == nullptr,
+             name(), ": attachNetPair before attachNet");
+    panic_if(pair == 0, name(), ": pair 0 belongs to attachNet");
+    if (pair >= netPairs_.size())
+        netPairs_.resize(pair + 1);
+    NetPair &np = netPairs_[pair];
+    np.rx = std::make_unique<VirtQueueDevice>(*netMem_, rx);
+    np.tx = std::make_unique<VirtQueueDevice>(*netMem_, tx);
+    np.rxDone = std::move(rx_done);
+    np.txDone = std::move(tx_done);
+    np.rxPending.clear();
+    if (params_.suppressGuestNotify) {
+        np.rx->setNoNotify(true);
+        np.tx->setNoNotify(true);
     }
 }
 
@@ -83,19 +109,39 @@ VirtioIoService::attachBlk(GuestMemory &ring_mem,
                            cloud::DualRateLimiter limiter)
 {
     blkMem_ = &ring_mem;
-    blk_ = std::make_unique<VirtQueueDevice>(ring_mem, vq);
-    blkDone_ = std::move(done);
+    blkQueues_.clear();
+    blkQueues_.resize(1);
+    BlkQueue &bq = blkQueues_[0];
+    bq.vq = std::make_unique<VirtQueueDevice>(ring_mem, vq);
+    bq.done = std::move(done);
     blkSvc_ = &svc;
     vol_ = &vol;
     blkLimiter_ = limiter;
     if (params_.suppressGuestNotify)
-        blk_->setNoNotify(true);
+        bq.vq->setNoNotify(true);
     // A (re)attach invalidates anything the previous incarnation of
     // these rings had in flight: completions and timers carrying an
     // older generation are ignored.
     ++blkGen_;
     blkPending_.clear();
     blkInflight_ = 0;
+}
+
+void
+VirtioIoService::attachBlkQueue(unsigned q, const VringLayout &vq,
+                                CompletionBarrier done)
+{
+    panic_if(blkMem_ == nullptr,
+             name(), ": attachBlkQueue before attachBlk");
+    panic_if(q == 0, name(), ": queue 0 belongs to attachBlk");
+    if (q >= blkQueues_.size())
+        blkQueues_.resize(q + 1);
+    BlkQueue &bq = blkQueues_[q];
+    bq.vq = std::make_unique<VirtQueueDevice>(*blkMem_, vq);
+    bq.done = std::move(done);
+    bq.core = nullptr;
+    if (params_.suppressGuestNotify)
+        bq.vq->setNoNotify(true);
 }
 
 void
@@ -126,6 +172,21 @@ VirtioIoService::consoleInput(const std::string &text)
 }
 
 void
+VirtioIoService::setNetTxKeyBase(unsigned pair,
+                                 std::uint64_t key_base)
+{
+    if (pair < netPairs_.size())
+        netPairs_[pair].txKeyBase = key_base;
+}
+
+void
+VirtioIoService::setBlkKeyBase(unsigned q, std::uint64_t key_base)
+{
+    if (q < blkQueues_.size())
+        blkQueues_[q].keyBase = key_base;
+}
+
+void
 VirtioIoService::adoptFrom(VirtioIoService &old)
 {
     panic_if(running_, name(), ": adopt into a running service");
@@ -133,14 +194,10 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     panic_if(old.blkInflight_ != 0,
              name(), ": adopt with block I/O in flight");
     netMem_ = old.netMem_;
-    netRx_ = std::move(old.netRx_);
-    netTx_ = std::move(old.netTx_);
-    netRxDone_ = std::move(old.netRxDone_);
-    netTxDone_ = std::move(old.netTxDone_);
+    netPairs_ = std::move(old.netPairs_);
     vswitch_ = old.vswitch_;
     port_ = old.port_;
     netLimiter_ = old.netLimiter_;
-    rxPending_ = std::move(old.rxPending_);
     conMem_ = old.conMem_;
     conRx_ = std::move(old.conRx_);
     conTx_ = std::move(old.conTx_);
@@ -149,15 +206,17 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     consoleSink_ = std::move(old.consoleSink_);
     conPending_ = std::move(old.conPending_);
     blkMem_ = old.blkMem_;
-    blk_ = std::move(old.blk_);
-    blkDone_ = std::move(old.blkDone_);
+    blkQueues_ = std::move(old.blkQueues_);
     blkSvc_ = old.blkSvc_;
     vol_ = old.vol_;
     blkLimiter_ = old.blkLimiter_;
     netTracer_ = old.netTracer_;
-    netTxKeyBase_ = old.netTxKeyBase_;
     blkTracer_ = old.blkTracer_;
-    blkKeyBase_ = old.blkKeyBase_;
+    // The old service's queue->core bindings belonged to its
+    // scheduler registration; the new incarnation re-records them
+    // on its own first visits.
+    for (auto &bq : blkQueues_)
+        bq.core = nullptr;
     // Traffic counters continue across the generation swap so
     // per-guest rollups don't restart at zero on a live upgrade.
     txPkts_.inc(old.txPkts_.value());
@@ -174,21 +233,45 @@ VirtioIoService::adoptFrom(VirtioIoService &old)
     difFails_.inc(old.difFails_.value());
     blkIntegrity_ = old.blkIntegrity_;
     // Suppression flags follow the new flavour.
-    if (netRx_ && params_.suppressGuestNotify) {
-        netRx_->setNoNotify(true);
-        netTx_->setNoNotify(true);
+    if (params_.suppressGuestNotify) {
+        for (auto &np : netPairs_) {
+            if (np.rx)
+                np.rx->setNoNotify(true);
+            if (np.tx)
+                np.tx->setNoNotify(true);
+        }
+        for (auto &bq : blkQueues_) {
+            if (bq.vq)
+                bq.vq->setNoNotify(true);
+        }
     }
 }
 
 void
 VirtioIoService::enqueueRx(const cloud::Packet &pkt)
 {
-    if (rxPending_.size() >= params_.rxPendingMax) {
+    enqueueRx(pkt, 0);
+}
+
+void
+VirtioIoService::enqueueRx(const cloud::Packet &pkt, unsigned pair)
+{
+    if (pair >= netPairs_.size() || !netPairs_[pair].rx) {
+        // Steered toward a queue the guest never set up (stale RSS
+        // table during a pair-count change): fall back to pair 0.
+        pair = 0;
+        if (netPairs_.empty())
+            return;
+    }
+    NetPair &np = netPairs_[pair];
+    if (np.rxPending.size() >= params_.rxPendingMax) {
         rxDropped_.inc();
         return;
     }
-    rxPending_.push_back(pkt);
-    if (wakeHook_)
+    np.rxPending.push_back(pkt);
+    if (rxWakeHook_)
+        rxWakeHook_(pair);
+    else if (wakeHook_)
         wakeHook_();
 }
 
@@ -252,20 +335,24 @@ VirtioIoService::servicePoll(unsigned budget)
     if (params_.pollRegisterCost > 0)
         core_.charge(params_.pollRegisterCost);
     // Drain until the budget is spent or a full pass over every
-    // role finds nothing: work that appears mid-visit (rx buffers
-    // replenished, a burst published while a role was draining) is
-    // picked up now rather than waiting out a poll period. Each
-    // role signals its completion barrier once per drained pass,
-    // not once per chain.
+    // role (and every queue of each role) finds nothing: work that
+    // appears mid-visit (rx buffers replenished, a burst published
+    // while a role was draining) is picked up now rather than
+    // waiting out a poll period. Each queue signals its completion
+    // barrier once per drained pass, not once per chain.
     unsigned work = 0;
     while (work < budget) {
         unsigned pass = 0;
-        if (netTx_ && work + pass < budget)
-            pass += pollNetTx(budget - work - pass);
-        if (netRx_ && work + pass < budget)
-            pass += pollNetRx(budget - work - pass);
-        if (blk_ && work + pass < budget)
-            pass += pollBlk(budget - work - pass);
+        for (auto &np : netPairs_) {
+            if (np.tx && work + pass < budget)
+                pass += pollNetTx(np, budget - work - pass, core_);
+            if (np.rx && work + pass < budget)
+                pass += pollNetRx(np, budget - work - pass, core_);
+        }
+        for (unsigned q = 0; q < blkQueues_.size(); ++q) {
+            if (blkQueues_[q].vq && work + pass < budget)
+                pass += pollBlk(q, budget - work - pass, core_);
+        }
         if (conTx_ && work + pass < budget)
             pass += pollConsole(budget - work - pass);
         work += pass;
@@ -280,12 +367,81 @@ VirtioIoService::servicePoll(unsigned budget)
 }
 
 unsigned
-VirtioIoService::pollNetTx(unsigned max)
+VirtioIoService::servicePollNetPair(unsigned pair, unsigned budget,
+                                    hw::CpuExecutor *core)
+{
+    if (pair >= netPairs_.size() || !netPairs_[pair].tx)
+        return 0;
+    hw::CpuExecutor &exec = core ? *core : core_;
+    if (params_.pollRegisterCost > 0)
+        exec.charge(params_.pollRegisterCost);
+    NetPair &np = netPairs_[pair];
+    unsigned work = 0;
+    while (work < budget) {
+        unsigned pass = 0;
+        pass += pollNetTx(np, budget - work - pass, exec);
+        if (work + pass < budget)
+            pass += pollNetRx(np, budget - work - pass, exec);
+        work += pass;
+        if (pass == 0)
+            break;
+    }
+    pollsTotal_.inc();
+    if (work > 0)
+        pollsBusy_.inc();
+    pollBatch_.record(double(work));
+    return work;
+}
+
+unsigned
+VirtioIoService::servicePollBlkQueue(unsigned q, unsigned budget,
+                                     hw::CpuExecutor *core)
+{
+    if (q >= blkQueues_.size() || !blkQueues_[q].vq)
+        return 0;
+    hw::CpuExecutor &exec = core ? *core : core_;
+    if (params_.pollRegisterCost > 0)
+        exec.charge(params_.pollRegisterCost);
+    unsigned work = 0;
+    while (work < budget) {
+        unsigned served = pollBlk(q, budget - work, exec);
+        work += served;
+        if (served == 0)
+            break;
+    }
+    pollsTotal_.inc();
+    if (work > 0)
+        pollsBusy_.inc();
+    pollBatch_.record(double(work));
+    return work;
+}
+
+unsigned
+VirtioIoService::servicePollConsole(unsigned budget)
+{
+    if (!conTx_)
+        return 0;
+    unsigned work = 0;
+    while (work < budget) {
+        unsigned served = pollConsole(budget - work);
+        work += served;
+        if (served == 0)
+            break;
+    }
+    pollsTotal_.inc();
+    if (work > 0)
+        pollsBusy_.inc();
+    return work;
+}
+
+unsigned
+VirtioIoService::pollNetTx(NetPair &np, unsigned max,
+                           hw::CpuExecutor &core)
 {
     // One batched drain: every chain available at this visit is
     // popped, processed, and completed together; one used-index
     // publish and one tail write (the barrier) close the batch.
-    auto chains = netTx_->popBatch(max);
+    auto chains = np.tx->popBatch(max);
     if (chains.empty())
         return 0;
     Tick cost = 0;
@@ -297,10 +453,10 @@ VirtioIoService::pollNetTx(unsigned max)
             // is its own stage; dedicated polling never stamps it
             // and the pickup span carries the whole wait.
             if (externallyDriven_)
-                netTracer_->stamp(netTxKeyBase_ | chain.head,
+                netTracer_->stamp(np.txKeyBase | chain.head,
                                   obs::Stage::SchedDelay,
                                   curTick());
-            netTracer_->stamp(netTxKeyBase_ | chain.head,
+            netTracer_->stamp(np.txKeyBase | chain.head,
                               obs::Stage::PollPickup, curTick());
         }
         auto ext = guest::readPacketFromTxChain(*netMem_, chain);
@@ -322,48 +478,49 @@ VirtioIoService::pollNetTx(unsigned max)
         }
         used.push_back(VringUsedElem{chain.head, 0});
         if (netTracer_)
-            netTracer_->stamp(netTxKeyBase_ | chain.head,
+            netTracer_->stamp(np.txKeyBase | chain.head,
                               obs::Stage::Service, curTick());
     }
-    netTx_->pushUsedBatch(used);
+    np.tx->pushUsedBatch(used);
     if (params_.completionRegisterCost > 0)
         cost += params_.completionRegisterCost;
-    core_.charge(cost);
-    if (netTxDone_)
-        netTxDone_();
+    core.charge(cost);
+    if (np.txDone)
+        np.txDone();
     return unsigned(chains.size());
 }
 
 unsigned
-VirtioIoService::pollNetRx(unsigned max)
+VirtioIoService::pollNetRx(NetPair &np, unsigned max,
+                           hw::CpuExecutor &core)
 {
     Tick cost = 0;
     unsigned completed = 0;
     std::vector<VringUsedElem> used;
-    while (completed < max && !rxPending_.empty()) {
-        if (!netRx_->hasWork())
+    while (completed < max && !np.rxPending.empty()) {
+        if (!np.rx->hasWork())
             break; // guest has not replenished rx buffers
-        auto chain = netRx_->pop();
+        auto chain = np.rx->pop();
         if (!chain)
             continue; // malformed buffer consumed
-        const cloud::Packet &pkt = rxPending_.front();
+        const cloud::Packet &pkt = np.rxPending.front();
         std::uint32_t written =
             guest::writePacketToRxChain(*netMem_, *chain, pkt);
-        rxPending_.pop_front();
+        np.rxPending.pop_front();
         cost += params_.perPacketCost + params_.perPacketCopyCost;
         used.push_back(VringUsedElem{chain->head, written});
         rxPkts_.inc();
         ++completed;
     }
-    netRx_->pushUsedBatch(used);
+    np.rx->pushUsedBatch(used);
     if (completed > 0) {
         if (params_.completionRegisterCost > 0)
             cost += params_.completionRegisterCost;
-        core_.charge(cost);
-        if (netRxDone_)
-            netRxDone_();
+        core.charge(cost);
+        if (np.rxDone)
+            np.rxDone();
     } else if (cost > 0) {
-        core_.charge(cost);
+        core.charge(cost);
     }
     return completed;
 }
@@ -429,9 +586,23 @@ VirtioIoService::pollConsole(unsigned max)
     return out + in;
 }
 
-unsigned
-VirtioIoService::pollBlk(unsigned max)
+hw::CpuExecutor &
+VirtioIoService::blkExecutor(unsigned q)
 {
+    if (q < blkQueues_.size() && blkQueues_[q].core)
+        return *blkQueues_[q].core;
+    return blkCore_ ? *blkCore_ : core_;
+}
+
+unsigned
+VirtioIoService::pollBlk(unsigned q, unsigned max,
+                         hw::CpuExecutor &core)
+{
+    BlkQueue &bq = blkQueues_[q];
+    // Completions for this queue follow the core that polls it, so
+    // a per-queue poller keeps its whole submit/complete path on
+    // its own executor.
+    bq.core = &core;
     unsigned picked = 0;
     // Requests completed without a storage round trip (flush,
     // unsupported ops, range errors, malformed chains) batch into
@@ -440,16 +611,16 @@ VirtioIoService::pollBlk(unsigned max)
     // onBlkServiceDone.
     std::vector<VringUsedElem> done_now;
     while (picked < max) {
-        auto chain = blk_->pop();
+        auto chain = bq.vq->pop();
         if (!chain)
             break;
         ++picked;
         if (blkTracer_) {
             if (externallyDriven_)
-                blkTracer_->stamp(blkKeyBase_ | chain->head,
+                blkTracer_->stamp(bq.keyBase | chain->head,
                                   obs::Stage::SchedDelay,
                                   curTick());
-            blkTracer_->stamp(blkKeyBase_ | chain->head,
+            blkTracer_->stamp(bq.keyBase | chain->head,
                               obs::Stage::PollPickup, curTick());
         }
         // Chain: [hdr 16B out] [data in|out]? [status 1B in].
@@ -563,6 +734,7 @@ VirtioIoService::pollBlk(unsigned max)
         p.dataAddr = data.addr;
         p.statusAddr = status.addr;
         p.head = chain->head;
+        p.q = q;
         std::uint64_t seq = blkNextSeq_++;
         blkPending_.emplace(seq, p);
         ++blkInflight_;
@@ -576,11 +748,11 @@ VirtioIoService::pollBlk(unsigned max)
         submitBlkAttempt(seq, copy_cost);
     }
     if (!done_now.empty()) {
-        blk_->pushUsedBatch(done_now);
+        bq.vq->pushUsedBatch(done_now);
         if (params_.completionRegisterCost > 0)
-            core_.charge(params_.completionRegisterCost);
-        if (blkDone_)
-            blkDone_();
+            core.charge(params_.completionRegisterCost);
+        if (bq.done)
+            bq.done();
     }
     return picked;
 }
@@ -615,7 +787,7 @@ VirtioIoService::submitBlkAttempt(std::uint64_t seq, Tick copy_cost)
     // iothread throttles every I/O behind it — while the rest
     // of the host software path (blkExtraCost) adds latency
     // without consuming the thread.
-    hw::CpuExecutor *score = blkCore_ ? blkCore_ : &core_;
+    hw::CpuExecutor *score = &blkExecutor(p.q);
     Bytes len = p.len;
     score->run(
         params_.blkTouchCost + copy_cost,
@@ -690,12 +862,12 @@ VirtioIoService::onBlkServiceDone(std::uint64_t seq,
     // The storage round trip ends here: everything from poll
     // pickup until now is the Service span.
     if (blkTracer_)
-        blkTracer_->stamp(blkKeyBase_ | p.head, obs::Stage::Service,
-                          curTick());
+        blkTracer_->stamp(blkQueues_[p.q].keyBase | p.head,
+                          obs::Stage::Service, curTick());
     // Completion handling runs on the iothread; if that thread is
     // preempted, every in-flight I/O behind it waits — the
     // mechanism behind the vm's latency tail.
-    hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
+    hw::CpuExecutor *core = &blkExecutor(p.q);
     Tick cost =
         params_.blkTouchCost + params_.completionRegisterCost;
     if (!p.write && params_.blkCopyBytesPerSec > 0.0) {
@@ -713,13 +885,14 @@ VirtioIoService::onBlkServiceDone(std::uint64_t seq,
                                    vol_->readData(p.lba, p.len));
         }
         blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_OK);
-        blk_->pushUsed(p.head,
-                       p.write ? 1 : std::uint32_t(p.len) + 1);
+        BlkQueue &bq = blkQueues_[p.q];
+        bq.vq->pushUsed(p.head,
+                        p.write ? 1 : std::uint32_t(p.len) + 1);
         blkIos_.inc();
         panic_if(blkInflight_ == 0, name(), ": inflight underflow");
         --blkInflight_;
-        if (blkDone_)
-            blkDone_();
+        if (bq.done)
+            bq.done();
     });
 }
 
@@ -752,19 +925,20 @@ void
 VirtioIoService::failBlkToGuest(const PendingBlk &p,
                                 std::uint64_t gen)
 {
-    hw::CpuExecutor *core = blkCore_ ? blkCore_ : &core_;
+    hw::CpuExecutor *core = &blkExecutor(p.q);
     core->run(
         params_.blkTouchCost + params_.completionRegisterCost,
         [this, p, gen] {
             if (gen != blkGen_)
                 return;
             blkMem_->write8(p.statusAddr, VIRTIO_BLK_S_IOERR);
-            blk_->pushUsed(p.head, 1);
+            BlkQueue &bq = blkQueues_[p.q];
+            bq.vq->pushUsed(p.head, 1);
             panic_if(blkInflight_ == 0,
                      name(), ": inflight underflow");
             --blkInflight_;
-            if (blkDone_)
-                blkDone_();
+            if (bq.done)
+                bq.done();
         });
 }
 

@@ -15,6 +15,17 @@
  *    the CPU data copies a software backend must do, and it
  *    suppresses guest doorbells while polling (NO_NOTIFY), which
  *    IO-Bond's hardware front-end cannot do.
+ *
+ * Multi-queue: the net role holds a vector of rx/tx queue pairs
+ * and the blk role a vector of submission queues. Pair/queue 0 is
+ * attached through the classic attachNet/attachBlk entry points;
+ * further queues through attachNetPair/attachBlkQueue. Each queue
+ * can be serviced independently via servicePollNetPair /
+ * servicePollBlkQueue with an explicit executor, so a shared DWRR
+ * scheduler (or a dedicated passthrough poller) can spread one
+ * guest's queues across poll cores — the costs charge to the core
+ * actually doing the work, which is what makes multi-queue PPS
+ * scale past a single poller.
  */
 
 #ifndef BMHIVE_HV_IO_SERVICE_HH
@@ -66,7 +77,7 @@ struct IoServiceParams
     double blkCopyBytesPerSec = 0.0;
     /** Suppress guest doorbells while polling (vhost only). */
     bool suppressGuestNotify = false;
-    /** Backend rx buffering (socket backlog analog). */
+    /** Backend rx buffering (socket backlog analog), per queue. */
     std::size_t rxPendingMax = 4096;
     /**
      * Block-fabric request timeout: a request not completed within
@@ -94,7 +105,8 @@ class VirtioIoService : public SimObject, public sched::Pollable
 
     /**
      * Attach the network role: device views of the guest's rx/tx
-     * rings plus the vSwitch port this guest owns.
+     * rings (queue pair 0) plus the vSwitch port this guest owns.
+     * Drops any previously attached extra pairs.
      */
     void attachNet(GuestMemory &ring_mem,
                    const virtio::VringLayout &rx,
@@ -102,6 +114,17 @@ class VirtioIoService : public SimObject, public sched::Pollable
                    CompletionBarrier rx_done, CompletionBarrier tx_done,
                    cloud::VSwitch &vswitch, cloud::PortId port,
                    cloud::DualRateLimiter limiter);
+
+    /**
+     * Attach one additional rx/tx queue pair (VIRTIO_NET_F_MQ).
+     * attachNet must have attached pair 0 first; pairs may be
+     * attached in any order after that.
+     */
+    void attachNetPair(unsigned pair,
+                       const virtio::VringLayout &rx,
+                       const virtio::VringLayout &tx,
+                       CompletionBarrier rx_done,
+                       CompletionBarrier tx_done);
 
     /**
      * Attach the console role: queue 0 carries host->guest input,
@@ -118,15 +141,23 @@ class VirtioIoService : public SimObject, public sched::Pollable
     /** Queue text toward the guest console (host->guest). */
     void consoleInput(const std::string &text);
 
-    /** Attach the storage role. */
+    /** Attach the storage role (submission queue 0). Drops any
+     *  previously attached extra queues. */
     void attachBlk(GuestMemory &ring_mem,
                    const virtio::VringLayout &vq,
                    CompletionBarrier done, cloud::BlockService &svc,
                    cloud::Volume &vol,
                    cloud::DualRateLimiter limiter);
 
-    /** Frames from the vSwitch destined to this guest. */
+    /** Attach one additional blk submission queue
+     *  (VIRTIO_BLK_F_MQ); attachBlk must have run first. */
+    void attachBlkQueue(unsigned q, const virtio::VringLayout &vq,
+                        CompletionBarrier done);
+
+    /** Frames from the vSwitch destined to this guest (pair 0). */
     void enqueueRx(const cloud::Packet &pkt);
+    /** RSS-steered delivery onto a specific rx queue pair. */
+    void enqueueRx(const cloud::Packet &pkt, unsigned pair);
 
     /** Resize the rx backlog (socket-backlog analog). */
     void setRxBacklog(std::size_t n) { params_.rxPendingMax = n; }
@@ -166,13 +197,24 @@ class VirtioIoService : public SimObject, public sched::Pollable
         wakeHook_ = std::move(hook);
     }
 
+    /**
+     * Per-pair variant for multi-queue backends: rx delivery onto
+     * pair @p k wakes only that pair's pollable. When set it
+     * replaces the coarse hook for steered deliveries.
+     */
+    void setRxWakeHook(std::function<void(unsigned)> hook)
+    {
+        rxWakeHook_ = std::move(hook);
+    }
+
     // --- sched::Pollable ---
     /**
      * One budget-capped scheduler visit: passes over every
-     * attached role until the budget is spent or a full pass finds
-     * no work, draining each role as a batch — one used-ring
-     * publish, one completion-register charge, and one completion
-     * barrier per role per drained pass, never per chain.
+     * attached role (all queue pairs) until the budget is spent or
+     * a full pass finds no work, draining each role as a batch —
+     * one used-ring publish, one completion-register charge, and
+     * one completion barrier per role per drained pass, never per
+     * chain.
      */
     unsigned servicePoll(unsigned budget) override;
     bool pollAlive() const override { return running_; }
@@ -180,6 +222,31 @@ class VirtioIoService : public SimObject, public sched::Pollable
     const std::string &pollableName() const override
     {
         return name();
+    }
+
+    /**
+     * Per-queue scheduling units: service exactly one net queue
+     * pair (tx then rx) or one blk submission queue, charging CPU
+     * costs to @p core (defaults to the service's own core). These
+     * are what per-queue QueuePollables and passthrough pollers
+     * call, so one guest's queues can burn different poll cores in
+     * parallel.
+     */
+    unsigned servicePollNetPair(unsigned pair, unsigned budget,
+                                hw::CpuExecutor *core = nullptr);
+    unsigned servicePollBlkQueue(unsigned q, unsigned budget,
+                                 hw::CpuExecutor *core = nullptr);
+    /** Console-only visit (per-queue mode leaves the console as
+     *  its own small scheduling unit on the home core). */
+    unsigned servicePollConsole(unsigned budget);
+
+    unsigned netPairCount() const
+    {
+        return unsigned(netPairs_.size());
+    }
+    unsigned blkQueueCount() const
+    {
+        return unsigned(blkQueues_.size());
     }
 
     /**
@@ -271,28 +338,69 @@ class VirtioIoService : public SimObject, public sched::Pollable
     /**
      * Stamp PollPickup/Service spans on guest tx packets. Keys are
      * @p key_base | chain head; the base carries the (fn, queue)
-     * the platform glue knows and this service does not.
+     * the platform glue knows and this service does not. Applies
+     * to pair 0; per-pair bases via setNetTxKeyBase.
      */
     void
     setNetTxTracer(obs::RequestTracer *t, std::uint64_t key_base)
     {
         netTracer_ = t;
-        netTxKeyBase_ = key_base;
+        if (!netPairs_.empty())
+            netPairs_[0].txKeyBase = key_base;
     }
+
+    /** Key base for pair @p k tx spans (multi-queue tracing). */
+    void setNetTxKeyBase(unsigned pair, std::uint64_t key_base);
 
     /** Same for block requests (Service spans the storage trip). */
     void
     setBlkTracer(obs::RequestTracer *t, std::uint64_t key_base)
     {
         blkTracer_ = t;
-        blkKeyBase_ = key_base;
+        if (!blkQueues_.empty())
+            blkQueues_[0].keyBase = key_base;
     }
 
-    virtio::VirtQueueDevice *netTxQueue() { return netTx_.get(); }
-    virtio::VirtQueueDevice *netRxQueue() { return netRx_.get(); }
-    virtio::VirtQueueDevice *blkQueue() { return blk_.get(); }
+    /** Key base for blk queue @p q spans (multi-queue tracing). */
+    void setBlkKeyBase(unsigned q, std::uint64_t key_base);
+
+    virtio::VirtQueueDevice *netTxQueue()
+    {
+        return netPairs_.empty() ? nullptr : netPairs_[0].tx.get();
+    }
+    virtio::VirtQueueDevice *netRxQueue()
+    {
+        return netPairs_.empty() ? nullptr : netPairs_[0].rx.get();
+    }
+    virtio::VirtQueueDevice *blkQueue()
+    {
+        return blkQueues_.empty() ? nullptr
+                                  : blkQueues_[0].vq.get();
+    }
 
   private:
+    /** One rx/tx queue pair of the net role. */
+    struct NetPair
+    {
+        std::unique_ptr<virtio::VirtQueueDevice> rx;
+        std::unique_ptr<virtio::VirtQueueDevice> tx;
+        CompletionBarrier rxDone;
+        CompletionBarrier txDone;
+        std::deque<cloud::Packet> rxPending;
+        std::uint64_t txKeyBase = 0;
+    };
+
+    /** One blk submission queue. */
+    struct BlkQueue
+    {
+        std::unique_ptr<virtio::VirtQueueDevice> vq;
+        CompletionBarrier done;
+        std::uint64_t keyBase = 0;
+        /** Executor of the latest poll visit; completions charge
+         *  it so per-queue work stays on the queue's core. */
+        hw::CpuExecutor *core = nullptr;
+    };
+
     /**
      * One guest block request, tracked from poll pickup until its
      * exactly-once completion toward the guest. Keyed by a sequence
@@ -309,13 +417,17 @@ class VirtioIoService : public SimObject, public sched::Pollable
         Addr dataAddr = 0;
         Addr statusAddr = 0;
         std::uint16_t head = 0;
+        unsigned q = 0; ///< submission queue it arrived on
         unsigned attempt = 0;
     };
 
     void poll();
-    unsigned pollNetTx(unsigned max);
-    unsigned pollNetRx(unsigned max);
-    unsigned pollBlk(unsigned max);
+    unsigned pollNetTx(NetPair &np, unsigned max,
+                       hw::CpuExecutor &core);
+    unsigned pollNetRx(NetPair &np, unsigned max,
+                       hw::CpuExecutor &core);
+    unsigned pollBlk(unsigned q, unsigned max,
+                     hw::CpuExecutor &core);
     unsigned pollConsole(unsigned max);
     void scheduleNext();
     void submitBlkAttempt(std::uint64_t seq, Tick copy_cost);
@@ -324,6 +436,8 @@ class VirtioIoService : public SimObject, public sched::Pollable
                       unsigned attempt);
     /** Push an IOERR completion for @p p toward the guest. */
     void failBlkToGuest(const PendingBlk &p, std::uint64_t gen);
+    /** Executor blk completions for queue @p q charge. */
+    hw::CpuExecutor &blkExecutor(unsigned q);
 
     hw::CpuExecutor &core_;
     hw::CpuExecutor *blkCore_ = nullptr; ///< defaults to &core_
@@ -331,15 +445,11 @@ class VirtioIoService : public SimObject, public sched::Pollable
 
     // Net role.
     GuestMemory *netMem_ = nullptr;
-    std::unique_ptr<virtio::VirtQueueDevice> netRx_;
-    std::unique_ptr<virtio::VirtQueueDevice> netTx_;
-    CompletionBarrier netRxDone_;
-    CompletionBarrier netTxDone_;
+    std::vector<NetPair> netPairs_;
     cloud::VSwitch *vswitch_ = nullptr;
     cloud::PortId port_ = 0;
     cloud::DualRateLimiter netLimiter_ =
         cloud::DualRateLimiter::unlimited();
-    std::deque<cloud::Packet> rxPending_;
 
     // Console role.
     GuestMemory *conMem_ = nullptr;
@@ -352,8 +462,7 @@ class VirtioIoService : public SimObject, public sched::Pollable
 
     // Blk role.
     GuestMemory *blkMem_ = nullptr;
-    std::unique_ptr<virtio::VirtQueueDevice> blk_;
-    CompletionBarrier blkDone_;
+    std::vector<BlkQueue> blkQueues_;
     cloud::BlockService *blkSvc_ = nullptr;
     cloud::Volume *vol_ = nullptr;
     cloud::DualRateLimiter blkLimiter_ =
@@ -363,6 +472,7 @@ class VirtioIoService : public SimObject, public sched::Pollable
     bool externallyDriven_ = false;
     bool blkIntegrity_ = false;
     std::function<void()> wakeHook_;
+    std::function<void(unsigned)> rxWakeHook_;
     std::uint64_t blkInflight_ = 0;
     std::map<std::uint64_t, PendingBlk> blkPending_;
     std::uint64_t blkNextSeq_ = 0;
@@ -390,9 +500,7 @@ class VirtioIoService : public SimObject, public sched::Pollable
 
     // Request tracing (optional, wired by the platform glue).
     obs::RequestTracer *netTracer_ = nullptr;
-    std::uint64_t netTxKeyBase_ = 0;
     obs::RequestTracer *blkTracer_ = nullptr;
-    std::uint64_t blkKeyBase_ = 0;
 };
 
 } // namespace hv

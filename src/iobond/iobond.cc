@@ -42,6 +42,36 @@ IoBondFunction::deviceCfgRead(Addr offset, unsigned size)
 }
 
 void
+IoBondFunction::deviceCfgWrite(Addr offset, std::uint32_t value,
+                               unsigned size)
+{
+    // The only writable device-config field is the virtio-net
+    // multi-queue curr_pairs word — our ctrl-vq-less stand-in for
+    // VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET. Everything else in the
+    // device config is read-only; stray writes are ignored (probes
+    // are legitimate), but a set-queue-pairs outside [1, offered]
+    // is a contained guest fault and clamps.
+    if (deviceType() != DeviceType::Net ||
+        offset != VirtioNetConfig::currPairsOffset || size != 2)
+        return;
+    if (!featureNegotiated(VIRTIO_NET_F_MQ))
+        return; // not offered or not accepted: field is RO
+    unsigned pairs = value & 0xffff;
+    if (pairs < 1 || pairs > maxPairs_) {
+        reportGuestFault(fault::GuestFaultKind::BadQueuePairs);
+        pairs = std::clamp(pairs, 1u, maxPairs_);
+    }
+    currPairs_ = pairs;
+    if (devCfg_.size() >= VirtioNetConfig::currPairsOffset + 2) {
+        devCfg_[VirtioNetConfig::currPairsOffset] =
+            std::uint8_t(pairs);
+        devCfg_[VirtioNetConfig::currPairsOffset + 1] =
+            std::uint8_t(pairs >> 8);
+    }
+    owner_.queuePairsSet(*this, pairs);
+}
+
+void
 IoBondFunction::onQueueNotify(unsigned q)
 {
     owner_.guestNotified(*this, q);
@@ -56,6 +86,14 @@ IoBondFunction::onDriverOk()
 void
 IoBondFunction::onReset()
 {
+    // Reset rewinds the committed pair count to the single-queue
+    // default; the re-initializing driver negotiates again.
+    currPairs_ = 1;
+    if (deviceType() == DeviceType::Net &&
+        devCfg_.size() >= VirtioNetConfig::currPairsOffset + 2) {
+        devCfg_[VirtioNetConfig::currPairsOffset] = 1;
+        devCfg_[VirtioNetConfig::currPairsOffset + 1] = 0;
+    }
     owner_.functionReset(*this);
 }
 
@@ -630,46 +668,70 @@ IoBond::rescanReady()
 }
 
 IoBondFunction &
-IoBond::addNetFunction(int guest_slot, std::uint64_t mac)
+IoBond::addNetFunction(int guest_slot, std::uint64_t mac,
+                       unsigned queue_pairs)
 {
+    panic_if(queue_pairs == 0, name(), ": need >= 1 queue pair");
     auto idx = unsigned(functions_.size());
+    std::uint64_t features =
+        VIRTIO_NET_F_CSUM | VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
+        VIRTIO_RING_F_INDIRECT_DESC | VIRTIO_RING_F_EVENT_IDX;
+    if (queue_pairs > 1)
+        features |= VIRTIO_NET_F_MQ;
     auto fn = std::make_unique<IoBondFunction>(
         sim_, name() + ".net" + std::to_string(idx), *this, idx,
-        DeviceType::Net, 2,
-        VIRTIO_NET_F_CSUM | VIRTIO_NET_F_MAC | VIRTIO_NET_F_STATUS |
-            VIRTIO_RING_F_INDIRECT_DESC | VIRTIO_RING_F_EVENT_IDX);
-    std::vector<std::uint8_t> cfg(8, 0);
+        DeviceType::Net, 2 * queue_pairs, features);
+    std::vector<std::uint8_t> cfg(12, 0);
     for (int i = 0; i < 6; ++i)
         cfg[i] = std::uint8_t(mac >> (8 * i));
     cfg[6] = 1; // VIRTIO_NET_S_LINK_UP
+    cfg[VirtioNetConfig::maxPairsOffset] =
+        std::uint8_t(queue_pairs);
+    cfg[VirtioNetConfig::maxPairsOffset + 1] =
+        std::uint8_t(queue_pairs >> 8);
+    cfg[VirtioNetConfig::currPairsOffset] = 1;
+    fn->maxPairs_ = queue_pairs;
     fn->setDeviceCfgBytes(std::move(cfg));
     fn->setGuestFaultHandler(
         [this](fault::GuestFaultKind k) { guestFault(k); });
     board_.pciBus().attach(*fn, guest_slot);
     functions_.push_back(std::move(fn));
-    shadow_.emplace_back(2);
+    shadow_.emplace_back(2 * queue_pairs);
+    fnDoorbells_.push_back(TokenBucket::unlimited());
     return *functions_.back();
 }
 
 IoBondFunction &
-IoBond::addBlkFunction(int guest_slot, std::uint64_t capacity_sectors)
+IoBond::addBlkFunction(int guest_slot, std::uint64_t capacity_sectors,
+                       unsigned num_queues)
 {
+    panic_if(num_queues == 0, name(), ": need >= 1 blk queue");
     auto idx = unsigned(functions_.size());
+    std::uint64_t features =
+        VIRTIO_BLK_F_SEG_MAX | VIRTIO_BLK_F_BLK_SIZE |
+        VIRTIO_BLK_F_FLUSH | VIRTIO_RING_F_INDIRECT_DESC |
+        VIRTIO_RING_F_EVENT_IDX;
+    if (num_queues > 1)
+        features |= VIRTIO_BLK_F_MQ;
     auto fn = std::make_unique<IoBondFunction>(
         sim_, name() + ".blk" + std::to_string(idx), *this, idx,
-        DeviceType::Block, 1,
-        VIRTIO_BLK_F_SEG_MAX | VIRTIO_BLK_F_BLK_SIZE |
-            VIRTIO_BLK_F_FLUSH | VIRTIO_RING_F_INDIRECT_DESC |
-            VIRTIO_RING_F_EVENT_IDX);
-    std::vector<std::uint8_t> cfg(8, 0);
+        DeviceType::Block, num_queues, features);
+    std::vector<std::uint8_t> cfg(10, 0);
     for (int i = 0; i < 8; ++i)
         cfg[i] = std::uint8_t(capacity_sectors >> (8 * i));
+    cfg[VirtioBlkConfig::numQueuesOffset] =
+        std::uint8_t(num_queues);
+    cfg[VirtioBlkConfig::numQueuesOffset + 1] =
+        std::uint8_t(num_queues >> 8);
+    fn->maxPairs_ = num_queues;
+    fn->currPairs_ = num_queues; // blk queues are all active
     fn->setDeviceCfgBytes(std::move(cfg));
     fn->setGuestFaultHandler(
         [this](fault::GuestFaultKind k) { guestFault(k); });
     board_.pciBus().attach(*fn, guest_slot);
     functions_.push_back(std::move(fn));
-    shadow_.emplace_back(1);
+    shadow_.emplace_back(num_queues);
+    fnDoorbells_.push_back(TokenBucket::unlimited());
     return *functions_.back();
 }
 
@@ -685,6 +747,7 @@ IoBond::addConsoleFunction(int guest_slot)
     board_.pciBus().attach(*fn, guest_slot);
     functions_.push_back(std::move(fn));
     shadow_.emplace_back(2);
+    fnDoorbells_.push_back(TokenBucket::unlimited());
     return *functions_.back();
 }
 
@@ -716,6 +779,11 @@ IoBond::driverReady(IoBondFunction &fn)
 {
     unsigned fi = fn.index();
     bool any_ready = false;
+    // One doorbell budget per function, shared by all its queues:
+    // arming per queue would let a multi-queue guest multiply its
+    // allowance by the queue count.
+    fnDoorbells_[fi] =
+        TokenBucket(params_.doorbellRate, params_.doorbellBurst);
     for (unsigned q = 0; q < fn.numQueues(); ++q) {
         const QueueState &qs = fn.queueState(q);
         if (!qs.enabled)
@@ -750,8 +818,6 @@ IoBond::driverReady(IoBondFunction &fn)
         sq.syncedUsed = sq.guestUsed = 0;
         sq.nextSeq = 0;
         sq.scrubStrikes = 0;
-        sq.doorbells =
-            TokenBucket(params_.doorbellRate, params_.doorbellBurst);
         sq.stormResync = false;
         ++sq.epoch; // orphan any completion still in the DMA queue
         // With F_EVENT_IDX the device owns avail_event in the
@@ -790,6 +856,15 @@ IoBond::functionReset(IoBondFunction &fn)
         // the rings (or re-free the blocks just released above).
         ++sq.epoch;
     }
+}
+
+void
+IoBond::queuePairsSet(IoBondFunction &fn, unsigned pairs)
+{
+    trace(name() + ": fn=" + std::to_string(fn.index()) +
+          " set-queue-pairs -> " + std::to_string(pairs));
+    if (queuePairsCb_)
+        queuePairsCb_(fn.index(), pairs);
 }
 
 void
@@ -844,7 +919,7 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
                             2);
         return;
     }
-    if (!sq.doorbells.tryConsume(curTick(), 1.0)) {
+    if (!fnDoorbells_[fi].tryConsume(curTick(), 1.0)) {
         // Doorbell storm: the notification is dropped, but queued
         // work is not lost — one deferred sweep per throttle
         // window picks it up when tokens return.
@@ -856,14 +931,14 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
         if (!sq.stormResync) {
             sq.stormResync = true;
             Tick at = std::max<Tick>(
-                sq.doorbells.nextAvailable(curTick(), 1.0),
+                fnDoorbells_[fi].nextAvailable(curTick(), 1.0),
                 curTick() + 1);
             auto *ev = new OneShotEvent(
                 [this, fi, q] {
                     ShadowQueue &s = shadow_[fi][q];
                     s.stormResync = false;
                     if (!quarantined_ && !drained_ && s.ready &&
-                        s.doorbells.tryConsume(curTick(), 1.0))
+                        fnDoorbells_[fi].tryConsume(curTick(), 1.0))
                         syncAvail(fi, q);
                 },
                 name() + ".storm_resync");
@@ -877,8 +952,11 @@ IoBond::guestNotified(IoBondFunction &fn, unsigned q)
         flight_->record(curTick(), obs::FlightEvent::DoorbellAccept,
                         fi, q);
     // An accepted mailbox write is what a sleeping poll core
-    // observes.
-    if (doorbellWake_)
+    // observes; the per-queue hook carries the queue identity so
+    // only that queue's pollable is woken.
+    if (queueWake_)
+        queueWake_(fi, q);
+    else if (doorbellWake_)
         doorbellWake_();
     // The notification crosses to the mailbox side of the FPGA
     // before descriptor fetch begins.
@@ -986,7 +1064,9 @@ IoBond::syncAvail(unsigned fn, unsigned q)
             // Resync sweeps (storm throttle, link flap, recovery)
             // publish work without a fresh doorbell; wake here too
             // so swept-up chains never wait on a sleeping core.
-            if (doorbellWake_)
+            if (queueWake_)
+                queueWake_(fn, q);
+            else if (doorbellWake_)
                 doorbellWake_();
         });
     return picked;

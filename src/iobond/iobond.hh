@@ -123,16 +123,32 @@ class IoBondFunction : public virtio::VirtioPciDevice
 
     unsigned index() const { return index_; }
 
+    /**
+     * Queue pairs the guest driver has committed to via the
+     * config-space set-queue-pairs write (net) — 1 until the
+     * driver raises it, never above what the device offered.
+     * Blk reports its fixed submission-queue count.
+     */
+    unsigned activeQueuePairs() const { return currPairs_; }
+    /** Queue pairs (net) / submission queues (blk) offered. */
+    unsigned maxQueuePairs() const { return maxPairs_; }
+
   protected:
     std::uint32_t deviceCfgRead(Addr offset, unsigned size) override;
+    void deviceCfgWrite(Addr offset, std::uint32_t value,
+                        unsigned size) override;
     void onQueueNotify(unsigned q) override;
     void onDriverOk() override;
     void onReset() override;
 
   private:
+    friend class IoBond;
+
     IoBond &owner_;
     unsigned index_;
     std::vector<std::uint8_t> devCfg_;
+    unsigned maxPairs_ = 1;  ///< pairs/queues offered
+    unsigned currPairs_ = 1; ///< pairs the driver committed to
 };
 
 class IoBond : public SimObject
@@ -145,12 +161,18 @@ class IoBond : public SimObject
            IoBondParams params = {});
     ~IoBond() override;
 
-    /** Add a virtio-net function at @p guest_slot on the board. */
+    /** Add a virtio-net function at @p guest_slot on the board.
+     *  @p queue_pairs > 1 offers VIRTIO_NET_F_MQ with that many
+     *  rx/tx pairs (queue layout rx0,tx0,rx1,tx1,...). */
     IoBondFunction &addNetFunction(int guest_slot,
-                                   std::uint64_t mac);
-    /** Add a virtio-blk function at @p guest_slot on the board. */
+                                   std::uint64_t mac,
+                                   unsigned queue_pairs = 1);
+    /** Add a virtio-blk function at @p guest_slot on the board.
+     *  @p num_queues > 1 offers VIRTIO_BLK_F_MQ with that many
+     *  submission queues. */
     IoBondFunction &addBlkFunction(int guest_slot,
-                                   std::uint64_t capacity_sectors);
+                                   std::uint64_t capacity_sectors,
+                                   unsigned num_queues = 1);
     /** Add a virtio-console function (the paper's guest console;
      *  section 3.3: new devices need only a new PCI function — the
      *  shadow-vring machinery is reused untouched). */
@@ -208,6 +230,29 @@ class IoBond : public SimObject
     void setDoorbellWake(std::function<void()> hook)
     {
         doorbellWake_ = std::move(hook);
+    }
+
+    /**
+     * Per-queue variant of setDoorbellWake for multi-queue
+     * backends: the wake carries (fn, q) so the scheduler can wake
+     * exactly the pollable registered for that queue. When set it
+     * replaces the coarse hook.
+     */
+    void setQueueWake(std::function<void(unsigned, unsigned)> hook)
+    {
+        queueWake_ = std::move(hook);
+    }
+
+    /**
+     * Invoked (with function index and the committed pair count)
+     * when a guest driver performs the config-space
+     * set-queue-pairs write — the hypervisor rebuilds its RSS
+     * indirection and per-queue registrations from here.
+     */
+    void setQueuePairsCallback(
+        std::function<void(unsigned, unsigned)> cb)
+    {
+        queuePairsCb_ = std::move(cb);
     }
 
     /**
@@ -443,8 +488,6 @@ class IoBond : public SimObject
         std::uint16_t guestUsed = 0;   ///< published to the guest
         bool irqPending = false;       ///< batch needs an MSI
         Tick lastDoorbell = 0;         ///< latest guest notify
-        /** Doorbell-storm throttle (armed at driver-ready). */
-        TokenBucket doorbells = TokenBucket::unlimited();
         /** A post-throttle resync sweep is already scheduled. */
         bool stormResync = false;
         /** Shadow-ring block, allocated once per queue at the
@@ -467,6 +510,8 @@ class IoBond : public SimObject
     void guestNotified(IoBondFunction &fn, unsigned q);
     void driverReady(IoBondFunction &fn);
     void functionReset(IoBondFunction &fn);
+    /** Guest committed a queue-pair count (set-queue-pairs). */
+    void queuePairsSet(IoBondFunction &fn, unsigned pairs);
 
     /** Mirror new avail entries of (fn, q) into the shadow ring;
      *  returns how many chains were picked up. The whole burst —
@@ -519,9 +564,18 @@ class IoBond : public SimObject
     std::vector<std::unique_ptr<IoBondFunction>> functions_;
     /** [fn][q] shadow state. */
     std::vector<std::vector<ShadowQueue>> shadow_;
+    /**
+     * Doorbell-storm throttle, one bucket per *function* (armed at
+     * driver-ready): the budget covers the sum of a function's
+     * queues, so a multi-queue guest cannot multiply its doorbell
+     * allowance by spreading the storm across queue selectors.
+     */
+    std::vector<TokenBucket> fnDoorbells_;
     Tracer tracer_;
     std::function<void(unsigned)> readyCb_;
     std::function<void()> doorbellWake_;
+    std::function<void(unsigned, unsigned)> queueWake_;
+    std::function<void(unsigned, unsigned)> queuePairsCb_;
     std::function<void(unsigned)> resetCb_;
     obs::FlightRecorder *flight_ = nullptr;
     /** Injected PCIe link outage: doorbells are lost until then. */

@@ -1,0 +1,89 @@
+#include "mq/queue_pollable.hh"
+
+#include <algorithm>
+
+namespace bmhive {
+namespace mq {
+
+PassthroughPoller::PassthroughPoller(Simulation &sim,
+                                     std::string name,
+                                     hw::CpuExecutor &core,
+                                     PassthroughPollerParams params)
+    : SimObject(sim, std::move(name)), core_(core), params_(params),
+      period_(params.pollPeriod),
+      rounds_(metrics().counter(this->name() + ".rounds")),
+      busy_(metrics().counter(this->name() + ".busy_rounds")),
+      items_(metrics().counter(this->name() + ".items")),
+      wakes_(metrics().counter(this->name() + ".wakes"))
+{
+    pollEvent_ = std::make_unique<EventFunctionWrapper>(
+        [this] { runRound(); }, this->name() + ".round",
+        Event::pollPri);
+}
+
+PassthroughPoller::~PassthroughPoller()
+{
+    if (pollEvent_->scheduled())
+        eventq().deschedule(pollEvent_.get());
+}
+
+void
+PassthroughPoller::bind(QueuePollable::PollFn poll)
+{
+    poll_ = std::move(poll);
+    period_ = params_.pollPeriod;
+    Tick at = curTick() + params_.wakeLatency;
+    if (pollEvent_->scheduled())
+        eventq().reschedule(pollEvent_.get(), at);
+    else
+        eventq().schedule(pollEvent_.get(), at);
+}
+
+void
+PassthroughPoller::unbind()
+{
+    poll_ = nullptr;
+    if (pollEvent_->scheduled())
+        eventq().deschedule(pollEvent_.get());
+}
+
+void
+PassthroughPoller::wake()
+{
+    if (!poll_)
+        return;
+    wakes_.inc();
+    period_ = params_.pollPeriod;
+    Tick at = curTick() + params_.wakeLatency;
+    if (pollEvent_->scheduled()) {
+        if (pollEvent_->when() > at)
+            eventq().reschedule(pollEvent_.get(), at);
+    } else {
+        eventq().schedule(pollEvent_.get(), at);
+    }
+}
+
+void
+PassthroughPoller::runRound()
+{
+    if (!poll_)
+        return;
+    rounds_.inc();
+    unsigned served = poll_(params_.budget);
+    if (served > 0) {
+        busy_.inc();
+        items_.inc(served);
+        period_ = params_.pollPeriod;
+    } else {
+        // Idle: double toward the ceiling but keep visiting — a
+        // dedicated poller backs off, it never sleeps.
+        period_ = std::min(period_ * 2, params_.maxBackoff);
+    }
+    Tick at = curTick() + period_;
+    if (core_.busyUntil() > at)
+        at = core_.busyUntil();
+    eventq().schedule(pollEvent_.get(), at);
+}
+
+} // namespace mq
+} // namespace bmhive

@@ -1,0 +1,65 @@
+#include "mq/rss.hh"
+
+namespace bmhive {
+namespace mq {
+
+namespace {
+
+/** Fold one input word into the running Toeplitz state. */
+std::uint32_t
+toeplitzWord(std::uint64_t word, std::uint64_t &key,
+             std::uint32_t acc)
+{
+    for (int bit = 63; bit >= 0; --bit) {
+        if (word & (1ull << bit))
+            acc ^= std::uint32_t(key >> 32);
+        key = (key << 1) | (key >> 63);
+    }
+    return acc;
+}
+
+} // namespace
+
+std::uint32_t
+toeplitzHash(std::uint64_t src, std::uint64_t dst,
+             std::uint32_t flow, std::uint64_t key)
+{
+    std::uint32_t acc = 0;
+    acc = toeplitzWord(src, key, acc);
+    acc = toeplitzWord(dst, key, acc);
+    acc = toeplitzWord(flow, key, acc);
+    return acc;
+}
+
+RssTable::RssTable(unsigned queues, std::uint64_t key)
+    : key_(key), queues_(queues ? queues : 1)
+{
+    resize(queues_);
+}
+
+void
+RssTable::resize(unsigned queues)
+{
+    queues_ = queues ? queues : 1;
+    for (unsigned i = 0; i < tableSize; ++i)
+        table_[i] = std::uint16_t(i % queues_);
+}
+
+void
+RssTable::setEntry(unsigned bucket, unsigned queue)
+{
+    if (bucket >= tableSize)
+        return;
+    table_[bucket] = std::uint16_t(queue % queues_);
+}
+
+unsigned
+RssTable::queueFor(std::uint64_t src, std::uint64_t dst,
+                   std::uint32_t flow) const
+{
+    std::uint32_t h = toeplitzHash(src, dst, flow, key_);
+    return table_[h % tableSize];
+}
+
+} // namespace mq
+} // namespace bmhive

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Receive-side scaling for multi-queue virtio-net.
+ *
+ * A Toeplitz-style hash over the flow tuple (src MAC, dst MAC,
+ * flow id — our stand-in for the 5-tuple of the modelled UDP
+ * frame) indexes a per-port indirection table that maps hash
+ * buckets to rx queues. The hash is keyed and deterministic: the
+ * same tuple always lands on the same queue (in-order delivery per
+ * flow is preserved across a multi-queue NIC), and the same seed
+ * always produces the same steering (the repo-wide byte-identical
+ * metrics gate).
+ *
+ * Kept free of cloud:: types on purpose — the vSwitch depends on
+ * mq, not the other way around.
+ */
+
+#ifndef BMHIVE_MQ_RSS_HH
+#define BMHIVE_MQ_RSS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace bmhive {
+namespace mq {
+
+/** Default RSS hash key (plays the role of the 40-byte Toeplitz
+ *  secret real NICs are programmed with). */
+constexpr std::uint64_t defaultRssKey = 0x6d5a56da255b0ec2ull;
+
+/**
+ * Toeplitz-style hash: the key is rotated one bit per input bit
+ * and XORed in for every set bit, exactly the structure of the
+ * Microsoft RSS hash collapsed onto a 64-bit key.
+ */
+std::uint32_t toeplitzHash(std::uint64_t src, std::uint64_t dst,
+                           std::uint32_t flow,
+                           std::uint64_t key = defaultRssKey);
+
+/**
+ * Per-port indirection table: hash % tableSize -> rx queue. The
+ * default table spreads buckets round-robin over the active queue
+ * count; entries can be repointed individually (the ethtool -X
+ * analog) without re-hashing flows.
+ */
+class RssTable
+{
+  public:
+    /** 128 buckets, the common small-NIC indirection size. */
+    static constexpr unsigned tableSize = 128;
+
+    explicit RssTable(unsigned queues = 1,
+                      std::uint64_t key = defaultRssKey);
+
+    /** Rebuild the table round-robin over @p queues. */
+    void resize(unsigned queues);
+
+    unsigned queues() const { return queues_; }
+
+    /** Repoint one bucket (clamped to the active queue count). */
+    void setEntry(unsigned bucket, unsigned queue);
+
+    /** Rx queue for the flow tuple. */
+    unsigned queueFor(std::uint64_t src, std::uint64_t dst,
+                      std::uint32_t flow) const;
+
+  private:
+    std::uint64_t key_;
+    unsigned queues_;
+    std::array<std::uint16_t, tableSize> table_{};
+};
+
+} // namespace mq
+} // namespace bmhive
+
+#endif // BMHIVE_MQ_RSS_HH

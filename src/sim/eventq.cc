@@ -22,7 +22,6 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->sequence_ = nextSeq_++;
     ev->scheduled_ = true;
-    ev->squashed_ = false;
     heap_.push(Entry{when, ev->priority_, ev->sequence_, ev});
     ++liveCount_;
 }
@@ -33,9 +32,11 @@ EventQueue::deschedule(Event *ev)
     panic_if(ev == nullptr, "descheduling a null event");
     panic_if(!ev->scheduled_,
              "event '", ev->name(), "' is not scheduled");
-    // Lazy deletion: mark squashed, drop when popped.
+    // Lazy deletion: the heap entry stays behind, keyed by its
+    // sequence number, and skim() drops it without dereferencing
+    // the event — which may be destroyed as soon as we return.
     ev->scheduled_ = false;
-    ev->squashed_ = true;
+    staleSeqs_.insert(ev->sequence_);
     --liveCount_;
 }
 
@@ -50,18 +51,12 @@ EventQueue::reschedule(Event *ev, Tick when)
 void
 EventQueue::skim()
 {
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        // An event is stale if it was squashed, or if it was
-        // rescheduled (its live (when, seq) no longer matches).
-        bool stale = top.ev->squashed_ || !top.ev->scheduled_ ||
-                     top.ev->sequence_ != top.seq;
-        if (!stale)
-            return;
-        if (top.ev->squashed_ && top.ev->sequence_ == top.seq)
-            top.ev->squashed_ = false;
+    // Every deschedule (including the one inside reschedule)
+    // records its entry's sequence number, so membership alone
+    // decides staleness; the Event* in a stale entry is never
+    // touched.
+    while (!heap_.empty() && staleSeqs_.erase(heap_.top().seq))
         heap_.pop();
-    }
 }
 
 Tick

@@ -15,6 +15,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/units.hh"
@@ -29,7 +30,11 @@ class EventQueue;
  * lambda-based events.
  *
  * Events do not own themselves; the creating object manages their
- * lifetime and must keep them alive while scheduled.
+ * lifetime and must keep them alive while scheduled. Once
+ * descheduled, an event may be destroyed immediately: the queue
+ * identifies its stale heap entry by sequence number and never
+ * touches the event pointer again (this is what lets a demoted
+ * passthrough poller be torn down mid-simulation).
  */
 class Event
 {
@@ -66,7 +71,6 @@ class Event
     Priority priority_;
     std::uint64_t sequence_ = 0;
     bool scheduled_ = false;
-    bool squashed_ = false;
 };
 
 /** Event that invokes a stored callable; the common case. */
@@ -180,11 +184,15 @@ class EventQueue
         }
     };
 
-    /** Drop squashed entries from the top of the heap. */
+    /** Drop stale entries from the top of the heap. */
     void skim();
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         heap_;
+    /** Sequence numbers of descheduled-but-not-yet-popped entries.
+     *  Staleness is decided on these alone — the Event behind a
+     *  stale entry may already be gone. */
+    std::unordered_set<std::uint64_t> staleSeqs_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;

@@ -34,6 +34,9 @@ enum BlkFeatureBits : std::uint64_t {
     VIRTIO_BLK_F_SEG_MAX = 1ull << 2,
     VIRTIO_BLK_F_BLK_SIZE = 1ull << 6,
     VIRTIO_BLK_F_FLUSH = 1ull << 9,
+    /** Device offers multiple submission queues (num_queues in the
+     *  device config); the driver submits on queue vCPU % n. */
+    VIRTIO_BLK_F_MQ = 1ull << 12,
 };
 
 constexpr Bytes blkSectorSize = 512;
@@ -69,12 +72,15 @@ struct VirtioBlkReqHdr
     }
 };
 
-/** Device-specific config: capacity in 512-byte sectors. */
+/** Device-specific config: capacity in 512-byte sectors, then the
+ *  submission-queue count offered with VIRTIO_BLK_F_MQ. */
 struct VirtioBlkConfig
 {
     std::uint64_t capacitySectors = 0;
+    std::uint16_t numQueues = 1;
 
     static constexpr Addr capacityOffset = 0;
+    static constexpr Addr numQueuesOffset = 8;
 };
 
 } // namespace virtio

@@ -130,6 +130,9 @@ PacketFlood::senderLoop(unsigned flow)
             p.len = cloud::udpFrameBytes(params_.payloadBytes);
             p.created = curTick();
             p.seq = seq_++;
+            // Flow identity (UDP source port analog): keeps RSS
+            // and XPS steering per-flow-stable on MQ devices.
+            p.flow = flow;
             if (!src_.net->sendPacket(p, false, src_.cpu(flow + 1)))
                 break; // ring full: completions will free slots
             ++pushed;

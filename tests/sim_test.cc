@@ -74,6 +74,28 @@ TEST(EventQueueTest, DescheduleRemovesEvent)
     EXPECT_TRUE(q.empty());
 }
 
+// A descheduled event may be destroyed immediately, even though
+// its stale entry is still in the heap; the queue must drop that
+// entry without touching the dead event. This is how a demoted
+// passthrough poller tears down mid-simulation (ASan catches any
+// regression here as a use-after-free).
+TEST(EventQueueTest, DescheduledEventCanBeDestroyedBeforePop)
+{
+    EventQueue q;
+    bool ran = false;
+    EventFunctionWrapper keep([&] { ran = true; }, "keep");
+    q.schedule(&keep, 20);
+    {
+        EventFunctionWrapper doomed([] { FAIL(); }, "doomed");
+        q.schedule(&doomed, 10);
+        q.deschedule(&doomed);
+    } // doomed destroyed; its heap entry is still pending
+    q.run();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.processedCount(), 1u);
+}
+
 TEST(EventQueueTest, RescheduleMovesEvent)
 {
     EventQueue q;

@@ -34,6 +34,7 @@ per line with a JSON-path-ish location.
 """
 
 import json
+import re
 import sys
 
 SCHEMA_VERSION = 2
@@ -94,6 +95,23 @@ INTEGRITY_KINDS = {
 }
 
 
+# Multi-queue family (DESIGN.md §17). Queue indices are part of the
+# name ("...hv.mq.pass.netp0.rounds", "...sched.served.<hv>.mq.blkq3"),
+# so these are pinned by pattern rather than literal suffix. All are
+# counters; a shape change is a schema break.
+MQ_PATTERNS = [
+    (re.compile(r"\.mq\.queue_regs$"), "counter"),
+    (re.compile(r"\.mq\.passthrough_binds$"), "counter"),
+    (re.compile(r"\.mq\.passthrough_demotions$"), "counter"),
+    (re.compile(r"\.mq\.pass\.(netp|blkq)\d+\."
+                r"(rounds|busy_rounds|items|wakes)$"), "counter"),
+    # Per-queue scheduling units' served counters (and the console
+    # unit): "<sched>.served.<hv>.mq.{netp<i>,blkq<i>,con}".
+    (re.compile(r"\.served\..*\.mq\.(netp\d+|blkq\d+|con)$"),
+     "counter"),
+]
+
+
 def metric_kind(v):
     """Classify a metric value; None when the shape is unknown."""
     if is_num(v):
@@ -115,6 +133,9 @@ def declared_kind(name):
         for suffix, kind in kinds.items():
             if name == suffix or name.endswith("." + suffix):
                 return kind
+    for pattern, kind in MQ_PATTERNS:
+        if pattern.search(name):
+            return kind
     return None
 
 
