@@ -17,6 +17,7 @@
  *    throughput fell below 95% of its baseline.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -105,6 +106,16 @@ main(int argc, char **argv)
     const unsigned target_migrations = Session::quick ? 16 : 100;
 
     Simulation sim(20200316 + Session::faultSeed);
+    // --sim-threads=N: one event partition per base server, run by
+    // N workers under conservative lookahead. Same seed + any N
+    // >= 1 produces byte-identical metrics; N=0 keeps the classic
+    // single-queue core (note its topology differs: one shared
+    // switch instead of per-server switches + fabric).
+    if (Session::simThreads > 0) {
+        psim::Params pp;
+        pp.threads = Session::simThreads;
+        sim.enablePartitions(n_servers, pp);
+    }
     cloud::VSwitch vswitch(sim, "vswitch");
     // A rack's worth of guests cannot ride one 8-channel storage
     // node: 64 guests x 4k IOPS offered vs ~145k IOPS capacity
@@ -120,6 +131,7 @@ main(int argc, char **argv)
     // the 64 placed guests; the e3.8 class admits 16 per server.
     fp.server.maxBoards = 12;
     fp.server = Testbed::withSessionObs(fp.server);
+    fp.perServerVswitch = Session::simThreads > 0;
     fleet::FleetController fc(sim, "fleet", vswitch, &storage, fp);
     MetricsCapture::instance().attach("fleet", sim.metrics());
 
@@ -161,6 +173,12 @@ main(int argc, char **argv)
                          16);
         chaos.arm();
     }
+
+    // Wall-clock over the whole driven portion: the --sim-threads
+    // scaling story in EXPERIMENTS.md compares this row across
+    // thread counts at a fixed seed.
+    const auto wall0 = std::chrono::steady_clock::now();
+    const Tick sim0 = sim.now();
 
     sim.run(sim.now() + msToTicks(2.0));
     const Tick pump_period = usToTicks(250);
@@ -273,6 +291,12 @@ main(int argc, char **argv)
         sim.run(sim.now() + msToTicks(1.0));
     }
 
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    const double sim_ms = ticksToSec(sim.now() - sim0) * 1e3;
+
     // ---- report ----
     std::uint64_t lost_dup = 0, total_reqs = 0;
     unsigned migrated_controls = 0;
@@ -314,6 +338,11 @@ main(int argc, char **argv)
                 storm_rate);
     std::printf("  %-26s %11.1f%%\n", "control retained",
                 100.0 * ratio);
+    std::printf("  %-26s %12u\n", "sim threads",
+                Session::simThreads);
+    std::printf("  %-26s %12.0f\n", "wall clock (ms)", wall_ms);
+    std::printf("  %-26s %12.2f\n", "sim ms per wall s",
+                wall_ms > 0.0 ? sim_ms / (wall_ms / 1e3) : 0.0);
 
     check(lost_dup == 0,
           "block requests lost or duplicated across migrations");

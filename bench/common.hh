@@ -120,6 +120,7 @@ class Session
         const std::string slo_blk_flag = "--slo-blk-us=";
         const std::string flight_ev_flag = "--flight-events=";
         const std::string flight_dir_flag = "--flight-dump-dir=";
+        const std::string threads_flag = "--sim-threads=";
         int w = 1;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
@@ -151,6 +152,9 @@ class Session
                     a.c_str() + flight_ev_flag.size(), nullptr, 0);
             else if (a.rfind(flight_dir_flag, 0) == 0)
                 flightDumpDir = a.substr(flight_dir_flag.size());
+            else if (a.rfind(threads_flag, 0) == 0)
+                simThreads = unsigned(std::strtoul(
+                    a.c_str() + threads_flag.size(), nullptr, 0));
             else if (a.rfind(seed_flag, 0) == 0)
                 faultSeed = std::strtoull(
                     a.c_str() + seed_flag.size(), nullptr, 0);
@@ -189,6 +193,11 @@ class Session
     /** Chaos flags, visible to every Testbed the bench builds. */
     inline static std::uint64_t faultSeed = 0;
     inline static std::string faultPlan;
+    /** --sim-threads=N: run the simulation core partitioned with N
+     *  worker threads (0 = classic single-queue). Benches that
+     *  support it call Simulation::enablePartitions; the metrics
+     *  of a given seed are byte-identical for every N >= 1. */
+    inline static unsigned simThreads = 0;
     /** Scheduler flags: --poll-cores=N picks the shared pool size
      *  (and implies --sched=shared unless overridden). */
     inline static unsigned pollCores = 0;

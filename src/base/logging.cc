@@ -90,6 +90,7 @@ Logger::print(LogLevel lvl, const std::string &component,
         break;
     }
     std::ostream &os = stream_ ? *stream_ : std::cerr;
+    std::lock_guard<std::mutex> lk(printMu_);
     os << prefix;
     if (tickSource_)
         os << "[" << tickSource_() << "] ";

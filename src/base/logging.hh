@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -95,6 +96,10 @@ class Logger
     const void *tickOwner_ = nullptr;
     std::set<std::string> debugSet_;
     std::ostream *stream_ = nullptr;
+    /** Keeps whole lines intact when partitioned-simulation worker
+     *  threads emit concurrently. Configuration knobs stay
+     *  unguarded: tests flip them only while single-threaded. */
+    std::mutex printMu_;
 };
 
 /** Exception thrown by panic() when throw-on-death is enabled. */

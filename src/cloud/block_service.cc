@@ -151,24 +151,9 @@ BlockService::occupyChannel(Tick start, Tick service)
     return end;
 }
 
-void
-BlockService::submit(Volume &vol, BlockIo io)
+Tick
+BlockService::drawService(const BlockIo &io)
 {
-    (void)vol;
-    // An injected fabric loss: the request vanishes and its
-    // completion never fires. Recovery is the submitter's timeout.
-    if (loseBudget_ > 0) {
-        --loseBudget_;
-        faultLost_.inc();
-        return;
-    }
-    // Request travels to the storage cluster: latency + wire time
-    // of the command (reads) or command+data (writes).
-    Bytes to_storage = io.write ? io.len + 64 : 64;
-    Bytes from_storage = io.write ? 64 : io.len + 64;
-    Tick t = curTick() + params_.networkLatency +
-             params_.networkBandwidth.transferTime(to_storage);
-
     // SSD service time: lognormal around the median, plus the
     // occasional housekeeping pause that produces the p99.9 tail.
     Tick median = io.write ? params_.writeServiceMedian
@@ -190,7 +175,27 @@ BlockService::submit(Volume &vol, BlockIo io)
         faultDelayed_.inc();
         service += delayExtra_;
     }
+    return service;
+}
 
+void
+BlockService::submit(Volume &vol, BlockIo io)
+{
+    (void)vol;
+    // An injected fabric loss: the request vanishes and its
+    // completion never fires. Recovery is the submitter's timeout.
+    if (loseBudget_ > 0) {
+        --loseBudget_;
+        faultLost_.inc();
+        return;
+    }
+    // Request travels to the storage cluster: latency + wire time
+    // of the command (reads) or command+data (writes).
+    Bytes from_storage = io.write ? 64 : io.len + 64;
+    io.submittedAt = curTick();
+    Tick t = curTick() + requestDelay(io);
+
+    Tick service = drawService(io);
     Tick done_at_storage = occupyChannel(t, service);
     Tick completion = done_at_storage + params_.networkLatency +
                       params_.networkBandwidth.transferTime(
@@ -201,10 +206,50 @@ BlockService::submit(Volume &vol, BlockIo io)
         writes_.inc();
     else
         reads_.inc();
-    serviceLatency_.record(completion - curTick());
-    auto *ev = new OneShotEvent(std::move(io.done),
-                                name() + ".complete");
+    serviceLatency_.record(completion - io.submittedAt);
+    // Classic path: wire corruption stays the submitter's business
+    // (it claims takeCorruption() itself, preserving the historical
+    // claim ordering), so done always reports a clean wire here.
+    auto done = std::move(io.done);
+    auto *ev = new OneShotEvent([done = std::move(done)] {
+            done(false);
+        }, name() + ".complete");
     eventq().schedule(ev, completion);
+}
+
+void
+BlockService::submitArrived(Volume &vol, BlockIo io)
+{
+    (void)vol;
+    // The request leg already elapsed on the way here (the
+    // submitter posted across partitions with requestDelay() of
+    // modelled latency), so service starts now.
+    if (loseBudget_ > 0) {
+        --loseBudget_;
+        faultLost_.inc();
+        return;
+    }
+    Bytes from_storage = io.write ? 64 : io.len + 64;
+    Tick service = drawService(io);
+    Tick done_at_storage = occupyChannel(curTick(), service);
+    Tick completion = done_at_storage + params_.networkLatency +
+                      params_.networkBandwidth.transferTime(
+                          from_storage);
+
+    completed_.inc();
+    if (io.write)
+        writes_.inc();
+    else
+        reads_.inc();
+    serviceLatency_.record(completion - io.submittedAt);
+    // Claim return-leg corruption here, in arrival order on the
+    // control partition — deterministic for any thread count —
+    // and ship the verdict with the completion.
+    bool wire = !io.write && io.wantCorruption && takeCorruption();
+    auto done = std::move(io.done);
+    sim_.post(io.srcPartition, completion,
+              [done = std::move(done), wire] { done(wire); },
+              Event::defaultPri, name() + ".complete");
 }
 
 } // namespace cloud

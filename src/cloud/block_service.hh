@@ -37,7 +37,21 @@ struct BlockIo
     bool write = false;
     std::uint64_t lba = 0; ///< 512-byte sector
     Bytes len = 0;
-    std::function<void()> done;
+    /**
+     * Completion callback. @p wire_corrupt is true when the service
+     * consumed FabricCorrupt budget against this read on the
+     * return leg (partitioned-mode path; the classic path always
+     * passes false and the submitter claims the budget itself).
+     */
+    std::function<void(bool wire_corrupt)> done;
+    /** Read completions may claim FabricCorrupt budget (set by
+     *  integrity-enabled submitters in partitioned mode). */
+    bool wantCorruption = false;
+    /** Partition the completion is delivered in. */
+    unsigned srcPartition = 0;
+    /** Submit-side tick, for end-to-end service latency. Filled by
+     *  submit(); submitArrived() expects the caller to set it. */
+    Tick submittedAt = 0;
 };
 
 /**
@@ -123,6 +137,25 @@ class BlockService : public SimObject
      */
     void submit(Volume &vol, BlockIo io);
 
+    /**
+     * Partitioned-mode entry: @p io has already traversed the
+     * request leg (the submitter posted it across partitions with
+     * requestDelay() of modelled latency) and arrives at the
+     * cluster now. The completion is posted back to
+     * io.srcPartition; FabricCorrupt budget for reads is claimed
+     * here, deterministically in arrival order.
+     */
+    void submitArrived(Volume &vol, BlockIo io);
+
+    /** Modelled guest-server -> storage request-leg latency. */
+    Tick
+    requestDelay(const BlockIo &io) const
+    {
+        Bytes to_storage = io.write ? io.len + 64 : 64;
+        return params_.networkLatency +
+               params_.networkBandwidth.transferTime(to_storage);
+    }
+
     std::uint64_t completedIos() const { return completed_.value(); }
     std::uint64_t reads() const { return reads_.value(); }
     std::uint64_t writes() const { return writes_.value(); }
@@ -142,6 +175,10 @@ class BlockService : public SimObject
     }
 
   private:
+    /** SSD service time draw shared by both submit entries; the
+     *  rng call order (lognormal, then gc chance) is part of the
+     *  reproducibility contract. */
+    Tick drawService(const BlockIo &io);
     /** Pick the earliest-free channel and occupy it. */
     Tick occupyChannel(Tick start, Tick service);
     /** Fault hook: arm request-loss / latency-spike budgets. */

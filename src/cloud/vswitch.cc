@@ -194,6 +194,18 @@ VSwitch::forward(const Packet &pktIn)
         uplinkTx_.inc();
         bytes_.inc(pkt.len);
         Packet copy = pkt;
+        if (sim_.partitioned() && uplinkPartition_ != partition()) {
+            // The frame leaves this server partition: hand it to
+            // the fabric through the mailbox. The NIC-egress PCIe
+            // hop bounds the handoff below by the lookahead, which
+            // is exactly what makes the conservative window safe.
+            Tick hand = std::max(arrive, curTick() + sim_.lookahead());
+            auto fn = uplink_;
+            sim_.post(uplinkPartition_, hand,
+                      [fn, copy] { fn(copy); }, Event::defaultPri,
+                      name() + ".uplink");
+            return;
+        }
         auto *ev = new OneShotEvent(
             [this, copy] { uplink_(copy); }, name() + ".uplink");
         eventq().schedule(ev, arrive);
@@ -241,7 +253,8 @@ void
 NetFabric::attach(VSwitch &sw)
 {
     switches_.push_back(&sw);
-    sw.setUplink([this](const Packet &pkt) { route(pkt); });
+    sw.setUplink([this](const Packet &pkt) { route(pkt); },
+                 partition());
 }
 
 void
@@ -258,10 +271,14 @@ NetFabric::route(const Packet &pkt)
         return; // no such host: silently dropped by the fabric
     VSwitch *sw = it->second;
     Packet copy = pkt;
+    // Scheduled on the destination switch's queue: identical in a
+    // classic simulation (one shared queue), and in a partitioned
+    // one the delivery executes inside the destination partition at
+    // the correct tick instead of against its parked clock.
     auto *ev = new OneShotEvent(
         [sw, copy] { sw->receiveFromUplink(copy); },
         name() + ".route");
-    eventq().schedule(ev, curTick() + propagation_);
+    sw->eventq().schedule(ev, curTick() + propagation_);
 }
 
 } // namespace cloud

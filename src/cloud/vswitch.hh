@@ -77,10 +77,19 @@ class VSwitch : public SimObject
     /** Deliver a frame arriving from the fabric uplink. */
     void receiveFromUplink(const Packet &pkt);
 
-    /** Connect the uplink (frames with non-local dst go here). */
-    void setUplink(std::function<void(const Packet &)> uplink)
+    /**
+     * Connect the uplink (frames with non-local dst go here).
+     * @p uplinkPartition is the partition the uplink handler runs
+     * in (the fabric's); in a partitioned simulation a cross-
+     * partition uplink send goes through the mailbox API with the
+     * NIC-egress PCIe hop as its minimum delay.
+     */
+    void
+    setUplink(std::function<void(const Packet &)> uplink,
+              unsigned uplinkPartition = 0)
     {
         uplink_ = std::move(uplink);
+        uplinkPartition_ = uplinkPartition;
     }
 
     /**
@@ -161,6 +170,7 @@ class VSwitch : public SimObject
     std::vector<Port> ports_;
     std::map<MacAddr, PortId> macTable_;
     std::function<void(const Packet &)> uplink_;
+    unsigned uplinkPartition_ = 0;
     Tick coreFree_ = 0;   ///< when the switching core is next idle
     Tick uplinkFree_ = 0; ///< when the uplink NIC is next idle
     bool integrity_ = true;

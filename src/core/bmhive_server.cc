@@ -296,6 +296,14 @@ BmHiveServer::tryProvision(const InstanceType &type,
     std::string base_name =
         name() + ".guest" + std::to_string(nextGuestName_++);
 
+    // The whole guest assembly homes in this server's partition
+    // through a shared affinity cell: every SimObject built below
+    // captures the cell, so a later adoption re-homes them all
+    // with one write (adoptGuest).
+    g->partitionCell_ = std::make_unique<unsigned>(partition());
+    psim::PartitionScope pscope(sim_, g->partitionCell_.get(),
+                                partition());
+
     // The compute board: dedicated CPU and memory, own PCIe bus.
     g->board_ = std::make_unique<hw::ComputeBoard>(
         sim_, base_name + ".board", type.cpu, type.simMemBytes,
@@ -521,6 +529,19 @@ BmHiveServer::adoptGuest(ExportedGuest eg,
 
     BmGuest &g = *guests_[idx];
     g.regionBase_ = allocRegion();
+
+    // Re-home the guest's event partition: the whole assembly
+    // shares one affinity cell, so this single write moves every
+    // SimObject that travelled with the export. The NIC port moves
+    // onto this server's switch with it; RSS is re-established by
+    // the migrateTo below once the rebase replay lands.
+    if (g.partitionCell_)
+        *g.partitionCell_ = partition();
+    // A scrub pass armed on the source is still scheduled in the
+    // old partition's queue; it must die there rather than touch
+    // bond state that now runs here.
+    g.bond_->retireScrub();
+    g.hv_->rebindVSwitch(vswitch_);
 
     // The guest's containment and obs signals now belong to this
     // server: re-wire every [server, index] capture.

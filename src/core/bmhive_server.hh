@@ -163,6 +163,13 @@ class BmGuest
     obs::FlightRecorder *flight() { return flight_.get(); }
     obs::SloMonitor *slo() { return slo_.get(); }
 
+    /** Event partition this guest's assembly currently homes in
+     *  (0 in a classic, unpartitioned simulation). */
+    unsigned partition() const
+    {
+        return partitionCell_ ? *partitionCell_ : 0;
+    }
+
     /** One-paragraph operational report (counters snapshot). */
     std::string statsReport() const;
 
@@ -171,6 +178,11 @@ class BmGuest
 
     InstanceType instance_;
     cloud::MacAddr mac_ = 0;
+    /** Partition-affinity cell shared by every SimObject in this
+     *  guest's assembly (board, bond, hypervisor, drivers, service
+     *  generations): one write re-homes the whole guest, which is
+     *  exactly what adoptGuest does on migration. */
+    std::unique_ptr<unsigned> partitionCell_;
     /** Base-memory shadow region currently backing the bond; owned
      *  by whichever server hosts the guest (freed on release or
      *  export, allocated afresh on adoption). */

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "base/units.hh"
@@ -65,6 +66,12 @@ struct FaultSpec
 /**
  * Name -> hook table. A hook receives the spec and returns true if
  * the component modeled the fault (false = kind unsupported).
+ *
+ * Map operations are mutex-guarded: in a partitioned simulation a
+ * hypervisor respawning inside a server partition registers its
+ * new service generation's hooks while other partitions (or the
+ * control-side injector) touch the table. Hooks themselves run
+ * outside the lock — a hook body is free to add/remove entries.
  */
 class FaultHookRegistry
 {
@@ -74,14 +81,20 @@ class FaultHookRegistry
     /** Register @p hook under the component path @p name. */
     void add(const std::string &name, Hook hook)
     {
+        std::lock_guard<std::mutex> lk(mu_);
         hooks_[name] = std::move(hook);
     }
 
     /** Remove the hook (call from the component's destructor). */
-    void remove(const std::string &name) { hooks_.erase(name); }
+    void remove(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        hooks_.erase(name);
+    }
 
     bool has(const std::string &name) const
     {
+        std::lock_guard<std::mutex> lk(mu_);
         return hooks_.count(name) != 0;
     }
 
@@ -93,13 +106,19 @@ class FaultHookRegistry
     bool
     deliver(const std::string &name, const FaultSpec &spec) const
     {
-        auto it = hooks_.find(name);
-        if (it == hooks_.end())
-            return false;
-        return it->second(spec);
+        Hook hook;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = hooks_.find(name);
+            if (it == hooks_.end())
+                return false;
+            hook = it->second;
+        }
+        return hook(spec);
     }
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, Hook> hooks_;
 };
 

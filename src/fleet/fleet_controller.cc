@@ -39,10 +39,31 @@ FleetController::FleetController(Simulation &sim, std::string name,
 {
     fatal_if(params_.servers == 0,
              this->name(), ": a fleet needs at least one server");
+    fatal_if(sim.partitioned() && !params_.perServerVswitch,
+             this->name(),
+             ": a partitioned simulation needs perServerVswitch"
+             " (a shared switch would couple every partition)");
+    if (params_.perServerVswitch) {
+        // The rack fabric (like the controller itself) lives in the
+        // control partition; each server's own switch is built in
+        // that server's partition below so its events run there.
+        fabric_ = std::make_unique<cloud::NetFabric>(
+            sim, this->name() + ".fabric");
+    }
     for (unsigned s = 0; s < params_.servers; ++s) {
+        // Everything belonging to server s — its switch, the base
+        // board, and every guest it later provisions — homes in
+        // partitionFor(s).
+        psim::PartitionScope pscope(sim, partitionFor(s));
+        if (fabric_) {
+            switches_.push_back(std::make_unique<cloud::VSwitch>(
+                sim,
+                this->name() + ".vswitch" + std::to_string(s)));
+            fabric_->attach(*switches_.back());
+        }
         servers_.push_back(std::make_unique<core::BmHiveServer>(
-            sim, this->name() + ".s" + std::to_string(s), vswitch_,
-            storage_, params_.server));
+            sim, this->name() + ".s" + std::to_string(s),
+            switchFor(s), storage_, params_.server));
         dead_.push_back(false);
         partitionedUntil_.push_back(0);
         missedBeats_.push_back(0);
@@ -50,8 +71,17 @@ FleetController::FleetController(Simulation &sim, std::string name,
         core::BmHiveServer &srv = *servers_.back();
         // A crash the source watchdog sees on a drained guest is a
         // rollback cue, never a respawn (the double-adoption race
-        // the watchdog guard exists for).
+        // the watchdog guard exists for). The watchdog runs in the
+        // server's partition; fleet state is control-partition
+        // only, so the signal crosses through the mailbox.
         srv.setMigrationAbortCallback([this, s](unsigned idx) {
+            if (sim_.partitioned()) {
+                sim_.post(0, sim_.now() + sim_.lookahead(),
+                          [this, s, idx] { onAbortSignal(s, idx); },
+                          Event::defaultPri,
+                          this->name() + ".abort_signal");
+                return;
+            }
             onAbortSignal(s, idx);
         });
         // Top of the integrity escalation ladder: a server whose
@@ -60,12 +90,24 @@ FleetController::FleetController(Simulation &sim, std::string name,
         // waiting for it to fail outright. Deferred one event: the
         // signal fires from deep inside a poll/completion path.
         srv.setServerUnhealthyCallback([this, s] {
-            integrityDrains_.inc();
-            warn(this->name(), ": s", s,
-                 " integrity-unhealthy; draining its guests");
+            // The whole body defers: the signal fires from deep
+            // inside a poll/completion path in the server's
+            // partition, and both the counter and drainServer are
+            // control-partition state.
+            auto fire = [this, s] {
+                integrityDrains_.inc();
+                warn(this->name(), ": s", s,
+                     " integrity-unhealthy; draining its guests");
+                drainServer(s);
+            };
+            if (sim_.partitioned()) {
+                sim_.post(0, sim_.now() + sim_.lookahead(),
+                          std::move(fire), Event::defaultPri,
+                          this->name() + ".integrity_drain");
+                return;
+            }
             auto *ev = new OneShotEvent(
-                [this, s] { drainServer(s); },
-                this->name() + ".integrity_drain");
+                std::move(fire), this->name() + ".integrity_drain");
             scheduleIn(ev, 0);
         });
         // Server-level fault surface: power, boards, fabric.
@@ -110,6 +152,10 @@ FleetController::place(const core::InstanceType &type,
                 break;
         GuestId id = nextId_++;
         locs_[id] = {unsigned(s), idx};
+        // Per-server switches: the fabric learns which switch the
+        // guest's MAC lives behind, so cross-server frames route.
+        if (fabric_)
+            fabric_->learn(mac, *switches_[s]);
         placements_.inc();
         logDebug("guest ", id, " placed on s", s, " slot ", idx);
         return id;
@@ -154,6 +200,15 @@ FleetController::indexOf(GuestId id) const
     panic_if(it == locs_.end(), name(), ": guest ", id,
              " is not hosted");
     return it->second.idx;
+}
+
+unsigned
+FleetController::partitionFor(unsigned s) const
+{
+    if (!sim_.partitioned())
+        return 0;
+    unsigned workers = sim_.partitions() - 1;
+    return 1 + (s % workers);
 }
 
 int
@@ -364,7 +419,20 @@ FleetController::commit(GuestId id)
     --reserved_[m.dst]; // the adoption physically takes the slot
     unsigned nidx = dst.adoptGuest(
         std::move(eg), [this, id](unsigned new_idx) {
-            finish(id, new_idx);
+            // The rebase replay completes inside the target
+            // partition's parallel phase; fleet bookkeeping (and
+            // the drain lift) must run serially in the control
+            // partition, one lookahead later.
+            if (sim_.partitioned() && sim_.currentPartition() != 0) {
+                sim_.post(0, sim_.now() + sim_.lookahead(),
+                          [this, id, new_idx] {
+                              finish(id, new_idx);
+                          },
+                          Event::defaultPri,
+                          this->name() + ".finish");
+            } else {
+                finish(id, new_idx);
+            }
         });
     // Until the rebase replay lands and the PMD is re-homed, the
     // target's watchdog must treat the (still quiesced) adoptee
@@ -387,6 +455,11 @@ FleetController::finish(GuestId id, unsigned new_idx)
         return; // lost while adopting (e.g. target board fault)
     core::BmGuest &g = dst.guest(new_idx);
     dst.setMigrating(new_idx, false);
+    // The guest's port moved to the target's switch during
+    // adoption; the fabric re-learns the MAC so frames in flight
+    // from other servers follow it.
+    if (fabric_)
+        fabric_->learn(g.mac(), *switches_[m.dst]);
     // Resume: lifting the drain sweeps every doorbell deferred
     // since drainStart into the freshly rebased rings.
     g.bond().setDrained(false);

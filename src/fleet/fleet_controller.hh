@@ -69,6 +69,16 @@ struct FleetParams
     /** Blackout histogram range (us) and bucket count. */
     double blackoutHistMaxUs = 2000.0;
     std::size_t blackoutHistBuckets = 40;
+    /**
+     * Give every base server its own vSwitch, joined by a NetFabric
+     * (the real rack topology), instead of sharing the single
+     * switch passed to the constructor. Required for a partitioned
+     * simulation — per-server switches are what lets each server's
+     * events run in its own partition — and valid (topology-
+     * visible: cross-server traffic crosses the fabric) in classic
+     * mode too.
+     */
+    bool perServerVswitch = false;
 };
 
 class FleetController : public SimObject
@@ -85,6 +95,14 @@ class FleetController : public SimObject
         return unsigned(servers_.size());
     }
     core::BmHiveServer &server(unsigned s) { return *servers_[s]; }
+    /** The switch server @p s's guests attach to: its own switch
+     *  under perServerVswitch, else the shared one. */
+    cloud::VSwitch &switchFor(unsigned s)
+    {
+        return s < switches_.size() ? *switches_[s] : vswitch_;
+    }
+    /** Rack fabric joining per-server switches (null otherwise). */
+    cloud::NetFabric *fabric() { return fabric_.get(); }
     /** Fenced or power-lost; never a placement target again. */
     bool serverDead(unsigned s) const { return dead_[s]; }
     bool
@@ -229,6 +247,10 @@ class FleetController : public SimObject
     void fence(unsigned s);
     void failoverServer(unsigned s);
 
+    /** Event partition hosting server @p s (round-robin over the
+     *  worker partitions; 0 when the simulation is classic). */
+    unsigned partitionFor(unsigned s) const;
+
     /** Best placement target (-1: none). @p type drives the
      *  class-anti-affinity term; @p exclude skips one server and
      *  @p skip (optional) a set of already-tried ones. In-flight
@@ -240,6 +262,11 @@ class FleetController : public SimObject
     FleetParams params_;
     cloud::VSwitch &vswitch_;
     cloud::BlockService *storage_;
+    /** perServerVswitch topology: one switch per server, joined by
+     *  the fabric. Declared before servers_ so ports outlive the
+     *  hypervisors that hold them. */
+    std::unique_ptr<cloud::NetFabric> fabric_;
+    std::vector<std::unique_ptr<cloud::VSwitch>> switches_;
     std::vector<std::unique_ptr<core::BmHiveServer>> servers_;
     std::vector<bool> dead_;
     std::vector<Tick> partitionedUntil_;

@@ -17,7 +17,7 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
                            cloud::BlockService *storage,
                            cloud::Volume *volume, bool rate_limited)
     : SimObject(sim, std::move(name)), board_(board), bond_(bond),
-      vswitch_(vswitch), mac_(mac), storage_(storage),
+      vswitch_(&vswitch), mac_(mac), storage_(storage),
       volume_(volume), rateLimited_(rate_limited),
       faultInjected_(
           metrics().counter(this->name() + ".fault.injected")),
@@ -44,7 +44,7 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
     service_ = std::make_unique<VirtioIoService>(
         sim, this->name() + ".svc", core, params);
 
-    port_ = vswitch_.addPort(mac, [this](const cloud::Packet &pkt) {
+    port_ = vswitch_->addPort(mac, [this](const cloud::Packet &pkt) {
         service_->enqueueRx(pkt);
     });
 
@@ -55,7 +55,7 @@ BmHypervisor::BmHypervisor(Simulation &sim, std::string name,
     bond_.setQueuePairsCallback([this](unsigned fn,
                                        unsigned pairs) {
         if (connected_ && int(fn) == netFn_)
-            vswitch_.setPortRssQueues(port_, pairs);
+            vswitch_->setPortRssQueues(port_, pairs);
     });
     sim_.faults().add(this->name(),
                       [this](const fault::FaultSpec &s) {
@@ -393,6 +393,11 @@ BmHypervisor::replaceService(const std::string &suffix)
     if (service_->alive())
         service_->markDead();
     unregisterService();
+    // Respawn and migration are triggered from the control
+    // partition (watchdog, fleet controller); the fresh generation
+    // must still home in this guest's partition, sharing its cell
+    // so a later migration re-homes it too.
+    psim::PartitionScope scope(sim_, partitionCell(), partition());
     auto next = std::make_unique<VirtioIoService>(
         sim_, name() + ".svc." + suffix, *core_, serviceParams_);
     next->setIntegrity(blkIntegrity_);
@@ -481,6 +486,22 @@ BmHypervisor::migrateTo(hw::CpuExecutor &core,
 }
 
 void
+BmHypervisor::rebindVSwitch(cloud::VSwitch &sw)
+{
+    if (&sw == vswitch_)
+        return; // same server switch: the port stays put
+    vswitch_->removePort(port_);
+    vswitch_ = &sw;
+    port_ = vswitch_->addPort(mac_,
+                              [this](const cloud::Packet &pkt) {
+                                  service_->enqueueRx(pkt);
+                              });
+    // RSS (if the guest runs multi-queue) is re-established by the
+    // attachFunction pass of the migration's replaceService, which
+    // runs after this rebind and sees the fresh port id.
+}
+
+void
 BmHypervisor::powerOnGuest()
 {
     board_.powerOn();
@@ -517,7 +538,7 @@ BmHypervisor::attachFunction(unsigned fn)
             [this, fn] {
                 bond_.backendCompleted(fn, virtio::NET_TXQ);
             },
-            vswitch_, port_, limiter);
+            *vswitch_, port_, limiter);
         netFn_ = int(fn);
         // Every further pair whose shadow rings the guest driver
         // enabled (VIRTIO_NET_F_MQ). The device serves all live
@@ -541,7 +562,7 @@ BmHypervisor::attachFunction(unsigned fn)
                 });
         }
         if (service_->netPairCount() > 1) {
-            vswitch_.setPortRss(
+            vswitch_->setPortRss(
                 port_, f.activeQueuePairs(),
                 [this](const cloud::Packet &pkt, unsigned q) {
                     service_->enqueueRx(pkt, q);

@@ -199,6 +199,15 @@ class BmHypervisor : public SimObject
     void migrateTo(hw::CpuExecutor &core,
                    sched::PollScheduler *sched, unsigned core_index);
 
+    /**
+     * Move this guest's NIC port onto another server's vSwitch
+     * (per-server-switch fleets: migration re-homes the port along
+     * with the PMD). The old port is detached, its MAC forgotten,
+     * and a fresh port with the same MAC is added to @p sw. No-op
+     * when already attached to @p sw.
+     */
+    void rebindVSwitch(cloud::VSwitch &sw);
+
     bool crashed() const { return crashed_; }
     unsigned respawns() const { return respawnCount_; }
     /** Completed migrateTo() re-homings. */
@@ -228,7 +237,7 @@ class BmHypervisor : public SimObject
   private:
     hw::ComputeBoard &board_;
     iobond::IoBond &bond_;
-    cloud::VSwitch &vswitch_;
+    cloud::VSwitch *vswitch_;
     cloud::MacAddr mac_;
     cloud::BlockService *storage_;
     cloud::Volume *volume_;

@@ -466,7 +466,19 @@ VirtioIoService::pollNetTx(NetPair &np, unsigned max,
             cloud::Packet pkt = ext.pkt;
             cloud::VSwitch *sw = vswitch_;
             cloud::PortId port = port_;
-            if (when <= curTick()) {
+            if (sim().partitioned() &&
+                sw->partition() != partition()) {
+                // The backend posts to a switch homed in another
+                // partition (a guest mid-migration still bound to
+                // its old server's switch): cross the PCIe hop via
+                // the mailbox.
+                sim().post(sw->partition(),
+                           std::max(when, curTick()) +
+                               sim().lookahead(),
+                           [sw, port, pkt] { sw->send(port, pkt); },
+                           Event::defaultPri,
+                           name() + ".paced_tx");
+            } else if (when <= curTick()) {
                 sw->send(port, pkt);
             } else {
                 auto *ev = new OneShotEvent(
@@ -767,7 +779,11 @@ VirtioIoService::submitBlkAttempt(std::uint64_t seq, Tick copy_cost)
     io.write = p.write;
     io.lba = p.lba;
     io.len = p.len;
-    io.done = [this, seq, gen] { onBlkServiceDone(seq, gen); };
+    io.done = [this, seq, gen](bool wire) {
+        onBlkServiceDone(seq, gen, wire);
+    };
+    io.wantCorruption = blkIntegrity_ && !p.write;
+    io.srcPartition = partition();
     auto io_box = std::make_shared<cloud::BlockIo>(std::move(io));
 
     if (params_.blkTimeout > 0) {
@@ -798,20 +814,40 @@ VirtioIoService::submitBlkAttempt(std::uint64_t seq, Tick copy_cost)
                 curTick() + params_.blkExtraCost, len);
             auto *svc = blkSvc_;
             auto *vol = vol_;
+            Tick at = std::max(when, curTick() +
+                                         params_.blkExtraCost);
+            if (sim().partitioned() &&
+                svc->partition() != partition()) {
+                // The request leaves this server partition for the
+                // storage cluster: model the network request leg as
+                // the mailbox delay instead of letting the service
+                // add it on arrival. The 140 us fabric latency
+                // dwarfs the PCIe-hop lookahead, so the post is
+                // always causally safe.
+                io_box->submittedAt = at;
+                sim().post(svc->partition(),
+                           at + svc->requestDelay(*io_box),
+                           [svc, vol, io_box] {
+                               svc->submitArrived(
+                                   *vol, std::move(*io_box));
+                           },
+                           Event::defaultPri,
+                           name() + ".blk_submit");
+                return;
+            }
             auto *ev = new OneShotEvent(
                 [svc, vol, io_box] {
                     svc->submit(*vol, std::move(*io_box));
                 },
                 name() + ".blk_submit");
-            eventq().schedule(
-                ev, std::max(when, curTick() +
-                                       params_.blkExtraCost));
+            eventq().schedule(ev, at);
         });
 }
 
 void
 VirtioIoService::onBlkServiceDone(std::uint64_t seq,
-                                  std::uint64_t gen)
+                                  std::uint64_t gen,
+                                  bool wire_corrupt)
 {
     if (gen != blkGen_)
         return; // completion from before a reattach or crash
@@ -835,7 +871,14 @@ VirtioIoService::onBlkServiceDone(std::uint64_t seq,
         rbuf = vol_->readData(q.lba, q.payloadLen);
         auto tags = vol_->readTags(q.lba, q.payloadLen);
         rbuf.insert(rbuf.end(), tags.begin(), tags.end());
-        if (blkSvc_->takeCorruption() && !rbuf.empty())
+        // Partitioned mode claims the corruption budget at the
+        // service (arrival order, deterministic across threads) and
+        // ships the verdict with the completion; classic mode keeps
+        // the historical claim-at-completion ordering.
+        bool corrupt = sim().partitioned()
+                           ? wire_corrupt
+                           : blkSvc_->takeCorruption();
+        if (corrupt && !rbuf.empty())
             rbuf[0] ^= 0xA5;
         if (cloud::difCheck(rbuf, q.lba) >= 0) {
             difDetects_.inc();

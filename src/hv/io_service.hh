@@ -431,7 +431,8 @@ class VirtioIoService : public SimObject, public sched::Pollable
     unsigned pollConsole(unsigned max);
     void scheduleNext();
     void submitBlkAttempt(std::uint64_t seq, Tick copy_cost);
-    void onBlkServiceDone(std::uint64_t seq, std::uint64_t gen);
+    void onBlkServiceDone(std::uint64_t seq, std::uint64_t gen,
+                          bool wire_corrupt);
     void onBlkTimeout(std::uint64_t seq, std::uint64_t gen,
                       unsigned attempt);
     /** Push an IOERR completion for @p p toward the guest. */

@@ -296,9 +296,24 @@ IoBond::scheduleScrub()
     if (!integrity_ || scrubScheduled_)
         return;
     scrubScheduled_ = true;
-    auto *ev = new OneShotEvent([this] { scrubPass(); },
-                                name() + ".scrub");
+    // The epoch capture kills passes armed before a migration: the
+    // one-shot stays behind in the source partition's queue after
+    // the guest re-homes, and must not touch bond state that now
+    // runs in another partition (retireScrub bumps the epoch).
+    auto *ev = new OneShotEvent(
+        [this, epoch = scrubEpoch_] {
+            if (epoch == scrubEpoch_)
+                scrubPass();
+        },
+        name() + ".scrub");
     scheduleIn(ev, params_.scrubPeriod);
+}
+
+void
+IoBond::retireScrub()
+{
+    ++scrubEpoch_;
+    scrubScheduled_ = false;
 }
 
 void

@@ -281,6 +281,14 @@ class IoBond : public SimObject
     void setDrained(bool on);
     bool drained() const { return drained_; }
 
+    /**
+     * Invalidate any armed scrub pass. Called when the guest
+     * re-homes to another event partition (migration adoption):
+     * the pending one-shot stays behind in the old partition's
+     * queue and must die there instead of racing the new home.
+     */
+    void retireScrub();
+
     /** No transfer in flight and none queued — the settle
      *  condition a migration waits for before snapshotting. */
     bool dmaIdle() const
@@ -587,6 +595,9 @@ class IoBond : public SimObject
     std::uint64_t metaCorruptBudget_ = 0;
     bool integrity_ = true;
     bool scrubScheduled_ = false;
+    /** Bumped by retireScrub(); armed passes from older epochs
+     *  fire as no-ops in whatever queue still holds them. */
+    std::uint64_t scrubEpoch_ = 0;
     std::function<void(unsigned)> integrityEscalationCb_;
     /** Function of the most recent guest/backend activity — the
      *  one a failed internal DMA transfer is attributed to. */

@@ -1,5 +1,6 @@
 #include "obs/metric_registry.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -70,24 +71,45 @@ MetricRegistry::global()
     return registry;
 }
 
+void
+MetricRegistry::shard(unsigned lanes,
+                      std::function<unsigned()> resolver)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    panic_if(lanes == 0, "metric registry needs at least one lane");
+    if (lanes > lanes_.size())
+        lanes_.resize(lanes);
+    resolver_ = std::move(resolver);
+}
+
 MetricRegistry::Entry &
 MetricRegistry::fetch(const std::string &name, Kind kind)
 {
-    auto it = metrics_.find(name);
-    if (it != metrics_.end()) {
-        panic_if(it->second.kind != kind, "metric '", name,
-                 "' registered as ", kindName(it->second.kind),
-                 ", requested as ", kindName(kind));
-        return it->second;
+    // Caller holds mu_. Names are unique across lanes: the lane
+    // only decides which map a new metric lands in (so worker
+    // threads registering mid-run don't contend on one node pool's
+    // structure); lookups always scan all lanes.
+    for (auto &lane : lanes_) {
+        auto it = lane.find(name);
+        if (it != lane.end()) {
+            panic_if(it->second.kind != kind, "metric '", name,
+                     "' registered as ", kindName(it->second.kind),
+                     ", requested as ", kindName(kind));
+            return it->second;
+        }
     }
+    std::size_t lane = 0;
+    if (resolver_)
+        lane = std::min<std::size_t>(resolver_(), lanes_.size() - 1);
     Entry e;
     e.kind = kind;
-    return metrics_.emplace(name, std::move(e)).first->second;
+    return lanes_[lane].emplace(name, std::move(e)).first->second;
 }
 
 Counter &
 MetricRegistry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     Entry &e = fetch(name, Kind::Counter);
     if (!e.counter)
         e.counter = std::make_unique<Counter>();
@@ -97,6 +119,7 @@ MetricRegistry::counter(const std::string &name)
 Gauge &
 MetricRegistry::gauge(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     Entry &e = fetch(name, Kind::Gauge);
     if (!e.gauge)
         e.gauge = std::make_unique<Gauge>();
@@ -107,6 +130,7 @@ Histogram &
 MetricRegistry::histogram(const std::string &name, double lo,
                           double hi, std::size_t buckets)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     Entry &e = fetch(name, Kind::Histogram);
     if (!e.histogram)
         e.histogram = std::make_unique<Histogram>(lo, hi, buckets);
@@ -116,6 +140,7 @@ MetricRegistry::histogram(const std::string &name, double lo,
 LatencyRecorder &
 MetricRegistry::latency(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     Entry &e = fetch(name, Kind::Latency);
     if (!e.latency)
         e.latency = std::make_unique<LatencyRecorder>();
@@ -125,15 +150,49 @@ MetricRegistry::latency(const std::string &name)
 bool
 MetricRegistry::has(const std::string &name) const
 {
-    return metrics_.count(name) != 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &lane : lanes_)
+        if (lane.count(name))
+            return true;
+    return false;
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto &lane : lanes_)
+        n += lane.size();
+    return n;
+}
+
+std::vector<std::pair<const std::string *,
+                      const MetricRegistry::Entry *>>
+MetricRegistry::merged() const
+{
+    // Caller holds mu_. Lanes hold disjoint name sets; sorting the
+    // union restores the exact iteration order a single map would
+    // have, keeping exports byte-identical to an unsharded (and to
+    // a single-threaded) registry.
+    std::vector<std::pair<const std::string *, const Entry *>> out;
+    for (const auto &lane : lanes_)
+        for (const auto &[name, entry] : lane)
+            out.emplace_back(&name, &entry);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return *a.first < *b.first;
+              });
+    return out;
 }
 
 void
 MetricRegistry::forEach(
     const std::function<void(const std::string &, Kind)> &fn) const
 {
-    for (const auto &[name, entry] : metrics_)
-        fn(name, entry.kind);
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &[name, entry] : merged())
+        fn(*name, entry->kind);
 }
 
 void
@@ -215,16 +274,17 @@ std::string
 MetricRegistry::toJson() const
 {
     // "schema_version" leads every registry object; metric names
-    // are dotted, so the bare key can never collide. metrics_ is a
-    // std::map, so iteration (and the emitted key order) is already
-    // stable for byte-diffable same-seed snapshots.
+    // are dotted, so the bare key can never collide. merged() is
+    // name-ordered, so the emitted key order is stable for
+    // byte-diffable same-seed snapshots regardless of lane count.
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out = "{\n  \"schema_version\": ";
     appendJsonNumber(out, double(jsonSchemaVersion));
-    for (const auto &[name, entry] : metrics_) {
+    for (const auto &[name, entry] : merged()) {
         out += ",\n  ";
-        appendJsonString(out, name);
+        appendJsonString(out, *name);
         out += ": ";
-        appendJsonValue(out, entry);
+        appendJsonValue(out, *entry);
     }
     out += "\n}";
     return out;
@@ -233,9 +293,12 @@ MetricRegistry::toJson() const
 std::string
 MetricRegistry::toText() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out;
     char buf[160];
-    for (const auto &[name, entry] : metrics_) {
+    for (const auto &[namep, entryp] : merged()) {
+        const std::string &name = *namep;
+        const Entry &entry = *entryp;
         switch (entry.kind) {
           case Kind::Counter:
             std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
@@ -275,7 +338,9 @@ MetricRegistry::toText() const
 void
 MetricRegistry::resetAll()
 {
-    for (auto &[name, entry] : metrics_) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &lane : lanes_)
+    for (auto &[name, entry] : lane) {
         (void)name;
         switch (entry.kind) {
           case Kind::Counter:

@@ -23,7 +23,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "base/stats.hh"
 
@@ -50,6 +52,16 @@ class MetricRegistry
     /** Fallback registry for code outside any Simulation. */
     static MetricRegistry &global();
 
+    /**
+     * Partitioned simulations: split storage into @p lanes shards
+     * so concurrent registration from worker threads stays off one
+     * map; @p resolver names the lane new metrics are created in
+     * (the current partition). Names are unique across lanes and
+     * exports merge in name order, so output is byte-identical to
+     * an unsharded registry. Call before any concurrent use.
+     */
+    void shard(unsigned lanes, std::function<unsigned()> resolver);
+
     /** Get-or-create handles. Re-registering a name with a
      *  different kind is a bug and panics. */
     Counter &counter(const std::string &name);
@@ -59,7 +71,7 @@ class MetricRegistry
     LatencyRecorder &latency(const std::string &name);
 
     bool has(const std::string &name) const;
-    std::size_t size() const { return metrics_.size(); }
+    std::size_t size() const;
 
     /** Visit every metric in name order. */
     void forEach(const std::function<void(const std::string &, Kind)>
@@ -92,7 +104,15 @@ class MetricRegistry
     Entry &fetch(const std::string &name, Kind kind);
     static void appendJsonValue(std::string &out, const Entry &e);
 
-    std::map<std::string, Entry> metrics_;
+    /** Name-ordered (name, entry) view across all lanes. */
+    std::vector<std::pair<const std::string *, const Entry *>>
+    merged() const;
+
+    /** Guards lane lookup/creation; metric handles themselves are
+     *  partition-affine and need no locking. */
+    mutable std::mutex mu_;
+    std::function<unsigned()> resolver_;
+    std::vector<std::map<std::string, Entry>> lanes_{1};
 };
 
 } // namespace obs

@@ -24,6 +24,7 @@ TraceSink::enable(std::size_t capacity)
 std::uint32_t
 TraceSink::lane(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t i = 0; i < lanes_.size(); ++i)
         if (lanes_[i] == name)
             return std::uint32_t(i);
@@ -54,6 +55,7 @@ TraceSink::recordComplete(const std::string &name,
 #if BMHIVE_TRACING
     if (!enabled_)
         return;
+    std::lock_guard<std::mutex> lk(mu_);
     push(Event{name, cat, 'X', start, dur, tid, id});
 #else
     (void)name;
@@ -73,6 +75,7 @@ TraceSink::recordInstant(const std::string &name,
 #if BMHIVE_TRACING
     if (!enabled_)
         return;
+    std::lock_guard<std::mutex> lk(mu_);
     push(Event{name, cat, 'i', at, 0, tid, id});
 #else
     (void)name;
@@ -86,12 +89,14 @@ TraceSink::recordInstant(const std::string &name,
 std::size_t
 TraceSink::size() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     return ring_.size();
 }
 
 std::vector<TraceSink::Event>
 TraceSink::events() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     if (!wrapped_)
         return ring_;
     std::vector<Event> out;
@@ -152,6 +157,7 @@ TraceSink::writeJson(const std::string &path) const
 void
 TraceSink::clear()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     ring_.clear();
     head_ = 0;
     wrapped_ = false;

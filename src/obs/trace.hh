@@ -20,6 +20,7 @@
 #define BMHIVE_OBS_TRACE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,12 @@ class TraceSink
   private:
     void push(Event e);
 
+    /** Serializes ring/lane mutation: partitioned simulations may
+     *  record from several worker threads at once. The enabled()
+     *  fast path stays lock-free (a sink is enabled before any
+     *  events run and trace ordering is not a determinism
+     *  surface — exported spans are sorted by viewers anyway). */
+    mutable std::mutex mu_;
     bool enabled_ = false;
     std::vector<Event> ring_;
     std::size_t capacity_ = 0;

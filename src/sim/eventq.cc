@@ -22,7 +22,9 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->sequence_ = nextSeq_++;
     ev->scheduled_ = true;
-    heap_.push(Entry{when, ev->priority_, ev->sequence_, ev});
+    ev->queue_ = this;
+    heap_.push_back(Entry{when, ev->priority_, ev->sequence_, ev});
+    std::push_heap(heap_.begin(), heap_.end(), heapCmp);
     ++liveCount_;
 }
 
@@ -32,12 +34,17 @@ EventQueue::deschedule(Event *ev)
     panic_if(ev == nullptr, "descheduling a null event");
     panic_if(!ev->scheduled_,
              "event '", ev->name(), "' is not scheduled");
+    panic_if(ev->queue_ != this,
+             "event '", ev->name(),
+             "' descheduled through a foreign queue");
     // Lazy deletion: the heap entry stays behind, keyed by its
     // sequence number, and skim() drops it without dereferencing
     // the event — which may be destroyed as soon as we return.
     ev->scheduled_ = false;
+    ev->queue_ = nullptr;
     staleSeqs_.insert(ev->sequence_);
     --liveCount_;
+    maybeCompact();
 }
 
 void
@@ -55,8 +62,32 @@ EventQueue::skim()
     // records its entry's sequence number, so membership alone
     // decides staleness; the Event* in a stale entry is never
     // touched.
-    while (!heap_.empty() && staleSeqs_.erase(heap_.top().seq))
-        heap_.pop();
+    while (!heap_.empty() && staleSeqs_.erase(heap_.front().seq)) {
+        std::pop_heap(heap_.begin(), heap_.end(), heapCmp);
+        heap_.pop_back();
+    }
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Stale entries buried below the top survive skim() until the
+    // heap shrinks down to them, so a reschedule-heavy timer (the
+    // adaptive poll governor re-arms constantly) would otherwise
+    // grow heap_ and staleSeqs_ without bound relative to live
+    // events. Rebuilding is O(n) and amortizes to O(1) per
+    // deschedule at the 50% threshold.
+    if (staleSeqs_.size() < compactMinStale ||
+        staleSeqs_.size() * 2 < heap_.size())
+        return;
+    std::erase_if(heap_, [this](const Entry &e) {
+        return staleSeqs_.erase(e.seq) != 0;
+    });
+    staleSeqs_.clear();
+    std::make_heap(heap_.begin(), heap_.end(), heapCmp);
+    ++compactions_;
+    if (onCompact_)
+        onCompact_();
 }
 
 Tick
@@ -64,7 +95,7 @@ EventQueue::nextTick() const
 {
     auto *self = const_cast<EventQueue *>(this);
     self->skim();
-    return heap_.empty() ? maxTick : heap_.top().when;
+    return heap_.empty() ? maxTick : heap_.front().when;
 }
 
 bool
@@ -73,8 +104,9 @@ EventQueue::step()
     skim();
     if (heap_.empty())
         return false;
-    Entry e = heap_.top();
-    heap_.pop();
+    Entry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), heapCmp);
+    heap_.pop_back();
     panic_if(e.when < curTick_, "time went backwards");
     if (e.when != curTick_) {
         curTick_ = e.when;
@@ -88,6 +120,7 @@ EventQueue::step()
              " events at tick ", curTick_, "; last: '",
              e.ev->name(), "'");
     e.ev->scheduled_ = false;
+    e.ev->queue_ = nullptr;
     --liveCount_;
     ++processed_;
     e.ev->process();
@@ -99,9 +132,16 @@ EventQueue::run(Tick limit)
 {
     while (true) {
         skim();
-        if (heap_.empty())
+        if (heap_.empty()) {
+            // A drained queue still owes the caller the full
+            // window: fixed-window pumps (and parked partitions)
+            // read curTick afterwards and must see the limit, not
+            // the tick of whatever event happened to run last.
+            if (limit != maxTick && limit > curTick_)
+                curTick_ = limit;
             return;
-        if (heap_.top().when > limit) {
+        }
+        if (heap_.front().when > limit) {
             curTick_ = limit;
             return;
         }

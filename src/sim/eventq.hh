@@ -11,9 +11,9 @@
 #ifndef BMHIVE_SIM_EVENTQ_HH
 #define BMHIVE_SIM_EVENTQ_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -71,6 +71,11 @@ class Event
     Priority priority_;
     std::uint64_t sequence_ = 0;
     bool scheduled_ = false;
+    /** Queue holding this event while scheduled. Partitioned
+     *  simulations have one queue per partition; descheduling
+     *  through the wrong one would corrupt that queue's stale-entry
+     *  bookkeeping, so the owning queue is checked explicitly. */
+    EventQueue *queue_ = nullptr;
 };
 
 /** Event that invokes a stored callable; the common case. */
@@ -118,13 +123,22 @@ class OneShotEvent : public Event
 };
 
 /**
- * The global ordering structure for events. One queue per
- * simulation; everything in a simulation shares it.
+ * The ordering structure for events. A classic simulation has one
+ * queue that everything shares; a partitioned simulation has one
+ * per partition, each advancing its own curTick within the bounds
+ * negotiated by the coordinator.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /**
+     * @param seqBase starting value for insertion sequence numbers.
+     * Partitioned simulations give each queue a disjoint sequence
+     * space so a cross-queue deschedule can never alias another
+     * queue's live entry.
+     */
+    explicit EventQueue(std::uint64_t seqBase = 0)
+        : nextSeq_(seqBase) {}
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -156,14 +170,40 @@ class EventQueue
      */
     bool step();
 
-    /** Run until the queue is empty or curTick exceeds @p limit. */
+    /**
+     * Run until curTick exceeds @p limit or the queue is empty.
+     * With a finite limit, curTick always lands exactly on @p limit
+     * — including when the queue drains first — so fixed-window
+     * callers (fleet pumps, partition rounds) never observe stale
+     * time after an idle window.
+     */
     void run(Tick limit = maxTick);
 
     /** Total events processed since construction. */
     std::uint64_t processedCount() const { return processed_; }
 
+    /**
+     * Heap entries currently held, live plus stale. Compaction
+     * keeps this within ~2x the live count (plus a small floor)
+     * under reschedule storms.
+     */
+    std::size_t heapSize() const { return heap_.size(); }
+
+    /** Times the heap was rebuilt to shed stale entries. */
+    std::uint64_t compactions() const { return compactions_; }
+
+    /** Invoked after every compaction (metric counter hookup). */
+    void
+    setCompactionHook(std::function<void()> hook)
+    {
+        onCompact_ = std::move(hook);
+    }
+
     /** Same-tick events after which step() declares a livelock. */
     static constexpr std::uint64_t sameTickLimit = 2'000'000;
+
+    /** Stale entries below this never trigger a compaction. */
+    static constexpr std::size_t compactMinStale = 64;
 
   private:
     struct Entry
@@ -184,11 +224,19 @@ class EventQueue
         }
     };
 
+    /** Min-heap on (when, pri, seq): std::*_heap with greater. */
+    static constexpr std::greater<Entry> heapCmp{};
+
     /** Drop stale entries from the top of the heap. */
     void skim();
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        heap_;
+    /** Rebuild the heap without stale entries once they dominate. */
+    void maybeCompact();
+
+    /** Binary min-heap over Entry (std::*_heap with greater-than).
+     *  A raw vector rather than std::priority_queue so compaction
+     *  can filter stale entries in place and re-heapify. */
+    std::vector<Entry> heap_;
     /** Sequence numbers of descheduled-but-not-yet-popped entries.
      *  Staleness is decided on these alone — the Event behind a
      *  stale entry may already be gone. */
@@ -197,7 +245,9 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
     std::uint64_t sameTickCount_ = 0;
+    std::uint64_t compactions_ = 0;
     std::size_t liveCount_ = 0;
+    std::function<void()> onCompact_;
 };
 
 } // namespace bmhive

@@ -3,12 +3,21 @@
  * SimObject: named component attached to a Simulation context.
  * Simulation bundles the event queue and the root random source so
  * that a whole run is reproducible from one seed.
+ *
+ * A Simulation normally runs single-threaded on one event queue.
+ * enablePartitions() switches it to the partitioned core
+ * (sim/partition.hh): one queue per base server plus the control
+ * queue, advanced in conservative lookahead rounds by a worker
+ * pool. SimObjects capture their partition at construction (via
+ * psim::PartitionScope) and route all queue/RNG/time accessors
+ * through it, so component code is identical in both modes.
  */
 
 #ifndef BMHIVE_SIM_SIM_OBJECT_HH
 #define BMHIVE_SIM_SIM_OBJECT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "base/logging.hh"
@@ -18,6 +27,7 @@
 #include "obs/metric_registry.hh"
 #include "obs/trace.hh"
 #include "sim/eventq.hh"
+#include "sim/partition.hh"
 
 namespace bmhive {
 
@@ -31,12 +41,17 @@ namespace bmhive {
 class Simulation
 {
   public:
-    explicit Simulation(std::uint64_t seed = 1) : rng_(seed)
+    explicit Simulation(std::uint64_t seed = 1)
+        : seed_(seed), rng_(seed)
     {
         // Log lines carry the current simulated time of the most
         // recently constructed simulation.
         Logger::global().setTickSource([this] { return now(); },
                                        this);
+        eventq_.setCompactionHook(
+            [c = &metrics_.counter("sim.eventq.compactions")] {
+                c->inc();
+            });
     }
 
     ~Simulation() { Logger::global().clearTickSource(this); }
@@ -44,34 +59,156 @@ class Simulation
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
 
-    EventQueue &eventq() { return eventq_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Queue of the current execution context: the control queue in
+     * a classic simulation, the executing partition's queue inside
+     * a partitioned round. Partition-affine components should use
+     * SimObject::eventq(), which resolves through the object's own
+     * partition instead.
+     */
+    EventQueue &
+    eventq()
+    {
+        if (!psim_)
+            return eventq_;
+        return psim_->queue(currentPartition());
+    }
+
     Rng &rng() { return rng_; }
-    Tick now() const { return eventq_.curTick(); }
+
+    /** Simulated time of the current execution context. */
+    Tick
+    now() const
+    {
+        if (!psim_)
+            return eventq_.curTick();
+        return psim_->queue(currentPartition()).curTick();
+    }
 
     obs::MetricRegistry &metrics() { return metrics_; }
     obs::TraceSink &trace() { return trace_; }
     fault::FaultHookRegistry &faults() { return faults_; }
 
     /** Run the event loop until empty or @p limit. */
-    void run(Tick limit = maxTick) { eventq_.run(limit); }
+    void
+    run(Tick limit = maxTick)
+    {
+        if (psim_)
+            psim_->run(limit);
+        else
+            eventq_.run(limit);
+    }
+
+    /**
+     * @name Partitioned execution
+     * @{
+     */
+
+    /**
+     * Switch to the partitioned core with @p servers server
+     * partitions (plus control partition 0). Must be called before
+     * any events run; component construction afterwards should be
+     * wrapped in psim::PartitionScope to assign affinity.
+     */
+    void enablePartitions(unsigned servers, psim::Params params = {});
+
+    bool partitioned() const { return psim_ != nullptr; }
+
+    /** Partition count including control (1 when classic). */
+    unsigned
+    partitions() const
+    {
+        return psim_ ? psim_->partitions() : 1;
+    }
+
+    /** Partition of the innermost active scope (0 outside any). */
+    unsigned
+    currentPartition() const
+    {
+        return psim_ ? psim::currentPartitionOf(this) : 0;
+    }
+
+    EventQueue &
+    partitionQueue(unsigned p)
+    {
+        if (!psim_ || p == 0)
+            return eventq_;
+        return psim_->queue(p);
+    }
+
+    Tick
+    partitionTick(unsigned p) const
+    {
+        if (!psim_ || p == 0)
+            return eventq_.curTick();
+        return psim_->queue(p).curTick();
+    }
+
+    /** Per-partition RNG shard; partition 0 is the root rng(). */
+    Rng &
+    partitionRng(unsigned p)
+    {
+        if (!psim_ || p == 0)
+            return rng_;
+        return psim_->rng(p);
+    }
+
+    /** Conservative lookahead in ticks (0 when classic). */
+    Tick lookahead() const { return psim_ ? psim_->lookahead() : 0; }
+
+    /**
+     * Deliver @p fn in partition @p dst at absolute tick @p when —
+     * the cross-partition mailbox API. From inside a parallel phase
+     * the send buffers in the source partition's outbox and @p when
+     * must respect the lookahead contract; everywhere else (and in
+     * classic mode) it degenerates to scheduling a OneShotEvent.
+     */
+    void
+    post(unsigned dst, Tick when, std::function<void()> fn,
+         Event::Priority pri = Event::defaultPri,
+         std::string what = "xpart")
+    {
+        if (psim_) {
+            psim_->post(dst, when, std::move(fn), pri,
+                        std::move(what));
+        } else {
+            auto *ev = new OneShotEvent(std::move(fn),
+                                        std::move(what), pri);
+            eventq_.schedule(ev, when);
+        }
+    }
+
+    /** @} */
 
   private:
+    std::uint64_t seed_;
     EventQueue eventq_;
     Rng rng_;
     obs::MetricRegistry metrics_;
     obs::TraceSink trace_;
     fault::FaultHookRegistry faults_;
+    std::unique_ptr<psim::Coordinator> psim_;
 };
 
 /**
  * Base class for every simulated component. Provides the name and
  * convenience access to the owning Simulation's queue and RNG.
+ *
+ * Partition affinity is captured from the thread-local
+ * psim::PartitionScope active at construction (partition 0 when
+ * none is). When the scope carries a shared partition cell (one
+ * per guest), the object resolves its partition through the cell,
+ * so migrating the guest re-homes every component at once.
  */
 class SimObject
 {
   public:
     SimObject(Simulation &sim, std::string name)
-        : sim_(sim), name_(std::move(name)) {}
+        : sim_(sim), name_(std::move(name)),
+          partition_(psim::currentPartitionOf(&sim)),
+          partitionCell_(psim::currentCellOf(&sim)) {}
     virtual ~SimObject() = default;
 
     SimObject(const SimObject &) = delete;
@@ -79,9 +216,17 @@ class SimObject
 
     const std::string &name() const { return name_; }
     Simulation &sim() { return sim_; }
-    EventQueue &eventq() { return sim_.eventq(); }
-    Rng &rng() { return sim_.rng(); }
-    Tick curTick() const { return sim_.now(); }
+
+    /** Partition this object's events execute in. */
+    unsigned
+    partition() const
+    {
+        return partitionCell_ ? *partitionCell_ : partition_;
+    }
+
+    EventQueue &eventq() { return sim_.partitionQueue(partition()); }
+    Rng &rng() { return sim_.partitionRng(partition()); }
+    Tick curTick() const { return sim_.partitionTick(partition()); }
     obs::MetricRegistry &metrics() { return sim_.metrics(); }
     obs::TraceSink &traceSink() { return sim_.trace(); }
     fault::FaultHookRegistry &faults() { return sim_.faults(); }
@@ -102,10 +247,16 @@ class SimObject
     }
 
   protected:
+    /** Cell this object's partition resolves through, if any
+     *  (constructed under a cell-carrying PartitionScope). */
+    const unsigned *partitionCell() const { return partitionCell_; }
+
     Simulation &sim_;
 
   private:
     std::string name_;
+    unsigned partition_;
+    const unsigned *partitionCell_;
 };
 
 } // namespace bmhive

@@ -157,7 +157,7 @@ class BlockServiceTest : public ::testing::Test
         io.write = write;
         io.lba = 0;
         io.len = len;
-        io.done = [&] { done = sim.now(); };
+        io.done = [&](bool) { done = sim.now(); };
         Tick t0 = sim.now();
         svc.submit(*vol, std::move(io));
         sim.run();
@@ -228,7 +228,7 @@ TEST_F(BlockServiceTest, ChannelsLimitParallelism)
         io.write = false;
         io.lba = std::uint64_t(i) * 8;
         io.len = 4 * KiB;
-        io.done = [&] {
+        io.done = [&](bool) {
             ++done;
             last = sim.now();
         };

@@ -135,6 +135,149 @@ TEST(EventQueueTest, RunWithLimitStopsAtLimit)
     EXPECT_EQ(count, 2);
 }
 
+// Regression for the drained-queue fix: run(limit) must land
+// curTick exactly on the limit even when the queue empties first.
+// Fixed-window callers (fleet pumps, partition rounds) read curTick
+// after the window and would otherwise observe the tick of whatever
+// event happened to run last — or no advance at all on an idle
+// window. The pre-fix run() returned as soon as the heap drained.
+TEST(EventQueueTest, RunAdvancesToLimitWhenDrained)
+{
+    EventQueue q;
+    int count = 0;
+    EventFunctionWrapper e([&] { ++count; }, "e");
+    q.schedule(&e, 100);
+    q.run(1000);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.curTick(), 1000u);
+    // An already-empty queue owes the caller the window too.
+    q.run(2500);
+    EXPECT_EQ(q.curTick(), 2500u);
+    // Run-to-drain (no limit) must NOT teleport time to maxTick.
+    q.run();
+    EXPECT_EQ(q.curTick(), 2500u);
+    // And events scheduled after an idle window run normally.
+    EventFunctionWrapper e2([&] { ++count; }, "e2");
+    q.schedule(&e2, 3000);
+    q.run(4000);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.curTick(), 4000u);
+}
+
+// Regression for the lazy-deletion bloat fix: a reschedule-heavy
+// timer (the adaptive poll governor re-arms constantly) leaves one
+// stale heap entry per move. Entries buried below the top survive
+// skim(), so without compaction the heap and the stale-sequence set
+// grow linearly with reschedules while only one event is live.
+TEST(EventQueueTest, CompactionBoundsHeap)
+{
+    EventQueue q;
+    EventFunctionWrapper timer([] {}, "timer");
+    EventFunctionWrapper sentinel([] {}, "sentinel");
+    q.schedule(&sentinel, 1'000'000);
+    q.schedule(&timer, 1);
+    const int moves = 10000;
+    for (int i = 2; i <= moves; ++i)
+        q.reschedule(&timer, Tick(i));
+    EXPECT_EQ(q.size(), 2u);
+    // Pre-fix: heapSize() ~= moves. With compaction at >50% stale
+    // the heap never holds more than the live events plus one
+    // sub-threshold batch of stale entries.
+    EXPECT_LE(q.heapSize(),
+              q.size() + 2 * EventQueue::compactMinStale);
+    EXPECT_GT(q.compactions(), 0u);
+    // The surviving entries are the right ones.
+    Tick fired = 0;
+    q.deschedule(&sentinel);
+    EventFunctionWrapper probe([&] { fired = q.curTick(); }, "probe");
+    q.reschedule(&timer, Tick(moves)); // no-op move keeps it live
+    q.schedule(&probe, Tick(moves) + 1);
+    q.run();
+    EXPECT_EQ(fired, Tick(moves) + 1);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SimulationTest, CompactionCounterExported)
+{
+    // The queue's compaction hook feeds sim.eventq.compactions.
+    Simulation sim;
+    EventFunctionWrapper timer([] {}, "timer");
+    sim.eventq().schedule(&timer, 1);
+    for (int i = 2; i <= 2000; ++i)
+        sim.eventq().reschedule(&timer, Tick(i));
+    sim.eventq().deschedule(&timer);
+    EXPECT_EQ(sim.metrics().counter("sim.eventq.compactions").value(),
+              sim.eventq().compactions());
+    EXPECT_GT(sim.eventq().compactions(), 0u);
+}
+
+TEST(EventQueueTest, ScheduleAtCurTickFromProcess)
+{
+    // A handler may schedule work at the very tick being processed;
+    // it runs later within the same tick, in insertion order, and
+    // time does not advance in between.
+    EventQueue q;
+    std::vector<int> order;
+    EventFunctionWrapper tail(
+        [&] {
+            order.push_back(2);
+            EXPECT_EQ(q.curTick(), 100u);
+        },
+        "tail");
+    EventFunctionWrapper head(
+        [&] {
+            order.push_back(1);
+            q.schedule(&tail, q.curTick());
+        },
+        "head");
+    q.schedule(&head, 100);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.curTick(), 100u);
+}
+
+TEST(EventQueueTest, DescheduleSameTickPendingMidRun)
+{
+    // A handler cancels a sibling already pending at the same tick:
+    // the sibling's stale entry must be skimmed, never executed,
+    // and the queue keeps running events behind it.
+    EventQueue q;
+    bool victim_ran = false;
+    bool later_ran = false;
+    EventFunctionWrapper victim([&] { victim_ran = true; },
+                                "victim");
+    EventFunctionWrapper killer([&] { q.deschedule(&victim); },
+                                "killer");
+    EventFunctionWrapper later([&] { later_ran = true; }, "later");
+    q.schedule(&killer, 10);
+    q.schedule(&victim, 10);
+    q.schedule(&later, 20);
+    q.run();
+    EXPECT_FALSE(victim_ran);
+    EXPECT_FALSE(victim.scheduled());
+    EXPECT_TRUE(later_ran);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.processedCount(), 2u);
+}
+
+TEST(EventQueueTest, NextTickSkimsStaleEntriesThroughConstRef)
+{
+    // The coordinator's window negotiation calls nextTick() on
+    // const queues; it must see through stale front entries (and
+    // physically shed them) rather than report a cancelled event.
+    EventQueue q;
+    EventFunctionWrapper a([] {}, "a"), b([] {}, "b");
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    q.deschedule(&a);
+    const EventQueue &cq = q;
+    EXPECT_EQ(cq.nextTick(), 20u);
+    EXPECT_EQ(cq.heapSize(), 1u);
+    q.deschedule(&b);
+    EXPECT_EQ(cq.nextTick(), maxTick);
+    EXPECT_TRUE(cq.empty());
+}
+
 TEST(EventQueueTest, EventsCanScheduleEvents)
 {
     EventQueue q;

@@ -18,8 +18,9 @@ Every registry value is one of four shapes (MetricRegistry::toJson):
 Validation checks the wrapper, the schema_version of every registry,
 the shape of every metric, histogram bucket ordering / count
 consistency, and percentile monotonicity. Metric families with a
-declared kind (the fleet controller's fleet.* names and the
-end-to-end *.integrity.* family) are additionally pinned: a fleet
+declared kind (the fleet controller's fleet.* names, the
+end-to-end *.integrity.* family, and the simulation core's sim.*
+counters) are additionally pinned: a fleet
 counter that turns into a histogram is a schema break even though
 both are valid shapes.
 
@@ -95,6 +96,17 @@ INTEGRITY_KINDS = {
 }
 
 
+# Parallel simulation core (DESIGN.md §18): the coordinator's
+# round/mailbox counters and the event-queue compaction counter.
+# These are registry-level names (one simulation, no component
+# prefix); a shape change is a schema break.
+SIM_KINDS = {
+    "sim.psim.rounds": "counter",
+    "sim.psim.messages": "counter",
+    "sim.eventq.compactions": "counter",
+}
+
+
 # Multi-queue family (DESIGN.md §17). Queue indices are part of the
 # name ("...hv.mq.pass.netp0.rounds", "...sched.served.<hv>.mq.blkq3"),
 # so these are pinned by pattern rather than literal suffix. All are
@@ -129,7 +141,7 @@ def metric_kind(v):
 
 
 def declared_kind(name):
-    for kinds in (FLEET_KINDS, INTEGRITY_KINDS):
+    for kinds in (FLEET_KINDS, INTEGRITY_KINDS, SIM_KINDS):
         for suffix, kind in kinds.items():
             if name == suffix or name.endswith("." + suffix):
                 return kind
